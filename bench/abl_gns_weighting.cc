@@ -1,0 +1,96 @@
+// Ablation (Theorem 4.1): how much estimator variance the optimal
+// weights remove relative to naive averaging, as a function of the
+// local-batch skew, evaluated under the paper's covariance model
+// (Lemmas B.1-B.3). This is the design-choice study DESIGN.md calls
+// out for the GNS aggregation.
+//
+// Shape: no gain for even splits (the homogeneous case), growing gain
+// as the local batches diverge -- exactly when heterogeneous clusters
+// need the estimator most.
+#include "bench_common.h"
+
+#include "common/linalg.h"
+#include "core/gns.h"
+
+namespace {
+
+using namespace cannikin;
+
+Matrix model_matrix(const std::vector<double>& b, bool noise) {
+  const std::size_t n = b.size();
+  double total = 0.0;
+  for (double v : b) total += v;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (noise) {
+        a(i, j) = i == j ? total * b[i] / (total - b[i])
+                         : b[i] * b[j] * (total - b[i] - b[j]) /
+                               ((total - b[i]) * (total - b[j]));
+      } else {
+        a(i, j) = i == j
+                      ? (total + 2 * b[i]) / (total * total - total * b[i])
+                      : (total * total - b[i] * b[i] - b[j] * b[j]) /
+                            (total * (total - b[i]) * (total - b[j]));
+      }
+    }
+  }
+  return a;
+}
+
+double variance_of(const Matrix& a, const Vector& w) {
+  return dot(w, a * w);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cannikin;
+  using namespace cannikin::bench;
+
+  experiments::print_banner(
+      "Ablation: Theorem 4.1 optimal weights vs naive averaging");
+
+  // 4-node cluster, total batch 128, with increasing skew: the fastest
+  // node's share grows from 25% (even) to 70%.
+  experiments::TablePrinter table({"fast-node share", "local batches",
+                                   "Var reduction |G|^2", "Var reduction "
+                                   "tr(Sigma)"});
+  double last_noise_gain = 0.0;
+  double even_gain = 1.0;
+  for (double share : {0.25, 0.35, 0.45, 0.55, 0.70}) {
+    const double total = 128.0;
+    const double fast = share * total;
+    const double rest = (total - fast) / 3.0;
+    const std::vector<double> batches{fast, rest, rest, rest};
+
+    const Matrix a_g = model_matrix(batches, false);
+    const Matrix a_s = model_matrix(batches, true);
+    const Vector w_g = core::optimal_grad_weights(batches);
+    const Vector w_s = core::optimal_noise_weights(batches);
+    const Vector uniform(4, 0.25);
+
+    const double gain_g =
+        variance_of(a_g, uniform) / variance_of(a_g, w_g);
+    const double gain_s =
+        variance_of(a_s, uniform) / variance_of(a_s, w_s);
+
+    char locals[64];
+    std::snprintf(locals, sizeof(locals), "[%.0f %.0f %.0f %.0f]", fast,
+                  rest, rest, rest);
+    table.add_row({experiments::TablePrinter::fmt(share, 2), locals,
+                   experiments::TablePrinter::fmt(gain_g, 3) + "x",
+                   experiments::TablePrinter::fmt(gain_s, 3) + "x"});
+    if (share == 0.25) even_gain = gain_s;
+    last_noise_gain = gain_s;
+  }
+  table.print();
+
+  shape_check(std::abs(even_gain - 1.0) < 1e-9,
+              "even split: optimal weights degenerate to averaging "
+              "(no gain, matching homogeneous practice)");
+  shape_check(last_noise_gain > 1.05,
+              "skewed splits: optimal weights remove real estimator "
+              "variance for tr(Sigma)");
+  return 0;
+}

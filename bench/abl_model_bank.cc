@@ -1,0 +1,66 @@
+// Ablation: the per-GPU-type model bank (elastic reallocation).
+//
+// A CIFAR-10 job is scaled out mid-training onto different physical
+// nodes of already-seen hardware types. With the model bank the new
+// controller warm-starts from the banked Eq. (3) coefficients and
+// plans from OptPerf immediately; without it the job repeats the two
+// bootstrap epochs at the small initial batch size -- expensive on a
+// dataset-sized epoch.
+#include "bench_common.h"
+
+#include "sched/elastic_job.h"
+
+int main() {
+  using namespace cannikin;
+  using namespace cannikin::bench;
+
+  experiments::print_banner(
+      "Ablation: model-bank warm start across reallocations");
+
+  const auto& workload = workloads::by_name("cifar10");
+
+  auto run = [&](bool use_bank, int reallocations) {
+    sched::ElasticCannikinJob job(&workload, sim::cluster_b(),
+                                  sim::NoiseConfig{}, 7, use_bank);
+    // Rotating allocations over distinct nodes of the same three types.
+    const std::vector<std::vector<int>> allocations{
+        {0, 4, 8}, {1, 5, 9, 10}, {2, 6, 11, 12, 13}, {3, 7, 14, 15, 8, 9}};
+    job.set_allocation(allocations[0]);
+    double clock = 0.0;
+    int next = 1;
+    while (!job.done() && job.epochs_run() < 1200) {
+      clock += job.run_epoch();
+      if (next <= reallocations &&
+          job.epochs_run() == 8 * next) {  // re-allocate every 8 epochs
+        job.set_allocation(allocations[static_cast<std::size_t>(
+            next % allocations.size())]);
+        ++next;
+      }
+    }
+    return std::make_pair(clock, job.warm_reallocations());
+  };
+
+  experiments::TablePrinter table({"reallocations", "with bank (s)",
+                                   "without bank (s)", "penalty avoided",
+                                   "warm starts"});
+  bool bank_always_helps = true;
+  for (int reallocations : {1, 2, 3}) {
+    const auto [warm_time, warm_count] = run(true, reallocations);
+    const auto [cold_time, cold_count] = run(false, reallocations);
+    (void)cold_count;
+    table.add_row({std::to_string(reallocations),
+                   experiments::TablePrinter::fmt(warm_time, 1),
+                   experiments::TablePrinter::fmt(cold_time, 1),
+                   experiments::TablePrinter::fmt(
+                       100.0 * (1.0 - warm_time / cold_time), 1) +
+                       "%",
+                   std::to_string(warm_count)});
+    if (warm_time >= cold_time) bank_always_helps = false;
+  }
+  table.print();
+
+  shape_check(bank_always_helps,
+              "banked per-GPU-type models avoid repeating bootstrap epochs "
+              "after every reallocation");
+  return 0;
+}

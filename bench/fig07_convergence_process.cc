@@ -1,0 +1,67 @@
+// Figure 7: convergence process (metric vs wall-clock) of ResNet-18 /
+// CIFAR-10 and ResNet-50 / ImageNet on cluster B, for Cannikin and all
+// baselines.
+//
+// Paper shape: Cannikin's curve reaches the target first; the reported
+// reductions are 52% (CIFAR-10) and 29% (ImageNet) vs AdaptDL.
+#include "bench_common.h"
+
+namespace {
+
+using namespace cannikin;
+using namespace cannikin::bench;
+
+void run_workload(const std::string& name) {
+  const auto& workload = workloads::by_name(name);
+  experiments::print_banner("Figure 7 (" + workload.model + " on " +
+                            workload.dataset + "): metric vs time");
+
+  std::vector<std::pair<SystemKind, experiments::RunTrace>> traces;
+  for (SystemKind kind : {SystemKind::kCannikin, SystemKind::kAdaptDl,
+                          SystemKind::kLbBsp, SystemKind::kDdp}) {
+    traces.emplace_back(kind,
+                        run_system(kind, sim::cluster_b(), workload, 31));
+  }
+
+  // Emit each curve as a sparse series (12 points per system).
+  for (const auto& [kind, trace] : traces) {
+    std::vector<double> xs, ys;
+    const std::size_t stride =
+        std::max<std::size_t>(1, trace.epochs.size() / 12);
+    for (std::size_t i = 0; i < trace.epochs.size(); i += stride) {
+      xs.push_back(trace.epochs[i].cumulative_seconds);
+      ys.push_back(trace.epochs[i].metric);
+    }
+    xs.push_back(trace.total_seconds);
+    ys.push_back(trace.epochs.back().metric);
+    experiments::print_series(std::string("fig7-") + name + "-" +
+                                  system_name(kind),
+                              xs, ys);
+  }
+
+  const double cannikin_t = traces[0].second.total_seconds;
+  const double adaptdl_t = traces[1].second.total_seconds;
+  const double lbbsp_t = traces[2].second.total_seconds;
+  const double ddp_t = traces[3].second.total_seconds;
+  std::printf(
+      "\ntime-to-target: cannikin=%.0fs adaptdl=%.0fs lb-bsp=%.0fs "
+      "ddp=%.0fs\n",
+      cannikin_t, adaptdl_t, lbbsp_t, ddp_t);
+  std::printf("reduction vs adaptdl: %.0f%% (paper: 52%% cifar10 / 29%% "
+              "imagenet)\n",
+              100.0 * (1.0 - cannikin_t / adaptdl_t));
+
+  shape_check(cannikin_t < adaptdl_t,
+              name + ": cannikin converges before adaptdl");
+  shape_check(cannikin_t < lbbsp_t,
+              name + ": cannikin converges before lb-bsp");
+  shape_check(cannikin_t < ddp_t, name + ": cannikin converges before ddp");
+}
+
+}  // namespace
+
+int main() {
+  run_workload("cifar10");
+  run_workload("imagenet");
+  return 0;
+}

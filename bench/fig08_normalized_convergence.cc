@@ -1,0 +1,58 @@
+// Figure 8: normalized overall convergence time of every Table 5
+// workload under Cannikin, AdaptDL, LB-BSP, HetPipe and PyTorch DDP on
+// cluster B (Cannikin = 1.0).
+//
+// Paper shape: Cannikin fastest on every task, with improvements of up
+// to 85% vs DDP, 52% vs AdaptDL, 82% vs LB-BSP.
+#include "bench_common.h"
+
+int main() {
+  using namespace cannikin;
+  using namespace cannikin::bench;
+
+  experiments::print_banner(
+      "Figure 8: normalized convergence time, all workloads, cluster B");
+
+  const std::vector<SystemKind> systems{
+      SystemKind::kCannikin, SystemKind::kAdaptDl, SystemKind::kLbBsp,
+      SystemKind::kHetPipe, SystemKind::kDdp};
+
+  experiments::TablePrinter table({"workload", "cannikin", "adaptdl",
+                                   "lb-bsp", "hetpipe", "pytorch-ddp"});
+  bool cannikin_always_fastest = true;
+  double best_vs_ddp = 0.0, best_vs_adaptdl = 0.0, best_vs_lbbsp = 0.0;
+
+  for (const auto& workload : workloads::registry()) {
+    std::vector<double> times;
+    for (SystemKind kind : systems) {
+      times.push_back(
+          run_system(kind, sim::cluster_b(), workload, 47).total_seconds);
+    }
+    const double base = times[0];
+    std::vector<std::string> row{workload.name};
+    for (double t : times) {
+      row.push_back(experiments::TablePrinter::fmt(t / base, 2));
+    }
+    table.add_row(row);
+
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (times[i] < base) cannikin_always_fastest = false;
+    }
+    best_vs_adaptdl = std::max(best_vs_adaptdl, 1.0 - base / times[1]);
+    best_vs_lbbsp = std::max(best_vs_lbbsp, 1.0 - base / times[2]);
+    best_vs_ddp = std::max(best_vs_ddp, 1.0 - base / times[4]);
+  }
+  table.print();
+
+  std::printf(
+      "\nbest reductions: vs adaptdl %.0f%% (paper up to 52%%), vs lb-bsp "
+      "%.0f%% (paper up to 82%%), vs ddp %.0f%% (paper up to 85%%)\n",
+      100 * best_vs_adaptdl, 100 * best_vs_lbbsp, 100 * best_vs_ddp);
+  shape_check(cannikin_always_fastest,
+              "cannikin is the fastest system on every workload");
+  shape_check(best_vs_ddp > 0.5,
+              "large reduction vs fixed-batch DDP on at least one workload");
+  shape_check(best_vs_adaptdl > 0.2,
+              "meaningful reduction vs AdaptDL on at least one workload");
+  return 0;
+}

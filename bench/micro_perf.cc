@@ -1,0 +1,107 @@
+// Google-benchmark micro-benchmarks for the hot paths whose cost the
+// paper accounts as overhead: Algorithm 1 (overlap-state search +
+// OptPerf solve), warm-started re-solves, the Theorem 4.1 weight
+// computation, the bucketized ring all-reduce, and the event-level
+// batch timeline.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "comm/bucket.h"
+#include "comm/process_group.h"
+#include "common/rng.h"
+#include "core/gns.h"
+#include "core/optperf.h"
+#include "sim/cluster.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace cannikin;
+
+core::OptPerfSolver make_solver(int n) {
+  Rng rng(7);
+  std::vector<core::NodeModel> models;
+  for (int i = 0; i < n; ++i) {
+    core::NodeModel m;
+    m.q = rng.uniform(1e-4, 5e-3);
+    m.s = rng.uniform(1e-3, 2e-2);
+    m.k = rng.uniform(1e-4, 8e-3);
+    m.m = rng.uniform(1e-3, 1e-2);
+    models.push_back(m);
+  }
+  return core::OptPerfSolver(std::move(models),
+                             core::CommTimes{0.2, 0.06, 0.01});
+}
+
+void BM_OptPerfSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto solver = make_solver(n);
+  double total = n * 40.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(total));
+    total += 1.0;  // defeat caching
+  }
+  state.SetLabel("nodes=" + std::to_string(n));
+}
+BENCHMARK(BM_OptPerfSolve)->Arg(3)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OptPerfSolveWarm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto solver = make_solver(n);
+  const double total = n * 40.0;
+  const int hint = solver.solve(total).num_compute_bottleneck;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_with_hint(total, hint));
+  }
+}
+BENCHMARK(BM_OptPerfSolveWarm)->Arg(16)->Arg(256);
+
+void BM_GnsWeights(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<double> batches;
+  for (int i = 0; i < n; ++i) batches.push_back(rng.uniform(4.0, 128.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimal_grad_weights(batches));
+    benchmark::DoNotOptimize(core::optimal_noise_weights(batches));
+  }
+}
+BENCHMARK(BM_GnsWeights)->Arg(3)->Arg(16)->Arg(64);
+
+void BM_BatchTimeline(benchmark::State& state) {
+  const auto& workload = workloads::by_name("squad");  // 18 buckets
+  sim::ClusterJob job(sim::cluster_b(), workload.profile,
+                      sim::NoiseConfig::none(), 1);
+  std::vector<double> batches(16, 8.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(job.true_batch_time(batches));
+  }
+}
+BENCHMARK(BM_BatchTimeline);
+
+void BM_RingAllReduce(benchmark::State& state) {
+  const int n = 4;
+  const std::size_t elements = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    comm::ProcessGroup group(n);
+    std::vector<std::thread> threads;
+    for (int rank = 0; rank < n; ++rank) {
+      threads.emplace_back([&, rank] {
+        comm::Communicator comm = group.communicator(rank);
+        std::vector<double> data(elements, rank);
+        comm::ring_all_reduce(comm, std::span<double>(data), 1);
+        benchmark::DoNotOptimize(data.data());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(elements) * 8);
+}
+BENCHMARK(BM_RingAllReduce)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Section 5.3: OptPerf prediction accuracy on cluster A, with and
+// without inverse-variance weighting of the shared parameters.
+//
+// Paper shape: without inverse-variance weighting the prediction error
+// reaches up to 21%; with it, small/medium models stay within 3% and
+// the large models (BERT, DeepSpeech2, more gradient buckets) within
+// 7%.
+#include "bench_common.h"
+
+#include "core/optperf.h"
+
+namespace {
+
+using namespace cannikin;
+using namespace cannikin::bench;
+
+// Trains Cannikin for `epochs` with the given combine mode, then
+// reports the worst |predicted - actual| / actual over a batch sweep,
+// where `actual` is the simulator's true time of the predicted
+// assignment.
+double worst_prediction_error(const workloads::Workload& workload,
+                              core::CombineMode mode, std::uint64_t seed) {
+  sim::NoiseConfig noise;
+  noise.meas_sigma = 0.06;  // cluster A profilers are noisy
+  sim::ClusterJob job(sim::cluster_a(), workload.profile, noise, seed);
+  experiments::CannikinSystem system(job.size(), caps_of(job), workload.b0,
+                                     workload.max_total_batch, true, mode);
+  const int train_epochs = 10;
+  for (int epoch = 0; epoch < train_epochs; ++epoch) {
+    // Sweep the GNS trajectory so training visits the whole batch
+    // range the prediction is evaluated over, as a real run would.
+    system.observe_gns(
+        workload.gns_at(static_cast<double>(epoch) / train_epochs));
+    const auto plan = system.plan_epoch();
+    // A real cluster-A epoch averages thousands of batches at these
+    // sizes; 96 keeps profiler noise realistically small.
+    system.observe_epoch(job.run_epoch(plan.local_batches, 96));
+  }
+  const auto models = system.controller().learned_models();
+  const auto comm = system.controller().learned_comm();
+  if (!models || !comm) return 1.0;
+  core::OptPerfSolver learned(*models, *comm);
+
+  double worst = 0.0;
+  const int b_lo = std::max(workload.b0, 2 * job.size());
+  // Predictions are evaluated across the *feasible* batch range: on
+  // cluster A device memory caps several workloads below their Table 5
+  // maximum (the paper's testbed ranges were feasible by construction).
+  const int b_hi = std::min(workload.max_total_batch,
+                            static_cast<int>(learned.cap_sum()));
+  for (int step = 0; step <= 6; ++step) {
+    const int total = b_lo + std::max(b_hi - b_lo, 0) * step / 6;
+    const auto predicted = learned.solve(total);
+    const double actual = job.true_batch_time(predicted.local_batches);
+    worst = std::max(worst,
+                     std::abs(predicted.batch_time - actual) / actual);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cannikin;
+  using namespace cannikin::bench;
+
+  experiments::print_banner(
+      "Section 5.3: OptPerf prediction error, cluster A");
+
+  experiments::TablePrinter table(
+      {"workload", "model", "err(inverse-variance)", "err(plain mean)"});
+
+  double worst_small_ivw = 0.0;  // NeuMF / ResNet-18 / ResNet-50
+  double worst_large_ivw = 0.0;  // BERT / DeepSpeech2
+  double worst_mean = 0.0;
+  for (const auto& workload : workloads::registry()) {
+    // Median over seeds keeps the comparison robust to one lucky run.
+    std::vector<double> ivw_errs, mean_errs;
+    for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+      ivw_errs.push_back(worst_prediction_error(
+          workload, core::CombineMode::kInverseVariance, seed));
+      mean_errs.push_back(worst_prediction_error(
+          workload, core::CombineMode::kMean, seed));
+    }
+    const double ivw = percentile(ivw_errs, 50.0);
+    const double mean = percentile(mean_errs, 50.0);
+    table.add_row({workload.name, workload.model,
+                   experiments::TablePrinter::fmt(100 * ivw, 1) + "%",
+                   experiments::TablePrinter::fmt(100 * mean, 1) + "%"});
+    if (workload.name == "squad" || workload.name == "librispeech") {
+      worst_large_ivw = std::max(worst_large_ivw, ivw);
+    } else {
+      worst_small_ivw = std::max(worst_small_ivw, ivw);
+    }
+    worst_mean = std::max(worst_mean, mean);
+  }
+  table.print();
+
+  std::printf("\npaper: <=3%% small/medium, <=7%% large, up to 21%% without "
+              "inverse-variance weighting\n");
+  shape_check(worst_small_ivw < 0.04,
+              "small/medium models predicted within ~3%");
+  shape_check(worst_large_ivw < 0.08, "large models predicted within ~7%");
+  shape_check(worst_mean > worst_small_ivw,
+              "plain averaging is less accurate than inverse-variance "
+              "weighting");
+  return 0;
+}

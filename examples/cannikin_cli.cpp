@@ -1,0 +1,107 @@
+// Command-line driver: run any (workload x cluster x system)
+// combination to target and optionally dump the per-epoch trace as CSV.
+//
+//   build/examples/cannikin_cli --workload cifar10 --cluster b
+//       --system cannikin --seed 7 --csv /tmp/trace.csv
+//
+// Systems: cannikin, adaptdl, lb-bsp, ddp, hetpipe.
+// Clusters: a (3 workstations), b (16 GPUs), c (16 shared RTX6000s).
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/adaptdl.h"
+#include "baselines/ddp.h"
+#include "baselines/hetpipe.h"
+#include "baselines/lbbsp.h"
+#include "common/flags.h"
+#include "experiments/cannikin_system.h"
+#include "experiments/harness.h"
+#include "experiments/trace_io.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: cannikin_cli [--workload NAME] [--cluster a|b|c]\n"
+      "                    [--system cannikin|adaptdl|lb-bsp|ddp|hetpipe]\n"
+      "                    [--seed N] [--max-epochs N] [--csv PATH]\n"
+      "workloads:");
+  for (const auto& w : cannikin::workloads::registry()) {
+    std::printf(" %s", w.name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cannikin;
+
+  const Flags flags = Flags::parse(argc, argv);
+  const auto unknown = flags.unknown_keys(
+      {"workload", "cluster", "system", "seed", "max-epochs", "csv", "help"});
+  if (!unknown.empty() || flags.get_bool("help")) {
+    for (const auto& key : unknown) {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+    }
+    usage();
+    return unknown.empty() ? 0 : 2;
+  }
+
+  const std::string workload_name = flags.get("workload", "cifar10");
+  const std::string cluster_name = flags.get("cluster", "b");
+  const std::string system_name = flags.get("system", "cannikin");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  const workloads::Workload& workload = workloads::by_name(workload_name);
+  sim::ClusterSpec cluster;
+  if (cluster_name == "a") {
+    cluster = sim::cluster_a();
+  } else if (cluster_name == "b") {
+    cluster = sim::cluster_b();
+  } else if (cluster_name == "c") {
+    cluster = sim::cluster_c();
+  } else {
+    std::fprintf(stderr, "unknown cluster: %s\n", cluster_name.c_str());
+    return 2;
+  }
+
+  sim::ClusterJob job(cluster, workload.profile, sim::NoiseConfig{}, seed);
+  std::vector<double> caps;
+  for (int i = 0; i < job.size(); ++i) caps.push_back(job.max_local_batch(i));
+
+  std::unique_ptr<experiments::TrainingSystem> system;
+  if (system_name == "cannikin") {
+    system = std::make_unique<experiments::CannikinSystem>(
+        job.size(), caps, workload.b0, workload.max_total_batch);
+  } else if (system_name == "adaptdl") {
+    system = std::make_unique<baselines::AdaptDlSystem>(
+        job.size(), workload.b0, workload.max_total_batch, caps);
+  } else if (system_name == "lb-bsp") {
+    system =
+        std::make_unique<baselines::LbBspSystem>(job.size(), workload.b0, caps);
+  } else if (system_name == "ddp") {
+    system =
+        std::make_unique<baselines::DdpSystem>(job.size(), workload.b0, caps);
+  } else if (system_name == "hetpipe") {
+    system = std::make_unique<baselines::HetPipeSystem>(&job, workload.b0);
+  } else {
+    std::fprintf(stderr, "unknown system: %s\n", system_name.c_str());
+    return 2;
+  }
+
+  experiments::HarnessOptions options;
+  options.max_epochs = flags.get_int("max-epochs", 800);
+  const experiments::RunTrace trace =
+      experiments::run_to_target(job, workload, *system, options);
+
+  std::printf("%s\n", experiments::summarize(trace).c_str());
+  if (flags.has("csv")) {
+    experiments::write_trace_csv(trace, flags.get("csv"));
+    std::printf("trace written to %s\n", flags.get("csv").c_str());
+  }
+  return trace.reached_target ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Build your own heterogeneous cluster and inspect the OptPerf
+// landscape directly through the core API -- no harness, no policies.
+//
+//   build/examples/custom_cluster [gpu ...]
+//   build/examples/custom_cluster a100 v100 rtx6000 rtx6000 p4000
+//
+// For a sweep of total batch sizes the example prints the OptPerf
+// prediction, the per-node local batches, each node's bottleneck
+// (compute vs communication), and the penalty DDP's even split would
+// pay on the same hardware.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/optperf.h"
+#include "sim/cluster.h"
+#include "sim/gpu.h"
+#include "workloads/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace cannikin;
+
+  std::vector<std::string> gpu_names;
+  for (int i = 1; i < argc; ++i) gpu_names.push_back(argv[i]);
+  if (gpu_names.empty()) {
+    gpu_names = {"a100", "v100", "rtx6000", "rtx6000"};
+  }
+
+  sim::ClusterSpec cluster;
+  cluster.name = "custom";
+  for (const auto& name : gpu_names) {
+    cluster.nodes.push_back({sim::parse_gpu_model(name), name, 1.0});
+  }
+
+  const workloads::Workload& workload = workloads::by_name("imagenet");
+  sim::ClusterJob job(cluster, workload.profile, sim::NoiseConfig::none(),
+                      1);
+
+  // The solver normally runs on *learned* models; here we hand it the
+  // ground truth to expose the pure OptPerf landscape.
+  std::vector<core::NodeModel> models;
+  for (int i = 0; i < job.size(); ++i) {
+    const auto& t = job.truth(i);
+    models.push_back(
+        {t.q, t.s, t.k, t.m, static_cast<double>(t.max_local_batch)});
+  }
+  core::OptPerfSolver solver(
+      models,
+      {job.gamma(), job.comm().t_other, job.comm().t_last});
+
+  std::printf("cluster:");
+  for (const auto& name : gpu_names) std::printf(" %s", name.c_str());
+  std::printf("   (%d-bucket all-reduce, T_comm=%.1f ms)\n\n",
+              job.comm().num_buckets, job.comm().total() * 1e3);
+
+  std::printf("%-8s %-12s %-12s %-9s %s\n", "B", "OptPerf(ms)", "even(ms)",
+              "speedup", "local batches (C=compute, N=network)");
+  for (int total = 32; total <= 1024; total *= 2) {
+    const auto result = solver.solve(total);
+    const std::vector<double> even(gpu_names.size(),
+                                   double(total) / gpu_names.size());
+    const double even_time = job.true_batch_time(even);
+
+    std::string split;
+    for (std::size_t i = 0; i < gpu_names.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%d%c ", result.local_batches_int[i],
+                    result.bottleneck[i] == core::Bottleneck::kCompute
+                        ? 'C'
+                        : 'N');
+      split += buf;
+    }
+    std::printf("%-8d %-12.1f %-12.1f %-9.2f %s\n", total,
+                result.batch_time * 1e3, even_time * 1e3,
+                even_time / result.batch_time, split.c_str());
+  }
+
+  std::printf(
+      "\nThe speedup column is what OptPerf buys over DDP's even split;\n"
+      "it widens with cluster heterogeneity and shrinks once every node\n"
+      "is compute-bottlenecked with proportional batches.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Heterogeneous gradient-noise-scale estimation on *real* stochastic
+// gradients (Section 4.4 / Theorem 4.1), using the threaded
+// data-parallel training substrate instead of the timing simulator.
+//
+//   build/examples/gns_estimation
+//
+// Three worker threads train one MLP with deliberately uneven local
+// batches (the situation Cannikin creates on heterogeneous GPUs). The
+// example reports the per-epoch GNS under the optimal Theorem 4.1
+// weighting and under naive averaging, plus training accuracy -- the
+// Eq. (9) weighted aggregation keeps convergence on track despite the
+// 8:1 spread in local batch sizes.
+#include <cstdio>
+
+#include "dnn/data.h"
+#include "dnn/model.h"
+#include "dnn/parallel_trainer.h"
+
+int main() {
+  using namespace cannikin;
+
+  const auto dataset = dnn::make_gaussian_mixture(
+      /*size=*/6000, /*dim=*/32, /*classes=*/8, /*separation=*/1.3,
+      /*seed=*/11);
+  auto factory = [] { return dnn::make_mlp(32, 24, 2, 8); };
+
+  auto make_trainer = [&](core::GnsWeighting weighting) {
+    dnn::TrainerOptions options;
+    options.num_nodes = 3;
+    options.base_lr = 0.02;
+    options.gns_smoothing = 0.005;
+    options.lr_scaling = dnn::LrScaling::kAdaScale;
+    options.initial_total_batch = 72;
+    options.gns_weighting = weighting;
+    options.seed = 5;
+    return dnn::ParallelTrainer(&dataset,
+                                dnn::ParallelTrainer::Task::kClassification,
+                                factory, options);
+  };
+
+  dnn::ParallelTrainer optimal = make_trainer(core::GnsWeighting::kOptimal);
+  dnn::ParallelTrainer naive = make_trainer(core::GnsWeighting::kNaive);
+
+  // A fast GPU, a medium one and a straggler: 40 + 24 + 8 = 72.
+  const std::vector<int> local_batches{40, 24, 8};
+
+  std::printf("%-6s %-12s %-12s %-10s %-10s\n", "epoch", "gns(optimal)",
+              "gns(naive)", "loss", "accuracy");
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    const auto result = optimal.run_epoch(local_batches);
+    naive.run_epoch(local_batches);
+    std::printf("%-6d %-12.1f %-12.1f %-10.4f %-10.3f\n", epoch,
+                optimal.current_gns(), naive.current_gns(), result.mean_loss,
+                optimal.evaluate_accuracy(dataset));
+  }
+
+  std::printf(
+      "\nBoth estimators track the same noise scale; Theorem 4.1's\n"
+      "weights matter when local batches are this skewed (40/24/8):\n"
+      "they down-weight the high-variance local estimates, giving a\n"
+      "steadier sequence for the batch-size optimizer to consume.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Heterogeneous-cluster shoot-out: Cannikin vs AdaptDL vs LB-BSP vs
+// PyTorch DDP vs HetPipe, training ResNet-50 / ImageNet on cluster B.
+//
+//   build/examples/hetero_cluster_training [workload]
+//
+// Reproduces the Figure 7 experience interactively: each policy runs
+// on an identical simulated cluster and the example prints the
+// time-to-target and per-policy convergence milestones.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/adaptdl.h"
+#include "baselines/ddp.h"
+#include "baselines/hetpipe.h"
+#include "baselines/lbbsp.h"
+#include "experiments/cannikin_system.h"
+#include "experiments/harness.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace cannikin;
+
+  const std::string name = argc > 1 ? argv[1] : "imagenet";
+  const workloads::Workload& workload = workloads::by_name(name);
+  std::printf("workload: %s (%s / %s), target %s\n", workload.name.c_str(),
+              workload.model.c_str(), workload.dataset.c_str(),
+              workload.target.c_str());
+
+  experiments::HarnessOptions options;
+  options.max_epochs = 500;
+
+  struct Entry {
+    std::string system;
+    experiments::RunTrace trace;
+  };
+  std::vector<Entry> results;
+
+  auto run = [&](auto factory) {
+    sim::ClusterJob job(sim::cluster_b(), workload.profile,
+                        sim::NoiseConfig{}, /*seed=*/13);
+    std::vector<double> caps;
+    for (int i = 0; i < job.size(); ++i) {
+      caps.push_back(job.max_local_batch(i));
+    }
+    std::unique_ptr<experiments::TrainingSystem> system = factory(job, caps);
+    results.push_back(
+        {system->name(), run_to_target(job, workload, *system, options)});
+  };
+
+  run([&](sim::ClusterJob& job, const std::vector<double>& caps) {
+    return std::make_unique<experiments::CannikinSystem>(
+        job.size(), caps, workload.b0, workload.max_total_batch);
+  });
+  run([&](sim::ClusterJob& job, const std::vector<double>& caps) {
+    return std::make_unique<baselines::AdaptDlSystem>(
+        job.size(), workload.b0, workload.max_total_batch, caps);
+  });
+  run([&](sim::ClusterJob& job, const std::vector<double>& caps) {
+    return std::make_unique<baselines::LbBspSystem>(job.size(), workload.b0,
+                                                    caps);
+  });
+  run([&](sim::ClusterJob& job, const std::vector<double>& caps) {
+    return std::make_unique<baselines::DdpSystem>(job.size(), workload.b0,
+                                                  caps);
+  });
+  run([&](sim::ClusterJob& job, const std::vector<double>& caps) {
+    (void)caps;
+    return std::make_unique<baselines::HetPipeSystem>(&job, workload.b0);
+  });
+
+  const double best = results.front().trace.total_seconds;
+  std::printf("\n%-12s %-8s %-12s %-12s %s\n", "system", "epochs",
+              "time-to-target", "normalized", "reached");
+  for (const auto& [system, trace] : results) {
+    std::printf("%-12s %-8zu %-12.1f %-12.2f %s\n", system.c_str(),
+                trace.epochs.size(), trace.total_seconds,
+                trace.total_seconds / best,
+                trace.reached_target ? "yes" : "no");
+  }
+
+  std::printf("\nconvergence milestones (seconds to reach fraction of target progress):\n");
+  std::printf("%-12s %-10s %-10s %-10s\n", "system", "25%", "50%", "100%");
+  for (const auto& [system, trace] : results) {
+    double t25 = -1, t50 = -1;
+    for (const auto& row : trace.epochs) {
+      if (t25 < 0 && row.progress_fraction >= 0.25) {
+        t25 = row.cumulative_seconds;
+      }
+      if (t50 < 0 && row.progress_fraction >= 0.50) {
+        t50 = row.cumulative_seconds;
+      }
+    }
+    std::printf("%-12s %-10.1f %-10.1f %-10.1f\n", system.c_str(), t25, t50,
+                trace.total_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: train one workload with Cannikin on the paper's
+// heterogeneous cluster B and watch the controller learn the cluster.
+//
+//   build/examples/quickstart
+//
+// Epoch 0 starts with an even split (no information), epoch 1 uses the
+// Eq. (8) bootstrap, and from epoch 2 the learned performance models
+// drive OptPerf predictions: the A100s get large local batches, the
+// RTX 6000s small ones, and the total batch grows as the gradient
+// noise scale rises.
+#include <cstdio>
+
+#include "experiments/cannikin_system.h"
+#include "experiments/harness.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+int main() {
+  using namespace cannikin;
+
+  // 1. A cluster: 4x A100 + 4x V100 + 8x RTX 6000 (Table 4).
+  const sim::ClusterSpec cluster = sim::cluster_b();
+
+  // 2. A workload: ResNet-18 / CIFAR-10 (Table 5).
+  const workloads::Workload& workload = workloads::by_name("cifar10");
+
+  // 3. Bind them: the simulator owns ground truth and produces the
+  //    noisy measurements a real profiler would.
+  sim::ClusterJob job(cluster, workload.profile, sim::NoiseConfig{},
+                      /*seed=*/42);
+
+  // 4. Cannikin: adaptive batch sizing over [B0, max] with
+  //    OptPerf-optimized local batches.
+  std::vector<double> caps;
+  for (int i = 0; i < job.size(); ++i) caps.push_back(job.max_local_batch(i));
+  experiments::CannikinSystem cannikin(job.size(), caps, workload.b0,
+                                       workload.max_total_batch);
+
+  // 5. Drive it to the target accuracy.
+  experiments::HarnessOptions options;
+  options.max_epochs = 600;
+  const experiments::RunTrace trace =
+      experiments::run_to_target(job, workload, cannikin, options);
+
+  std::printf("%-6s %-6s %-28s %-10s %-9s %s\n", "epoch", "B", "local batches",
+              "batch(ms)", "metric", "clock(s)");
+  for (const auto& row : trace.epochs) {
+    if (row.epoch % 20 != 0 && row.epoch >= 5 &&
+        &row != &trace.epochs.back()) {
+      continue;  // print the interesting epochs
+    }
+    char locals[64] = "model-parallel";
+    if (!row.local_batches.empty()) {
+      std::snprintf(locals, sizeof(locals), "[%d %d ... %d]",
+                    row.local_batches.front(), row.local_batches[1],
+                    row.local_batches.back());
+    }
+    std::printf("%-6d %-6d %-28s %-10.1f %-9.3f %.1f\n", row.epoch,
+                row.total_batch, locals, row.avg_batch_time * 1e3, row.metric,
+                row.cumulative_seconds);
+  }
+  std::printf("\nreached %s in %.1f s over %zu epochs (target %s)\n",
+              workload.target.c_str(), trace.total_seconds,
+              trace.epochs.size(), trace.reached_target ? "hit" : "MISSED");
+  return trace.reached_target ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Scheduler integration (Section 6): three jobs share the 16-GPU
+// heterogeneous cluster B under the goodput scheduler; jobs are
+// re-allocated elastically when one completes, and each reallocation
+// warm-starts from the per-GPU-type model bank.
+//
+//   build/examples/scheduler_integration
+#include <cstdio>
+
+#include "sched/multi_job_sim.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+int main() {
+  using namespace cannikin;
+
+  const std::vector<const workloads::Workload*> jobs{
+      &workloads::by_name("cifar10"),
+      &workloads::by_name("imagenet"),
+      &workloads::by_name("movielens"),
+  };
+  std::printf("submitting %zu jobs to cluster B (4x A100, 4x V100, 8x "
+              "RTX6000)\n\n",
+              jobs.size());
+
+  for (const auto policy : {sched::AllocationPolicy::kGoodputScheduler,
+                            sched::AllocationPolicy::kStaticPartition}) {
+    sched::MultiJobOptions options;
+    options.policy = policy;
+    options.seed = 5;
+    const auto result = sched::run_multi_job(sim::cluster_b(), jobs, options);
+
+    std::printf("%s:\n",
+                policy == sched::AllocationPolicy::kGoodputScheduler
+                    ? "goodput scheduler (heterogeneous mixes, elastic)"
+                    : "static equal partition");
+    for (const auto& outcome : result.jobs) {
+      std::printf("  %-10s done in %8.1f s  (%d epochs, %d reallocations, "
+                  "%d warm starts)\n",
+                  outcome.workload.c_str(), outcome.completion_seconds,
+                  outcome.epochs, outcome.reallocations,
+                  outcome.warm_reallocations);
+    }
+    std::printf("  makespan %.1f s, mean completion %.1f s\n\n",
+                result.makespan, result.mean_completion);
+  }
+  std::printf(
+      "The goodput scheduler hands the A100s to the compute-hungry job\n"
+      "and lets finished jobs' nodes flow to the survivors; Cannikin\n"
+      "absorbs the resulting heterogeneity inside each job.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "baselines/ddp.h"
+
+#include <stdexcept>
+
+#include "core/optperf.h"
+
+namespace cannikin::baselines {
+
+DdpSystem::DdpSystem(int num_nodes, int total_batch,
+                     std::vector<double> max_local_batches)
+    : num_nodes_(num_nodes), total_batch_(total_batch) {
+  if (num_nodes <= 0 || total_batch <= 0) {
+    throw std::invalid_argument("DdpSystem: bad arguments");
+  }
+  // DDP requires at least one sample per worker per batch.
+  total_batch_ = std::max(total_batch_, num_nodes_);
+  total_batch = total_batch_;
+  const std::vector<double> even(
+      static_cast<std::size_t>(num_nodes),
+      static_cast<double>(total_batch) / num_nodes);
+  local_batches_ = core::round_batches(even, total_batch, max_local_batches);
+}
+
+experiments::SystemPlan DdpSystem::plan_epoch() {
+  experiments::SystemPlan plan;
+  plan.total_batch = total_batch_;
+  plan.local_batches = local_batches_;
+  return plan;
+}
+
+void DdpSystem::observe_epoch(const sim::EpochObservation& obs) {
+  (void)obs;  // DDP never adapts.
+}
+
+}  // namespace cannikin::baselines

@@ -1,0 +1,29 @@
+// PyTorch DistributedDataParallel baseline (Section 5.1).
+//
+// DDP trains with a fixed total batch size and distributes local
+// batches evenly across all nodes, regardless of their speed -- every
+// batch waits for the slowest GPU. No adaptation of any kind.
+#pragma once
+
+#include <vector>
+
+#include "experiments/training_system.h"
+
+namespace cannikin::baselines {
+
+class DdpSystem : public experiments::TrainingSystem {
+ public:
+  DdpSystem(int num_nodes, int total_batch,
+            std::vector<double> max_local_batches);
+
+  std::string name() const override { return "pytorch-ddp"; }
+  experiments::SystemPlan plan_epoch() override;
+  void observe_epoch(const sim::EpochObservation& obs) override;
+
+ private:
+  int num_nodes_;
+  int total_batch_;
+  std::vector<int> local_batches_;
+};
+
+}  // namespace cannikin::baselines

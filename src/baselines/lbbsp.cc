@@ -1,0 +1,81 @@
+#include "baselines/lbbsp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/optperf.h"
+
+namespace cannikin::baselines {
+
+LbBspSystem::LbBspSystem(int num_nodes, int total_batch,
+                         std::vector<double> max_local_batches, int step)
+    : num_nodes_(num_nodes),
+      total_batch_(total_batch),
+      step_(step),
+      max_local_batches_(std::move(max_local_batches)) {
+  if (num_nodes <= 0 || total_batch <= 0 || step <= 0) {
+    throw std::invalid_argument("LbBspSystem: bad arguments");
+  }
+  // Data parallelism needs at least one sample per worker per batch.
+  total_batch_ = std::max(total_batch_, num_nodes_);
+  total_batch = total_batch_;
+  const std::vector<double> even(
+      static_cast<std::size_t>(num_nodes),
+      static_cast<double>(total_batch) / num_nodes);
+  local_batches_ = core::round_batches(even, total_batch, max_local_batches_);
+}
+
+experiments::SystemPlan LbBspSystem::plan_epoch() {
+  if (has_observation_) {
+    // One tuning round: move toward the equal-compute-time assignment
+    // (inverse per-sample time), bounded by +-step per node.
+    double inv_sum = 0.0;
+    for (double t : last_per_sample_time_) inv_sum += 1.0 / t;
+    std::vector<double> desired(last_per_sample_time_.size());
+    for (std::size_t i = 0; i < desired.size(); ++i) {
+      desired[i] = total_batch_ * (1.0 / last_per_sample_time_[i]) / inv_sum;
+    }
+    std::vector<double> moved(desired.size());
+    for (std::size_t i = 0; i < desired.size(); ++i) {
+      const double delta =
+          std::clamp(desired[i] - local_batches_[i],
+                     -static_cast<double>(step_), static_cast<double>(step_));
+      moved[i] = std::max(0.0, local_batches_[i] + delta);
+    }
+    local_batches_ =
+        core::round_batches(moved, total_batch_, max_local_batches_);
+  }
+
+  experiments::SystemPlan plan;
+  plan.total_batch = total_batch_;
+  plan.local_batches = local_batches_;
+  return plan;
+}
+
+void LbBspSystem::observe_epoch(const sim::EpochObservation& obs) {
+  last_per_sample_time_.assign(obs.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < obs.nodes.size(); ++i) {
+    const auto& node = obs.nodes[i];
+    const int b = std::max(node.local_batch, 1);
+    last_per_sample_time_[i] = std::max((node.a + node.p) / b, 1e-12);
+  }
+  has_observation_ = true;
+}
+
+void LbBspSystem::set_total_batch(int total_batch) {
+  if (total_batch <= 0) {
+    throw std::invalid_argument("LbBspSystem: bad total batch");
+  }
+  // Rescale proportionally; tuning resumes from the scaled point.
+  std::vector<double> scaled(local_batches_.size());
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    scaled[i] = static_cast<double>(local_batches_[i]) * total_batch /
+                total_batch_;
+  }
+  total_batch_ = total_batch;
+  local_batches_ =
+      core::round_batches(scaled, total_batch_, max_local_batches_);
+}
+
+}  // namespace cannikin::baselines

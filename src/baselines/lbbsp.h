@@ -1,0 +1,48 @@
+// LB-BSP baseline (Chen et al., SoCC'20; Section 5.1).
+//
+// LB-BSP trains with a fixed total batch size and iteratively tunes
+// each node's local batch toward equal *compute* time, moving at most
+// `step` (Delta = 5 in the paper's experiments) samples per node per
+// round. It does not model the compute/communication overlap, so even
+// its fixed point differs from OptPerf whenever communication matters,
+// and after every total-batch change it must re-converge (the
+// "adaptive batch size" weakness Figure 10 highlights).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "experiments/training_system.h"
+
+namespace cannikin::baselines {
+
+class LbBspSystem : public experiments::TrainingSystem {
+ public:
+  /// Fixed total batch unless `total_batch_schedule` is provided, which
+  /// maps epoch -> total batch (used for the adaptive-batch studies).
+  LbBspSystem(int num_nodes, int total_batch,
+              std::vector<double> max_local_batches, int step = 5);
+
+  std::string name() const override { return "lb-bsp"; }
+  experiments::SystemPlan plan_epoch() override;
+  void observe_epoch(const sim::EpochObservation& obs) override;
+
+  /// Changes the total batch size; local batches are rescaled
+  /// proportionally and tuning continues from there.
+  void set_total_batch(int total_batch);
+
+  const std::vector<int>& local_batches() const { return local_batches_; }
+
+ private:
+  void renormalize(int total);
+
+  int num_nodes_;
+  int total_batch_;
+  int step_;
+  std::vector<double> max_local_batches_;
+  std::vector<int> local_batches_;
+  bool has_observation_ = false;
+  std::vector<double> last_per_sample_time_;
+};
+
+}  // namespace cannikin::baselines

@@ -1,0 +1,100 @@
+#include "baselines/pipeline_partition.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cannikin::baselines {
+
+PipelinePartition partition_pipeline(
+    const std::vector<double>& layer_costs,
+    const std::vector<double>& node_speeds) {
+  const int layers = static_cast<int>(layer_costs.size());
+  const int stages = static_cast<int>(node_speeds.size());
+  if (stages < 1 || layers < stages) {
+    throw std::invalid_argument(
+        "partition_pipeline: need at least one layer per stage");
+  }
+  for (double c : layer_costs) {
+    if (c < 0.0) throw std::invalid_argument("partition_pipeline: cost < 0");
+  }
+  for (double s : node_speeds) {
+    if (s <= 0.0) throw std::invalid_argument("partition_pipeline: speed <= 0");
+  }
+
+  // prefix[i] = cost of layers [0, i).
+  std::vector<double> prefix(static_cast<std::size_t>(layers) + 1, 0.0);
+  for (int layer = 0; layer < layers; ++layer) {
+    prefix[static_cast<std::size_t>(layer) + 1] =
+        prefix[static_cast<std::size_t>(layer)] +
+        layer_costs[static_cast<std::size_t>(layer)];
+  }
+  auto segment = [&](int begin, int end) {
+    return prefix[static_cast<std::size_t>(end)] -
+           prefix[static_cast<std::size_t>(begin)];
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // best[s][l]: minimal max-stage-time placing layers [0, l) on stages
+  // [0, s). choice[s][l]: boundary that achieves it.
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(stages) + 1,
+      std::vector<double>(static_cast<std::size_t>(layers) + 1, kInf));
+  std::vector<std::vector<int>> choice(
+      static_cast<std::size_t>(stages) + 1,
+      std::vector<int>(static_cast<std::size_t>(layers) + 1, 0));
+  best[0][0] = 0.0;
+
+  for (int stage = 1; stage <= stages; ++stage) {
+    const double speed = node_speeds[static_cast<std::size_t>(stage - 1)];
+    for (int end = stage; end <= layers; ++end) {
+      for (int begin = stage - 1; begin < end; ++begin) {
+        const double prev = best[static_cast<std::size_t>(stage - 1)]
+                                [static_cast<std::size_t>(begin)];
+        if (!std::isfinite(prev)) continue;
+        const double candidate =
+            std::max(prev, segment(begin, end) / speed);
+        if (candidate <
+            best[static_cast<std::size_t>(stage)][static_cast<std::size_t>(end)]) {
+          best[static_cast<std::size_t>(stage)][static_cast<std::size_t>(end)] =
+              candidate;
+          choice[static_cast<std::size_t>(stage)]
+                [static_cast<std::size_t>(end)] = begin;
+        }
+      }
+    }
+  }
+
+  PipelinePartition partition;
+  partition.max_stage_time =
+      best[static_cast<std::size_t>(stages)][static_cast<std::size_t>(layers)];
+  partition.boundaries.assign(static_cast<std::size_t>(stages), 0);
+  int end = layers;
+  for (int stage = stages; stage >= 1; --stage) {
+    const int begin =
+        choice[static_cast<std::size_t>(stage)][static_cast<std::size_t>(end)];
+    partition.boundaries[static_cast<std::size_t>(stage - 1)] = begin;
+    end = begin;
+  }
+  return partition;
+}
+
+std::vector<double> synthetic_layer_costs(int layers, double total_cost) {
+  if (layers <= 0 || total_cost <= 0.0) {
+    throw std::invalid_argument("synthetic_layer_costs: bad arguments");
+  }
+  // Bell-shaped profile: cheap stem, heavy middle blocks, cheap head.
+  std::vector<double> costs(static_cast<std::size_t>(layers));
+  double sum = 0.0;
+  for (int layer = 0; layer < layers; ++layer) {
+    const double x =
+        (layer + 0.5) / static_cast<double>(layers);  // in (0, 1)
+    costs[static_cast<std::size_t>(layer)] =
+        0.4 + std::sin(x * 3.14159265358979) * 1.2;
+    sum += costs[static_cast<std::size_t>(layer)];
+  }
+  for (double& c : costs) c *= total_cost / sum;
+  return costs;
+}
+
+}  // namespace cannikin::baselines

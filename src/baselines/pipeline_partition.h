@@ -1,0 +1,35 @@
+// Pipeline stage partitioning for HetPipe (Park et al., ATC'20).
+//
+// HetPipe splits the model's layers into n contiguous stages, one per
+// node, sized so that the *slowest stage* -- the pipeline's throughput
+// bottleneck -- is as fast as possible given each node's speed. This is
+// the classic contiguous-partition min-max problem; we solve it exactly
+// by dynamic programming over (stage, boundary).
+#pragma once
+
+#include <vector>
+
+namespace cannikin::baselines {
+
+struct PipelinePartition {
+  /// boundaries[i] is the first layer of stage i; stage i covers
+  /// [boundaries[i], boundaries[i+1]) and the last stage runs through
+  /// the final layer. size() == number of stages.
+  std::vector<int> boundaries;
+  /// max over stages of (stage layer-cost sum) / node speed.
+  double max_stage_time = 0.0;
+};
+
+/// Optimal contiguous partition of `layer_costs` (per-sample seconds on
+/// a unit-speed device) onto nodes with `node_speeds`, stage i on node
+/// i. Requires layer_costs.size() >= node_speeds.size() >= 1. Every
+/// stage receives at least one layer.
+PipelinePartition partition_pipeline(const std::vector<double>& layer_costs,
+                                     const std::vector<double>& node_speeds);
+
+/// Synthetic per-layer cost profile for a model: `layers` entries
+/// summing to `total_cost`, with a smooth non-uniformity (early feature
+/// layers cheaper, middle layers heavier) so partitions are non-trivial.
+std::vector<double> synthetic_layer_costs(int layers, double total_cost);
+
+}  // namespace cannikin::baselines

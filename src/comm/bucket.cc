@@ -1,0 +1,41 @@
+#include "comm/bucket.h"
+
+#include <stdexcept>
+
+namespace cannikin::comm {
+
+std::vector<Bucket> make_buckets(std::size_t total_elements,
+                                 std::size_t bucket_capacity) {
+  if (bucket_capacity == 0) {
+    throw std::invalid_argument("make_buckets: zero capacity");
+  }
+  std::vector<Bucket> buckets;
+  if (total_elements == 0) return buckets;
+
+  // Walk from the end of the flat gradient toward the front, so bucket 0
+  // holds the tail (ready first during backprop).
+  std::size_t remaining = total_elements;
+  while (remaining > 0) {
+    const std::size_t len = std::min(bucket_capacity, remaining);
+    remaining -= len;
+    buckets.push_back({remaining, len});
+  }
+  return buckets;
+}
+
+void bucketized_weighted_all_reduce(Communicator& comm,
+                                    std::span<double> gradient, double weight,
+                                    const std::vector<Bucket>& buckets,
+                                    std::uint64_t base_tag) {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const Bucket& bucket = buckets[i];
+    if (bucket.offset + bucket.length > gradient.size()) {
+      throw std::out_of_range("bucketized all-reduce: bucket out of range");
+    }
+    weighted_ring_all_reduce(
+        comm, gradient.subspan(bucket.offset, bucket.length), weight,
+        base_tag + i);
+  }
+}
+
+}  // namespace cannikin::comm

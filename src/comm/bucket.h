@@ -1,0 +1,44 @@
+// Gradient bucketing, mirroring PyTorch DDP's Reducer.
+//
+// DDP groups gradients into fixed-capacity buckets and all-reduces each
+// bucket as soon as all of its gradients are produced by the backward
+// pass, overlapping communication with the remaining computation
+// (Section 3.2.3 of the paper). Buckets are filled in reverse parameter
+// order because backpropagation produces gradients from the last layer
+// backwards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "comm/process_group.h"
+
+namespace cannikin::comm {
+
+struct Bucket {
+  std::size_t offset = 0;  ///< first element of the flat gradient
+  std::size_t length = 0;  ///< number of elements in this bucket
+};
+
+/// Partitions a flat gradient of `total_elements` into buckets holding at
+/// most `bucket_capacity` elements each. Buckets are returned in
+/// synchronization order: bucket 0 covers the *tail* of the flat gradient
+/// (the last layer's parameters, which finish first in the backward
+/// pass). At least one bucket is returned for a non-empty gradient.
+std::vector<Bucket> make_buckets(std::size_t total_elements,
+                                 std::size_t bucket_capacity);
+
+/// All-reduces a flat gradient bucket-by-bucket, scaling by `weight`
+/// first (Eq. 9 proportional aggregation). Functionally equivalent to a
+/// single weighted all-reduce; exists so the training substrate exercises
+/// the same bucketized code path whose *timing* the simulator models.
+/// `base_tag` must leave room for one tag per bucket.
+void bucketized_weighted_all_reduce(Communicator& comm,
+                                    std::span<double> gradient, double weight,
+                                    const std::vector<Bucket>& buckets,
+                                    std::uint64_t base_tag);
+
+}  // namespace cannikin::comm

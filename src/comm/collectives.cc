@@ -1,0 +1,125 @@
+#include "comm/collectives.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace cannikin::comm {
+
+namespace {
+
+struct Segment {
+  std::size_t offset;
+  std::size_t length;
+};
+
+// Splits [0, total) into n contiguous segments whose sizes differ by at
+// most one, matching the chunking of the ring algorithm.
+std::vector<Segment> make_segments(std::size_t total, int n) {
+  std::vector<Segment> segments(static_cast<std::size_t>(n));
+  const std::size_t base = total / static_cast<std::size_t>(n);
+  const std::size_t extra = total % static_cast<std::size_t>(n);
+  std::size_t offset = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t len = base + (static_cast<std::size_t>(i) < extra ? 1 : 0);
+    segments[static_cast<std::size_t>(i)] = {offset, len};
+    offset += len;
+  }
+  return segments;
+}
+
+}  // namespace
+
+void ring_all_reduce(Communicator& comm, std::span<double> data,
+                     std::uint64_t tag) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  if (n == 1) return;
+
+  const auto segments = make_segments(data.size(), n);
+  const int next = (rank + 1) % n;
+  const int prev = (rank + n - 1) % n;
+
+  // Reduce-scatter: after step s, rank r holds the partial sum of
+  // segment (r - s) mod n across ranks r-s..r.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_idx = (rank - step + 2 * n) % n;
+    const int recv_idx = (rank - step - 1 + 2 * n) % n;
+    const Segment send_seg = segments[static_cast<std::size_t>(send_idx)];
+    const Segment recv_seg = segments[static_cast<std::size_t>(recv_idx)];
+
+    Payload outgoing(data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset),
+                     data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset +
+                                                                send_seg.length));
+    comm.send(next, tag * 2, std::move(outgoing));
+    Payload incoming = comm.recv(prev, tag * 2);
+    for (std::size_t i = 0; i < recv_seg.length; ++i) {
+      data[recv_seg.offset + i] += incoming[i];
+    }
+  }
+
+  // All-gather: circulate the fully reduced segments.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_idx = (rank + 1 - step + 2 * n) % n;
+    const int recv_idx = (rank - step + 2 * n) % n;
+    const Segment send_seg = segments[static_cast<std::size_t>(send_idx)];
+    const Segment recv_seg = segments[static_cast<std::size_t>(recv_idx)];
+
+    Payload outgoing(data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset),
+                     data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset +
+                                                                send_seg.length));
+    comm.send(next, tag * 2 + 1, std::move(outgoing));
+    Payload incoming = comm.recv(prev, tag * 2 + 1);
+    std::copy(incoming.begin(), incoming.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(recv_seg.offset));
+  }
+}
+
+void weighted_ring_all_reduce(Communicator& comm, std::span<double> data,
+                              double weight, std::uint64_t tag) {
+  for (double& v : data) v *= weight;
+  ring_all_reduce(comm, data, tag);
+}
+
+void broadcast(Communicator& comm, std::vector<double>& data, int root,
+               std::uint64_t tag) {
+  if (comm.size() == 1) return;
+  if (comm.rank() == root) {
+    for (int dst = 0; dst < comm.size(); ++dst) {
+      if (dst == root) continue;
+      comm.send(dst, tag, data);
+    }
+  } else {
+    data = comm.recv(root, tag);
+  }
+}
+
+std::vector<double> all_gather(Communicator& comm,
+                               const std::vector<double>& data,
+                               std::uint64_t tag) {
+  const int n = comm.size();
+  std::vector<std::vector<double>> parts(static_cast<std::size_t>(n));
+  parts[static_cast<std::size_t>(comm.rank())] = data;
+  // Simple ring circulation of each rank's contribution.
+  const int next = (comm.rank() + 1) % n;
+  const int prev = (comm.rank() + n - 1) % n;
+  std::vector<double> current = data;
+  for (int step = 0; step < n - 1; ++step) {
+    comm.send(next, tag, current);
+    current = comm.recv(prev, tag);
+    const int origin = (comm.rank() - step - 1 + 2 * n) % n;
+    parts[static_cast<std::size_t>(origin)] = current;
+  }
+  std::vector<double> out;
+  for (const auto& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+double all_reduce_scalar(Communicator& comm, double value, std::uint64_t tag) {
+  std::vector<double> buf{value};
+  ring_all_reduce(comm, std::span<double>(buf), tag);
+  return buf[0];
+}
+
+}  // namespace cannikin::comm

@@ -1,0 +1,48 @@
+// Collective operations over a ProcessGroup.
+//
+// ring_all_reduce implements the bandwidth-optimal ring algorithm
+// (Patarasuk & Yuan) that the paper's communication model is built on:
+// a reduce-scatter phase of (n-1) steps followed by an all-gather phase
+// of (n-1) steps, each moving 1/n of the buffer per step.
+//
+// All collectives are synchronized: every rank must call the same
+// collective with the same `tag`. Tags keep concurrent collectives (the
+// per-bucket gradient all-reduces) from interleaving.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/process_group.h"
+
+namespace cannikin::comm {
+
+/// In-place sum-all-reduce over all ranks using the ring algorithm.
+/// Every rank must pass a buffer of identical size.
+void ring_all_reduce(Communicator& comm, std::span<double> data,
+                     std::uint64_t tag);
+
+/// In-place weighted all-reduce: computes sum_i weight_i * data_i on
+/// every rank. Used by Cannikin's proportional gradient aggregation
+/// (Eq. 9): pass weight = b_i / B. Implemented by pre-scaling then
+/// ring-all-reducing.
+void weighted_ring_all_reduce(Communicator& comm, std::span<double> data,
+                              double weight, std::uint64_t tag);
+
+/// Broadcast `data` from `root` to all ranks (binomial-free simple
+/// implementation: root sends to every other rank).
+void broadcast(Communicator& comm, std::vector<double>& data, int root,
+               std::uint64_t tag);
+
+/// Gathers each rank's vector on every rank, concatenated in rank order.
+/// Per-rank contributions may have different sizes.
+std::vector<double> all_gather(Communicator& comm,
+                               const std::vector<double>& data,
+                               std::uint64_t tag);
+
+/// All-reduce of a single scalar (sum); convenience for aggregating
+/// per-node statistics such as |g_i|^2 terms.
+double all_reduce_scalar(Communicator& comm, double value, std::uint64_t tag);
+
+}  // namespace cannikin::comm

@@ -1,0 +1,76 @@
+#include "comm/process_group.h"
+
+#include <utility>
+
+namespace cannikin::comm {
+
+namespace detail {
+
+void Mailbox::put(int src, std::uint64_t tag, Payload payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[{src, tag}].push_back(std::move(payload));
+  }
+  cv_.notify_all();
+}
+
+Payload Mailbox::take(int src, std::uint64_t tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto key = std::make_pair(src, tag);
+  cv_.wait(lock, [&] {
+    auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  });
+  auto& queue = queues_[key];
+  Payload payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+}  // namespace detail
+
+ProcessGroup::ProcessGroup(int size) : size_(size) {
+  if (size <= 0) throw CommError("ProcessGroup: size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+  }
+}
+
+Communicator ProcessGroup::communicator(int rank) {
+  if (rank < 0 || rank >= size_) throw CommError("communicator: bad rank");
+  return Communicator(this, rank);
+}
+
+void ProcessGroup::send(int src, int dst, std::uint64_t tag, Payload payload) {
+  if (dst < 0 || dst >= size_) throw CommError("send: bad destination rank");
+  mailboxes_[static_cast<std::size_t>(dst)]->put(src, tag, std::move(payload));
+}
+
+Payload ProcessGroup::recv(int dst, int src, std::uint64_t tag) {
+  if (src < 0 || src >= size_) throw CommError("recv: bad source rank");
+  return mailboxes_[static_cast<std::size_t>(dst)]->take(src, tag);
+}
+
+void Communicator::send(int dst, std::uint64_t tag, Payload payload) {
+  group_->send(rank_, dst, tag, std::move(payload));
+}
+
+Payload Communicator::recv(int src, std::uint64_t tag) {
+  return group_->recv(rank_, src, tag);
+}
+
+void Communicator::barrier() {
+  std::unique_lock<std::mutex> lock(group_->barrier_mutex_);
+  const std::uint64_t generation = group_->barrier_generation_;
+  if (++group_->barrier_waiting_ == group_->size_) {
+    group_->barrier_waiting_ = 0;
+    ++group_->barrier_generation_;
+    group_->barrier_cv_.notify_all();
+  } else {
+    group_->barrier_cv_.wait(
+        lock, [&] { return group_->barrier_generation_ != generation; });
+  }
+}
+
+}  // namespace cannikin::comm

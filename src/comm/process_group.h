@@ -1,0 +1,101 @@
+// In-process "process group": the communication substrate that plays the
+// role NCCL/Gloo play for PyTorch DDP in the paper.
+//
+// A ProcessGroup owns one mailbox per rank. Worker threads (one per
+// simulated GPU) obtain a Communicator handle for their rank and perform
+// point-to-point sends/receives and collectives against it. Messages are
+// tagged so that concurrent collectives (e.g. per-bucket all-reduce)
+// cannot interleave payloads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace cannikin::comm {
+
+using Payload = std::vector<double>;
+
+/// Error raised for invalid rank / size arguments.
+class CommError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+/// Per-rank inbox. Messages are keyed by (source rank, tag); receive
+/// blocks until a matching message arrives.
+class Mailbox {
+ public:
+  void put(int src, std::uint64_t tag, Payload payload);
+  Payload take(int src, std::uint64_t tag);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::pair<int, std::uint64_t>, std::deque<Payload>> queues_;
+};
+
+}  // namespace detail
+
+class Communicator;
+
+/// A group of `size` ranks sharing an in-process message fabric.
+/// Thread-safe: each rank's Communicator may be driven by its own thread.
+class ProcessGroup {
+ public:
+  explicit ProcessGroup(int size);
+
+  int size() const { return size_; }
+
+  /// Returns the communicator handle for `rank`; the handle borrows the
+  /// group, which must outlive it.
+  Communicator communicator(int rank);
+
+ private:
+  friend class Communicator;
+
+  void send(int src, int dst, std::uint64_t tag, Payload payload);
+  Payload recv(int dst, int src, std::uint64_t tag);
+
+  int size_;
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+
+  // Barrier state (central counter barrier, generation-counted).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+/// Rank-local handle used to communicate within a ProcessGroup.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return group_->size(); }
+
+  /// Point-to-point send (copies the payload into the fabric).
+  void send(int dst, std::uint64_t tag, Payload payload);
+
+  /// Blocking point-to-point receive of a message with matching tag.
+  Payload recv(int src, std::uint64_t tag);
+
+  /// Blocks until every rank in the group has entered the barrier.
+  void barrier();
+
+ private:
+  friend class ProcessGroup;
+  Communicator(ProcessGroup* group, int rank) : group_(group), rank_(rank) {}
+
+  ProcessGroup* group_;
+  int rank_;
+};
+
+}  // namespace cannikin::comm

@@ -1,0 +1,87 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cannikin {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) continue;  // bare "--" separator
+    const auto equals = body.find('=');
+    if (equals != std::string::npos) {
+      flags.values_[body.substr(0, equals)] = body.substr(equals + 1);
+      continue;
+    }
+    // "--key value" unless the next token is itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::get(const std::string& key,
+                       const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int Flags::get_int(const std::string& key, int fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoi(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " expects an integer, got " +
+                                it->second);
+  }
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " expects a number, got " +
+                                it->second);
+  }
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + key + " expects a boolean, got " +
+                              v);
+}
+
+std::vector<std::string> Flags::unknown_keys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      unknown.push_back(key);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace cannikin

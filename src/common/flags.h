@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the example binaries and the CLI.
+//
+// Supports --key=value and --key value forms plus bare positional
+// arguments; typed getters with defaults. Unknown flags are kept and
+// can be listed so tools can reject typos.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cannikin {
+
+class Flags {
+ public:
+  /// Parses argv (argv[0] skipped). "--key=value" and "--key value" set
+  /// flags; "--key" followed by another flag (or nothing) becomes a
+  /// boolean "true"; everything else is positional.
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys not in `known`, for typo detection.
+  std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cannikin

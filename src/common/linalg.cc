@@ -1,0 +1,188 @@
+#include "common/linalg.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace cannikin {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.size() == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("Matrix multiply: dimension mismatch");
+  }
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += v * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& rhs) const {
+  if (cols_ != rhs.size()) {
+    throw std::invalid_argument("Matrix-vector multiply: dimension mismatch");
+  }
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * rhs[c];
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix add: dimension mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix subtract: dimension mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= scalar;
+  return out;
+}
+
+namespace {
+
+// In-place LU with partial pivoting. Returns the permutation as a row
+// index map. Throws on singularity.
+std::vector<std::size_t> lu_decompose(Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    throw std::invalid_argument("solve: matrix must be square");
+  }
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      throw SingularMatrixError("solve: singular matrix");
+    }
+    if (pivot != col) {
+      std::swap(perm[pivot], perm[col]);
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+    }
+    const double inv_diag = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv_diag;
+      a(r, col) = factor;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        a(r, c) -= factor * a(col, c);
+      }
+    }
+  }
+  return perm;
+}
+
+Vector lu_solve(const Matrix& lu, const std::vector<std::size_t>& perm,
+                const Vector& b) {
+  const std::size_t n = lu.rows();
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm[i]];
+  // Forward substitution with unit lower triangle.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) x[i] -= lu(i, j) * x[j];
+  }
+  // Backward substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu(ii, j) * x[j];
+    x[ii] /= lu(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+Vector solve(Matrix a, Vector b) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("solve: rhs size mismatch");
+  }
+  const auto perm = lu_decompose(a);
+  return lu_solve(a, perm, b);
+}
+
+Matrix solve(Matrix a, Matrix b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("solve: rhs rows mismatch");
+  }
+  const auto perm = lu_decompose(a);
+  Matrix x(b.rows(), b.cols());
+  Vector column(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) column[r] = b(r, c);
+    Vector solved = lu_solve(a, perm, column);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = solved[r];
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  return solve(a, Matrix::identity(a.rows()));
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double sum(const Vector& a) {
+  double total = 0.0;
+  for (double v : a) total += v;
+  return total;
+}
+
+}  // namespace cannikin

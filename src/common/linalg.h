@@ -1,0 +1,81 @@
+// Small dense linear algebra used by the OptPerf solvers and the
+// minimum-variance GNS aggregation (Theorem 4.1).
+//
+// The matrices involved are tiny (n x n where n is the number of GPUs,
+// i.e. <= a few dozen), so a straightforward row-major matrix with
+// partially pivoted LU decomposition is both simple and fast enough.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace cannikin {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer lists; all rows must have
+  /// equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  bool operator==(const Matrix& other) const = default;
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator*(double scalar) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Thrown when a linear system is (numerically) singular.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Solves A x = b by LU decomposition with partial pivoting.
+/// Throws SingularMatrixError when A is singular to working precision.
+Vector solve(Matrix a, Vector b);
+
+/// Solves A X = B column-by-column; B given as a matrix.
+Matrix solve(Matrix a, Matrix b);
+
+/// Matrix inverse via LU; prefer solve() when only a product is needed.
+Matrix inverse(const Matrix& a);
+
+/// Dot product; sizes must match.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& a);
+
+/// Sum of elements.
+double sum(const Vector& a);
+
+}  // namespace cannikin

@@ -1,0 +1,55 @@
+// Minimal leveled logger used across the Cannikin libraries.
+//
+// The logger writes to stderr and is safe to call from multiple threads
+// (each message is formatted into a single buffer and written with one
+// stream insertion). Verbosity is a process-wide setting; benches and
+// tests default to kWarn so expected-noise paths stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cannikin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Returns the current process-wide minimum level.
+LogLevel log_level();
+
+namespace detail {
+void log_message(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cannikin
+
+#define CANNIKIN_LOG(level)                                 \
+  if (static_cast<int>(level) <                             \
+      static_cast<int>(::cannikin::log_level())) {          \
+  } else                                                    \
+    ::cannikin::detail::LogLine(level)
+
+#define LOG_DEBUG CANNIKIN_LOG(::cannikin::LogLevel::kDebug)
+#define LOG_INFO CANNIKIN_LOG(::cannikin::LogLevel::kInfo)
+#define LOG_WARN CANNIKIN_LOG(::cannikin::LogLevel::kWarn)
+#define LOG_ERROR CANNIKIN_LOG(::cannikin::LogLevel::kError)

@@ -1,0 +1,63 @@
+// Deterministic random number generation for simulations and tests.
+//
+// All stochastic components in this repository draw from an explicitly
+// seeded `Rng` so every experiment is reproducible from its seed. The
+// class wraps std::mt19937_64 with the distributions the simulator and
+// training substrate actually need.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cannikin {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal multiplicative jitter with median 1 and the given sigma of
+  /// the underlying normal. Used to model measurement noise on timings.
+  double lognormal_jitter(double sigma) {
+    if (sigma <= 0.0) return 1.0;
+    return std::exp(std::normal_distribution<double>(0.0, sigma)(engine_));
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// simulated node its own stream while keeping the parent reproducible.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cannikin

@@ -1,0 +1,139 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cannikin {
+
+void RunningMoments::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningMoments::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+Ema::Ema(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("Ema: alpha must be in (0, 1]");
+  }
+}
+
+void Ema::add(double x) {
+  biased_ = (1.0 - alpha_) * biased_ + alpha_ * x;
+  correction_ = (1.0 - alpha_) * correction_ + alpha_;
+  ++steps_;
+}
+
+double Ema::value() const {
+  if (steps_ == 0) return 0.0;
+  return biased_ / correction_;
+}
+
+std::optional<LinearFit> fit_line(const std::vector<double>& xs,
+                                  const std::vector<double>& ys,
+                                  const std::vector<double>& weights) {
+  if (xs.size() != ys.size() || xs.size() != weights.size()) {
+    throw std::invalid_argument("fit_line: size mismatch");
+  }
+  if (xs.size() < 2) return std::nullopt;
+
+  double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double w = weights[i];
+    if (w <= 0.0) throw std::invalid_argument("fit_line: weight <= 0");
+    sw += w;
+    swx += w * xs[i];
+    swy += w * ys[i];
+    swxx += w * xs[i] * xs[i];
+    swxy += w * xs[i] * ys[i];
+  }
+  const double denom = sw * swxx - swx * swx;
+  // Degenerate when all x are (numerically) equal.
+  if (std::abs(denom) < 1e-12 * std::max(1.0, sw * swxx)) return std::nullopt;
+
+  LinearFit fit;
+  fit.slope = (sw * swxy - swx * swy) / denom;
+  fit.intercept = (swy - fit.slope * swx) / sw;
+  fit.n = xs.size();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    fit.rss += weights[i] * r * r;
+  }
+  return fit;
+}
+
+std::optional<LinearFit> fit_line(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+  return fit_line(xs, ys, std::vector<double>(xs.size(), 1.0));
+}
+
+Observation inverse_variance_combine(const std::vector<Observation>& obs) {
+  if (obs.empty()) throw std::invalid_argument("combine: empty input");
+
+  double min_positive = std::numeric_limits<double>::infinity();
+  for (const auto& o : obs) {
+    if (o.variance > 0.0) min_positive = std::min(min_positive, o.variance);
+  }
+  if (!std::isfinite(min_positive)) return mean_combine(obs);
+
+  double weight_sum = 0.0;
+  double value = 0.0;
+  for (const auto& o : obs) {
+    const double var = o.variance > 0.0 ? o.variance : min_positive;
+    const double w = 1.0 / var;
+    weight_sum += w;
+    value += w * o.value;
+  }
+  return {value / weight_sum, 1.0 / weight_sum};
+}
+
+Observation mean_combine(const std::vector<Observation>& obs) {
+  if (obs.empty()) throw std::invalid_argument("combine: empty input");
+  double value = 0.0;
+  double variance = 0.0;
+  for (const auto& o : obs) {
+    value += o.value;
+    variance += std::max(o.variance, 0.0);
+  }
+  const double n = static_cast<double>(obs.size());
+  return {value / n, variance / (n * n)};
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : xs) total += v;
+  return total / static_cast<double>(xs.size());
+}
+
+double sample_variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double total = 0.0;
+  for (double v : xs) total += (v - m) * (v - m);
+  return total / static_cast<double>(xs.size() - 1);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p outside [0, 100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace cannikin

@@ -1,0 +1,93 @@
+// Statistics primitives used by Cannikin's online parameter learning:
+// running moments, exponential moving averages, weighted least squares
+// for the linear computing-time models (Eq. 3), and inverse-variance
+// combination of repeated observations (Section 4.5, "Parameter
+// learning").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace cannikin {
+
+/// Welford running mean / variance.
+class RunningMoments {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 until two samples are seen.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Exponential moving average with bias correction (as used by AdaptDL
+/// for smoothing the gradient-noise statistics).
+class Ema {
+ public:
+  explicit Ema(double alpha = 0.1);
+  void add(double x);
+  bool empty() const { return steps_ == 0; }
+  /// Bias-corrected current value; 0 before any sample.
+  double value() const;
+  std::size_t steps() const { return steps_; }
+
+ private:
+  double alpha_;
+  double biased_ = 0.0;
+  double correction_ = 0.0;
+  std::size_t steps_ = 0;
+};
+
+/// Result of a simple linear fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Residual sum of squares of the weighted fit.
+  double rss = 0.0;
+  std::size_t n = 0;
+};
+
+/// Weighted least-squares fit of a line. Requires at least two points
+/// with distinct x; returns std::nullopt otherwise. Weights must be
+/// positive; pass all-ones for ordinary least squares.
+std::optional<LinearFit> fit_line(const std::vector<double>& xs,
+                                  const std::vector<double>& ys,
+                                  const std::vector<double>& weights);
+
+/// Ordinary least squares overload.
+std::optional<LinearFit> fit_line(const std::vector<double>& xs,
+                                  const std::vector<double>& ys);
+
+/// One observation of a quantity with an associated variance estimate.
+struct Observation {
+  double value = 0.0;
+  double variance = 0.0;
+};
+
+/// Inverse-variance weighted combination of independent observations of
+/// the same quantity; the minimum-variance unbiased linear combination.
+/// Observations with non-positive variance are treated as having the
+/// smallest positive variance present (they are near-exact); if all
+/// variances are non-positive the plain mean is returned.
+Observation inverse_variance_combine(const std::vector<Observation>& obs);
+
+/// Plain average combination (the ablation baseline for Section 5.3).
+Observation mean_combine(const std::vector<Observation>& obs);
+
+/// Sample mean of a vector; 0 for empty input.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance; 0 for fewer than two values.
+double sample_variance(const std::vector<double>& xs);
+
+/// Linearly interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace cannikin

@@ -1,0 +1,348 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace cannikin::core {
+
+namespace {
+
+std::vector<int> even_split(int total, const std::vector<double>& caps) {
+  const auto n = caps.size();
+  std::vector<double> continuous(n, static_cast<double>(total) /
+                                        static_cast<double>(n));
+  return round_batches(continuous, total, caps);
+}
+
+}  // namespace
+
+CannikinController::CannikinController(int num_nodes,
+                                       std::vector<double> max_local_batches,
+                                       ControllerOptions options)
+    : num_nodes_(num_nodes),
+      max_local_batches_(std::move(max_local_batches)),
+      options_(options),
+      perf_model_(num_nodes, options.combine_mode),
+      gns_(options.gns_smoothing, options.gns_weighting),
+      goodput_(options.initial_total_batch > 0 ? options.initial_total_batch
+                                               : 1) {
+  if (num_nodes <= 0) {
+    throw std::invalid_argument("CannikinController: num_nodes must be > 0");
+  }
+  if (static_cast<int>(max_local_batches_.size()) != num_nodes) {
+    throw std::invalid_argument("CannikinController: caps size mismatch");
+  }
+  if (options_.initial_total_batch <= 0 ||
+      options_.max_total_batch < options_.initial_total_batch) {
+    throw std::invalid_argument("CannikinController: bad batch range");
+  }
+  perf_model_.set_max_batches(max_local_batches_);
+  perf_model_.set_drift_threshold(options_.drift_threshold);
+  // Data parallelism needs at least one sample per node each batch, and
+  // the Eq. (3) learner needs two distinct sizes, so the smallest total
+  // batch the planner will use is 2 samples per node. The goodput
+  // model's efficiency anchor stays at the user's B0 (Table 5), so the
+  // statistical cost of this floor is accounted, not hidden.
+  min_plan_batch_ = std::max(options_.initial_total_batch, 2 * num_nodes_);
+  // The batch-size range is capped by the cluster's device memory times
+  // the largest gradient-accumulation factor: beyond that, proposing a
+  // total batch would silently train a smaller one than the goodput
+  // model scored.
+  double cap_sum = 0.0;
+  for (double cap : max_local_batches_) cap_sum += cap;
+  const int max_feasible = static_cast<int>(std::min<double>(
+      options_.max_total_batch,
+      cap_sum * std::max(options_.max_accumulation_steps, 1)));
+  candidates_ = batch_size_candidates(
+      min_plan_batch_, std::max(max_feasible, min_plan_batch_),
+      options_.candidate_growth);
+}
+
+CannikinController::SolvedCandidate CannikinController::solve_candidate(
+    const OptPerfSolver& solver, int candidate, int boundary_hint) const {
+  SolvedCandidate out;
+  if (static_cast<double>(candidate) <= solver.cap_sum()) {
+    OptPerfResult result =
+        boundary_hint >= 0 ? solver.solve_with_hint(candidate, boundary_hint)
+                           : solver.solve(candidate);
+    out.step_time = result.batch_time;
+    out.steps = 1;
+    out.boundary = result.num_compute_bottleneck;
+    out.micro_batches = std::move(result.local_batches_int);
+    out.solves = result.linear_solves;
+    return out;
+  }
+  // Memory-capped: grow through gradient accumulation.
+  const auto plan = solver.solve_accumulated(
+      candidate, std::max(options_.max_accumulation_steps, 1));
+  out.step_time = plan.step_time;
+  out.steps = plan.steps;
+  out.boundary = plan.micro.num_compute_bottleneck;
+  out.micro_batches = plan.micro.local_batches_int;
+  out.solves = plan.micro.linear_solves;
+  return out;
+}
+
+EpochPlan CannikinController::plan_epoch() {
+  const auto start = std::chrono::steady_clock::now();
+  EpochPlan plan =
+      perf_model_.ready() ? model_plan() : bootstrap_plan();
+  plan.epoch = epoch_;
+  plan.planning_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ++epoch_;
+  last_local_batches_ = plan.local_batches;
+  return plan;
+}
+
+EpochPlan CannikinController::bootstrap_plan() {
+  EpochPlan plan;
+  plan.total_batch = min_plan_batch_;
+  plan.from_model = false;
+
+  if (last_compute_times_.empty()) {
+    // First epoch: no information at all; start even (as the paper's
+    // experiments do, e.g. Figure 9).
+    plan.local_batches = even_split(plan.total_batch, max_local_batches_);
+    return plan;
+  }
+
+  // Cannikin runs on top of the adaptive engine (Figure 4): while the
+  // per-node models are still unidentifiable, the engine already picks
+  // the total batch by goodput using a crude one-point throughput model
+  // (half fixed cost, half per-sample), exactly as AdaptDL would; only
+  // the *split* comes from Eq. (8).
+  if (options_.adaptive_batch && last_observed_batch_time_ > 0.0) {
+    const double fixed = 0.5 * last_observed_batch_time_;
+    const double per_sample =
+        0.5 * last_observed_batch_time_ / std::max(last_total_batch_, 1);
+    plan.total_batch = select_batch_size(
+        goodput_, gns_.gns(), candidates_,
+        [&](int b) { return fixed + per_sample * b; });
+  }
+
+  // Eq. (8): inverse per-sample compute time from the previous epoch.
+  std::vector<double> per_sample(last_compute_times_.size());
+  for (std::size_t i = 0; i < per_sample.size(); ++i) {
+    const int b = std::max(last_local_batches_[i], 1);
+    per_sample[i] = std::max(last_compute_times_[i], 1e-12) / b;
+  }
+  plan.local_batches =
+      bootstrap_assignment(per_sample, plan.total_batch, max_local_batches_);
+
+  // The linear model of Eq. (3) needs two *distinct* local batch sizes
+  // per node. Eq. (8) can reproduce a node's previous batch (e.g. a
+  // mid-speed node in a symmetric cluster); nudge such nodes by one
+  // sample, trading with a partner so the total stays fixed.
+  std::vector<std::size_t> unchanged;
+  for (std::size_t i = 0; i < plan.local_batches.size(); ++i) {
+    if (plan.local_batches[i] == last_local_batches_[i] &&
+        plan.local_batches[i] > 0) {
+      unchanged.push_back(i);
+    }
+  }
+  for (std::size_t pair = 0; pair + 1 < unchanged.size(); pair += 2) {
+    const std::size_t u = unchanged[pair];
+    const std::size_t v = unchanged[pair + 1];
+    if (plan.local_batches[u] + 1 <= max_local_batches_[u] &&
+        plan.local_batches[v] > 1) {
+      ++plan.local_batches[u];
+      --plan.local_batches[v];
+    }
+  }
+  if (unchanged.size() % 2 == 1) {
+    const std::size_t u = unchanged.back();
+    for (std::size_t w = 0; w < plan.local_batches.size(); ++w) {
+      if (w == u) continue;
+      // Stealing one sample from w must not make *w* collide with its
+      // own previous batch size.
+      if (plan.local_batches[w] > 1 &&
+          plan.local_batches[w] - 1 != last_local_batches_[w] &&
+          plan.local_batches[u] + 1 <= max_local_batches_[u]) {
+        --plan.local_batches[w];
+        ++plan.local_batches[u];
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+void CannikinController::rebuild_cache(const OptPerfSolver& solver,
+                                       int* solves) {
+  cache_.clear();
+  cache_.reserve(candidates_.size());
+  int hint = -1;  // cold start; then warm from the previous candidate
+  for (int candidate : candidates_) {
+    const SolvedCandidate solved = solve_candidate(solver, candidate, hint);
+    *solves += solved.solves;
+    hint = solved.boundary;
+    cache_.push_back({candidate, solved.step_time, solved.boundary,
+                      solved.steps});
+  }
+  cache_valid_ = true;
+}
+
+EpochPlan CannikinController::model_plan() {
+  EpochPlan plan;
+  plan.from_model = true;
+
+  const auto models = perf_model_.node_models();
+  const auto comm = perf_model_.comm_times();
+  if (!models || !comm) {
+    // Should not happen when ready(); fall back defensively.
+    return bootstrap_plan();
+  }
+  OptPerfSolver solver(*models, *comm);
+
+  int solves = 0;
+  if (!options_.adaptive_batch) {
+    // Fixed-total-batch mode: only the split is optimized.
+    const int fixed_total = min_plan_batch_;
+    const int boundary_hint =
+        cache_valid_ && !cache_.empty() ? cache_.front().boundary : -1;
+    OptPerfResult result =
+        boundary_hint >= 0 ? solver.solve_with_hint(fixed_total, boundary_hint)
+                           : solver.solve(fixed_total);
+    solves += result.linear_solves;
+    cache_.assign(1, {fixed_total, result.batch_time,
+                      result.num_compute_bottleneck, 1});
+    cache_valid_ = true;
+    plan.total_batch = fixed_total;
+    plan.local_batches = result.local_batches_int;
+    plan.predicted_batch_time = result.batch_time;
+    plan.linear_solves = solves;
+    return plan;
+  }
+
+  if (!cache_valid_) {
+    rebuild_cache(solver, &solves);
+    plan.cache_rebuilt = true;
+  }
+
+  // Choose the total batch size by goodput over the cached OptPerf_init
+  // values with the up-to-date GNS (Section 4.5).
+  const double gns = gns_.gns();
+  int chosen_index = 0;
+  double best_goodput = -1.0;
+  for (std::size_t i = 0; i < cache_.size(); ++i) {
+    const double value =
+        goodput_.goodput(gns, cache_[i].total_batch, cache_[i].batch_time);
+    if (value > best_goodput) {
+      best_goodput = value;
+      chosen_index = static_cast<int>(i);
+    }
+  }
+  CacheEntry& entry = cache_[static_cast<std::size_t>(chosen_index)];
+
+  // Refresh OptPerf for the chosen candidate with the updated models,
+  // warm-starting from its cached overlap state.
+  SolvedCandidate solved =
+      solve_candidate(solver, entry.total_batch, entry.boundary);
+  solves += solved.solves;
+
+  // The paper restarts the candidate sweep when the overlap pattern
+  // changed; we additionally restart when the refreshed prediction
+  // drifted appreciably from the cached OptPerf_init value -- the early
+  // two-point model fits can be crude, and a stale pessimistic cache
+  // entry would otherwise never be reconsidered (the solve is cheap).
+  const double drift = std::abs(solved.step_time - entry.batch_time) /
+                       std::max(entry.batch_time, 1e-12);
+  if (solved.boundary != entry.boundary || drift > 0.05) {
+    // Overlap pattern changed: the cached OptPerf_init values are stale
+    // for the new regime; start over for every candidate.
+    rebuild_cache(solver, &solves);
+    plan.cache_rebuilt = true;
+    // Re-select with fresh values.
+    best_goodput = -1.0;
+    for (std::size_t i = 0; i < cache_.size(); ++i) {
+      const double value =
+          goodput_.goodput(gns, cache_[i].total_batch, cache_[i].batch_time);
+      if (value > best_goodput) {
+        best_goodput = value;
+        chosen_index = static_cast<int>(i);
+      }
+    }
+    CacheEntry& fresh = cache_[static_cast<std::size_t>(chosen_index)];
+    solved = solve_candidate(solver, fresh.total_batch, fresh.boundary);
+    solves += solved.solves;
+    fresh.batch_time = solved.step_time;
+    fresh.boundary = solved.boundary;
+    fresh.steps = solved.steps;
+    plan.total_batch = fresh.total_batch;
+  } else {
+    entry.batch_time = solved.step_time;
+    entry.steps = solved.steps;
+    plan.total_batch = entry.total_batch;
+  }
+
+  plan.accumulation_steps = solved.steps;
+  plan.local_batches = std::move(solved.micro_batches);
+  // With accumulation, the trained batch per optimizer step is the
+  // micro-batch sum times the step count; rounding of the micro batch
+  // can shift it a few samples from the nominal candidate, and progress
+  // accounting must see the true value.
+  int micro_sum = 0;
+  for (int b : plan.local_batches) micro_sum += b;
+  plan.total_batch = micro_sum * plan.accumulation_steps;
+  plan.predicted_batch_time = solved.step_time;
+  plan.linear_solves = solves;
+  return plan;
+}
+
+void CannikinController::observe_epoch(
+    const std::vector<int>& local_batches, const std::vector<double>& a_obs,
+    const std::vector<double>& p_obs, const std::vector<double>& gamma_obs,
+    const std::vector<double>& t_other_obs,
+    const std::vector<double>& t_last_obs) {
+  perf_model_.observe_epoch(local_batches, a_obs, p_obs, gamma_obs,
+                            t_other_obs, t_last_obs);
+  last_local_batches_ = local_batches;
+  last_compute_times_.resize(local_batches.size());
+  last_total_batch_ = 0;
+  double compute_bound = 0.0;
+  double comm_bound = 0.0;
+  for (std::size_t i = 0; i < local_batches.size(); ++i) {
+    last_compute_times_[i] = a_obs[i] + p_obs[i];
+    last_total_batch_ += local_batches[i];
+    // Eq. (7) evaluated on this epoch's own observations: the achieved
+    // batch time, used by the bootstrap throughput model.
+    compute_bound =
+        std::max(compute_bound, a_obs[i] + p_obs[i] + t_last_obs[i]);
+    comm_bound = std::max(comm_bound, a_obs[i] + gamma_obs[i] * p_obs[i] +
+                                          t_other_obs[i] + t_last_obs[i]);
+  }
+  last_observed_batch_time_ = std::max(compute_bound, comm_bound);
+}
+
+void CannikinController::update_gns(const std::vector<double>& batches,
+                                    const std::vector<double>& local_norm_sq,
+                                    double global_norm_sq) {
+  gns_.update(batches, local_norm_sq, global_norm_sq);
+}
+
+void CannikinController::update_gns_value(double gns) {
+  gns_.update_sample({1.0, std::max(gns, 0.0)});
+}
+
+void CannikinController::warm_start(
+    const std::vector<std::optional<NodeModel>>& node_priors,
+    const std::optional<CommTimes>& comm_prior, double initial_gns) {
+  perf_model_.set_priors(node_priors, comm_prior);
+  if (initial_gns > 0.0) update_gns_value(initial_gns);
+  cache_valid_ = false;  // OptPerf_init must be built from the priors
+}
+
+std::optional<std::vector<NodeModel>> CannikinController::learned_models()
+    const {
+  return perf_model_.node_models();
+}
+
+std::optional<CommTimes> CannikinController::learned_comm() const {
+  return perf_model_.comm_times();
+}
+
+}  // namespace cannikin::core

@@ -1,0 +1,155 @@
+#include "core/gns.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace cannikin::core {
+
+namespace {
+
+void validate_batches(const std::vector<double>& batches, double total) {
+  if (batches.empty()) throw std::invalid_argument("gns: no batches");
+  for (double b : batches) {
+    if (b <= 0.0) throw std::invalid_argument("gns: batch must be positive");
+    if (b >= total) {
+      throw std::invalid_argument(
+          "gns: a local batch must be smaller than the total");
+    }
+  }
+}
+
+double total_batch(const std::vector<double>& batches) {
+  double total = 0.0;
+  for (double b : batches) total += b;
+  return total;
+}
+
+Vector weights_from_matrix(const Matrix& a) {
+  // w = 1^T A^{-1} / (1^T A^{-1} 1); with symmetric A this is
+  // x / sum(x) where A x = 1.
+  const std::size_t n = a.rows();
+  Vector ones(n, 1.0);
+  Vector x = solve(a, ones);
+  const double denom = sum(x);
+  if (std::abs(denom) < 1e-300) {
+    throw std::runtime_error("gns weights: degenerate matrix");
+  }
+  for (double& v : x) v /= denom;
+  return x;
+}
+
+}  // namespace
+
+GnsSample local_estimators(double b_i, double big_b, double local_norm_sq,
+                           double global_norm_sq) {
+  if (b_i <= 0.0 || big_b <= b_i) {
+    throw std::invalid_argument("local_estimators: need 0 < b_i < B");
+  }
+  GnsSample sample;
+  sample.grad_sq =
+      (big_b * global_norm_sq - b_i * local_norm_sq) / (big_b - b_i);
+  sample.noise =
+      b_i * big_b / (big_b - b_i) * (local_norm_sq - global_norm_sq);
+  return sample;
+}
+
+Vector optimal_grad_weights(const std::vector<double>& batches) {
+  const double big_b = total_batch(batches);
+  validate_batches(batches, big_b);
+  const std::size_t n = batches.size();
+  if (n == 1) return Vector{1.0};
+
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double bi = batches[i];
+    a(i, i) = (big_b + 2.0 * bi) / (big_b * big_b - big_b * bi);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double bj = batches[j];
+      a(i, j) = (big_b * big_b - bi * bi - bj * bj) /
+                (big_b * (big_b - bi) * (big_b - bj));
+    }
+  }
+  return weights_from_matrix(a);
+}
+
+Vector optimal_noise_weights(const std::vector<double>& batches) {
+  const double big_b = total_batch(batches);
+  validate_batches(batches, big_b);
+  const std::size_t n = batches.size();
+  if (n == 1) return Vector{1.0};
+
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double bi = batches[i];
+    a(i, i) = big_b * bi / (big_b - bi);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double bj = batches[j];
+      a(i, j) = bi * bj * (big_b - bi - bj) /
+                ((big_b - bi) * (big_b - bj));
+    }
+  }
+  return weights_from_matrix(a);
+}
+
+GnsSample estimate_gns(const std::vector<double>& batches,
+                       const std::vector<double>& local_norm_sq,
+                       double global_norm_sq, GnsWeighting weighting) {
+  if (batches.size() != local_norm_sq.size()) {
+    throw std::invalid_argument("estimate_gns: size mismatch");
+  }
+  const double big_b = total_batch(batches);
+  validate_batches(batches, big_b);
+  const std::size_t n = batches.size();
+
+  Vector w_grad;
+  Vector w_noise;
+  if (weighting == GnsWeighting::kOptimal) {
+    w_grad = optimal_grad_weights(batches);
+    w_noise = optimal_noise_weights(batches);
+  } else {
+    w_grad.assign(n, 1.0 / static_cast<double>(n));
+    w_noise.assign(n, 1.0 / static_cast<double>(n));
+  }
+
+  GnsSample out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const GnsSample local = local_estimators(batches[i], big_b,
+                                             local_norm_sq[i], global_norm_sq);
+    out.grad_sq += w_grad[i] * local.grad_sq;
+    out.noise += w_noise[i] * local.noise;
+  }
+  return out;
+}
+
+GnsTracker::GnsTracker(double smoothing, GnsWeighting weighting)
+    : grad_sq_(smoothing), noise_(smoothing), weighting_(weighting) {}
+
+void GnsTracker::update(const std::vector<double>& batches,
+                        const std::vector<double>& local_norm_sq,
+                        double global_norm_sq) {
+  update_sample(
+      estimate_gns(batches, local_norm_sq, global_norm_sq, weighting_));
+}
+
+void GnsTracker::update_sample(const GnsSample& sample) {
+  grad_sq_.add(sample.grad_sq);
+  noise_.add(sample.noise);
+}
+
+bool GnsTracker::has_value() const { return !grad_sq_.empty(); }
+
+double GnsTracker::gns() const {
+  if (!has_value()) return 0.0;
+  // The ratio estimator is biased (McCandlish et al.); smoothing the
+  // numerator and denominator separately before dividing reduces the
+  // bias, and training dynamics only make sense for a non-negative GNS.
+  const double denom = grad_sq_.value();
+  if (denom <= 0.0) return 1e6;  // gradient vanished: noise dominates
+  return std::max(0.0, noise_.value() / denom);
+}
+
+}  // namespace cannikin::core

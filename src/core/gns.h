@@ -1,0 +1,84 @@
+// Gradient noise scale (GNS) estimation in heterogeneous clusters
+// (Section 4.4, Theorem 4.1, Appendix B).
+//
+// Each node i computes a local gradient g_i over b_i samples; the global
+// gradient g is the Eq. (9) weighted aggregate over B = sum b_i samples.
+// From |g_i|^2 and |g|^2 every node forms unbiased local estimators of
+// the squared true-gradient norm |G|^2 and of the total gradient
+// variance tr(Sigma) (Eq. 10):
+//   G_i = (B |g|^2 - b_i |g_i|^2) / (B - b_i)
+//   S_i = b_i B (|g_i|^2 - |g|^2) / (B - b_i)
+// With unequal b_i the estimators have unequal variances and are
+// mutually correlated through |g|^2, so Cannikin combines them with the
+// minimum-variance weights of Theorem 4.1: w = 1^T A^{-1} / 1^T A^{-1} 1
+// with the matrices A_G, A_S given in the theorem. The ratio
+// B_noise = S / G is the GNS used by the goodput model.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/linalg.h"
+#include "common/stats.h"
+
+namespace cannikin::core {
+
+/// How the local estimators are combined across nodes.
+enum class GnsWeighting {
+  kOptimal,  ///< Theorem 4.1 minimum-variance weights
+  kNaive,    ///< plain averaging (homogeneous-cluster practice)
+};
+
+/// One aggregation step's estimates.
+struct GnsSample {
+  double grad_sq = 0.0;   ///< estimate of |G|^2
+  double noise = 0.0;     ///< estimate of tr(Sigma)
+  /// Raw ratio noise / grad_sq; may be negative in early noisy steps.
+  double gns() const { return grad_sq != 0.0 ? noise / grad_sq : 0.0; }
+};
+
+/// Local estimators of Eq. (10) for one node. Exposed for tests.
+GnsSample local_estimators(double b_i, double big_b, double local_norm_sq,
+                           double global_norm_sq);
+
+/// Theorem 4.1 weight vectors. `batches` are the b_i (all positive,
+/// each strictly less than B = sum). Returns weights in node order that
+/// sum to 1.
+Vector optimal_grad_weights(const std::vector<double>& batches);
+Vector optimal_noise_weights(const std::vector<double>& batches);
+
+/// Combines per-node gradient norms into one GnsSample.
+/// `local_norm_sq[i]` is |g_i|^2 and `global_norm_sq` is |g|^2 for the
+/// Eq. (9)-aggregated global gradient.
+GnsSample estimate_gns(const std::vector<double>& batches,
+                       const std::vector<double>& local_norm_sq,
+                       double global_norm_sq, GnsWeighting weighting);
+
+/// Running GNS tracker: smooths the numerator and denominator separately
+/// with bias-corrected EMAs (as AdaptDL does) so the ratio stays stable,
+/// and clamps the result to a non-negative value.
+class GnsTracker {
+ public:
+  explicit GnsTracker(double smoothing = 0.1,
+                      GnsWeighting weighting = GnsWeighting::kOptimal);
+
+  /// Adds one aggregation step's measurements.
+  void update(const std::vector<double>& batches,
+              const std::vector<double>& local_norm_sq,
+              double global_norm_sq);
+
+  /// Adds a pre-computed sample (used when gradients come from the
+  /// simulator rather than the real training substrate).
+  void update_sample(const GnsSample& sample);
+
+  bool has_value() const;
+  /// Smoothed, clamped-to->=0 gradient noise scale.
+  double gns() const;
+
+ private:
+  Ema grad_sq_;
+  Ema noise_;
+  GnsWeighting weighting_;
+};
+
+}  // namespace cannikin::core

@@ -1,0 +1,75 @@
+#include "core/goodput.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cannikin::core {
+
+GoodputModel::GoodputModel(double initial_batch)
+    : initial_batch_(initial_batch) {
+  if (initial_batch <= 0.0) {
+    throw std::invalid_argument("GoodputModel: initial batch must be > 0");
+  }
+}
+
+double GoodputModel::efficiency(double gns, double total_batch) const {
+  if (total_batch <= 0.0) {
+    throw std::invalid_argument("efficiency: batch must be positive");
+  }
+  const double noise = std::max(gns, 0.0);
+  return (noise + initial_batch_) / (noise + total_batch);
+}
+
+double GoodputModel::goodput(double gns, double total_batch,
+                             double batch_time) const {
+  if (batch_time <= 0.0) {
+    throw std::invalid_argument("goodput: batch time must be positive");
+  }
+  return total_batch / batch_time * efficiency(gns, total_batch);
+}
+
+std::vector<int> batch_size_candidates(int initial, int maximum,
+                                       double growth) {
+  if (initial <= 0 || maximum < initial) {
+    throw std::invalid_argument("batch_size_candidates: bad range");
+  }
+  if (growth <= 1.0) {
+    throw std::invalid_argument("batch_size_candidates: growth must be > 1");
+  }
+  std::vector<int> out;
+  double value = initial;
+  int last = 0;
+  while (value < maximum) {
+    const int rounded = static_cast<int>(std::lround(value));
+    if (rounded > last) {
+      out.push_back(rounded);
+      last = rounded;
+    }
+    value *= growth;
+  }
+  if (last != maximum) out.push_back(maximum);
+  return out;
+}
+
+int select_batch_size(const GoodputModel& model, double gns,
+                      const std::vector<int>& candidates,
+                      const std::function<double(int)>& batch_time_of) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("select_batch_size: no candidates");
+  }
+  int best = candidates.front();
+  double best_goodput = -std::numeric_limits<double>::infinity();
+  for (int candidate : candidates) {
+    const double time = batch_time_of(candidate);
+    if (!(time > 0.0) || !std::isfinite(time)) continue;
+    const double value = model.goodput(gns, candidate, time);
+    if (value > best_goodput) {
+      best_goodput = value;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace cannikin::core

@@ -1,0 +1,50 @@
+// Goodput model (Section 2.1, Section 4.1; after Pollux).
+//
+// Goodput(B) = Throughput(B) x Efficiency(B), where throughput is
+// samples per second at the cluster's (Opt)batch time and statistical
+// efficiency follows the gradient-noise-scale model of McCandlish et
+// al. as instantiated by Pollux:
+//   E(B) = (B_noise + B0) / (B_noise + B),
+// the per-sample progress of batch size B relative to the initial batch
+// size B0. Cannikin maximizes goodput over the candidate batch sizes,
+// evaluating throughput with OptPerf instead of the homogeneous
+// even-split batch time.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace cannikin::core {
+
+class GoodputModel {
+ public:
+  /// `initial_batch` is B0 of Table 5, the user-configured starting
+  /// total batch size that anchors the efficiency scale.
+  explicit GoodputModel(double initial_batch);
+
+  double initial_batch() const { return initial_batch_; }
+
+  /// Statistical efficiency E(B) in (0, 1] for the current noise scale.
+  double efficiency(double gns, double total_batch) const;
+
+  /// Goodput in effective samples per second.
+  double goodput(double gns, double total_batch, double batch_time) const;
+
+ private:
+  double initial_batch_;
+};
+
+/// Candidate total batch sizes: a geometric grid from `initial` to
+/// `maximum` with the given growth ratio, always including both ends.
+/// Matches the batch-size range enumeration of the adaptive engine.
+std::vector<int> batch_size_candidates(int initial, int maximum,
+                                       double growth = 1.25);
+
+/// Picks the candidate with maximal goodput; `batch_time_of` maps a
+/// candidate total batch size to the (predicted) batch processing time.
+/// Returns the chosen batch size.
+int select_batch_size(const GoodputModel& model, double gns,
+                      const std::vector<int>& candidates,
+                      const std::function<double(int)>& batch_time_of);
+
+}  // namespace cannikin::core

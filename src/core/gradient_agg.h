@@ -1,0 +1,55 @@
+// Optimized gradient aggregation (Section 4.3, Eq. 9).
+//
+// With unequal local batch sizes, plain averaging over-represents the
+// samples of small-batch nodes. Cannikin aggregates g = sum_i r_i g_i
+// with r_i = b_i / B, which makes every training sample carry identical
+// weight and renders the update equivalent to homogeneous training at
+// total batch size B (for i.i.d. data).
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+namespace cannikin::core {
+
+/// Eq. (9) weights r_i = b_i / B. Batches must be non-negative with a
+/// positive sum; returned weights sum to 1.
+inline std::vector<double> aggregation_weights(
+    const std::vector<int>& local_batches) {
+  double total = 0.0;
+  for (int b : local_batches) {
+    if (b < 0) throw std::invalid_argument("aggregation: negative batch");
+    total += b;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("aggregation: total batch must be positive");
+  }
+  std::vector<double> weights;
+  weights.reserve(local_batches.size());
+  for (int b : local_batches) weights.push_back(b / total);
+  return weights;
+}
+
+/// Aggregates local gradients (as flat vectors) with the Eq. (9)
+/// weights. All gradients must have equal length.
+inline std::vector<double> aggregate_gradients(
+    const std::vector<std::vector<double>>& local_gradients,
+    const std::vector<int>& local_batches) {
+  if (local_gradients.size() != local_batches.size() ||
+      local_gradients.empty()) {
+    throw std::invalid_argument("aggregate_gradients: size mismatch");
+  }
+  const auto weights = aggregation_weights(local_batches);
+  std::vector<double> out(local_gradients.front().size(), 0.0);
+  for (std::size_t i = 0; i < local_gradients.size(); ++i) {
+    if (local_gradients[i].size() != out.size()) {
+      throw std::invalid_argument("aggregate_gradients: ragged gradients");
+    }
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      out[j] += weights[i] * local_gradients[i][j];
+    }
+  }
+  return out;
+}
+
+}  // namespace cannikin::core

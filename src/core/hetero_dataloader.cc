@@ -1,0 +1,111 @@
+#include "core/hetero_dataloader.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cannikin::core {
+
+namespace {
+
+// Splits `count` samples across nodes proportionally to the full local
+// batch sizes (largest remainder), for the final partial batch.
+std::vector<int> proportional_split(const std::vector<int>& local_batches,
+                                    int total_batch, int count) {
+  const std::size_t n = local_batches.size();
+  std::vector<int> out(n, 0);
+  std::vector<std::pair<double, std::size_t>> fractions(n);
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact =
+        static_cast<double>(count) * local_batches[i] / total_batch;
+    out[i] = static_cast<int>(exact);
+    // A node must not receive more than its full local batch.
+    out[i] = std::min(out[i], local_batches[i]);
+    assigned += out[i];
+    fractions[i] = {exact - out[i], i};
+  }
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t cursor = 0;
+  while (assigned < count) {
+    const std::size_t i = fractions[cursor % n].second;
+    if (out[i] < local_batches[i]) {
+      ++out[i];
+      ++assigned;
+    }
+    ++cursor;
+  }
+  return out;
+}
+
+}  // namespace
+
+HeteroDataLoader::HeteroDataLoader(std::size_t dataset_size,
+                                   std::vector<int> local_batches,
+                                   std::uint64_t seed)
+    : local_batches_(std::move(local_batches)) {
+  if (local_batches_.empty()) {
+    throw std::invalid_argument("HeteroDataLoader: no nodes");
+  }
+  for (int b : local_batches_) {
+    if (b < 0) throw std::invalid_argument("HeteroDataLoader: negative batch");
+    total_batch_ += b;
+  }
+  if (total_batch_ <= 0) {
+    throw std::invalid_argument("HeteroDataLoader: total batch must be > 0");
+  }
+  if (dataset_size == 0) {
+    throw std::invalid_argument("HeteroDataLoader: empty dataset");
+  }
+
+  indices_.resize(dataset_size);
+  std::iota(indices_.begin(), indices_.end(), std::size_t{0});
+  Rng rng(seed);
+  rng.shuffle(indices_);
+
+  num_batches_ = static_cast<int>(
+      (dataset_size + static_cast<std::size_t>(total_batch_) - 1) /
+      static_cast<std::size_t>(total_batch_));
+
+  const std::size_t n = local_batches_.size();
+  offsets_.resize(static_cast<std::size_t>(num_batches_) * n + 1, 0);
+  std::size_t cursor = 0;
+  for (int batch = 0; batch < num_batches_; ++batch) {
+    const std::size_t remaining = dataset_size - cursor;
+    std::vector<int> split;
+    if (remaining >= static_cast<std::size_t>(total_batch_)) {
+      split = local_batches_;
+    } else {
+      split = proportional_split(local_batches_, total_batch_,
+                                 static_cast<int>(remaining));
+    }
+    for (std::size_t node = 0; node < n; ++node) {
+      offsets_[static_cast<std::size_t>(batch) * n + node] = cursor;
+      cursor += static_cast<std::size_t>(split[node]);
+    }
+  }
+  offsets_.back() = cursor;
+}
+
+std::span<const std::size_t> HeteroDataLoader::batch_for_node(
+    int batch, int node) const {
+  const std::size_t n = local_batches_.size();
+  if (batch < 0 || batch >= num_batches_ || node < 0 ||
+      static_cast<std::size_t>(node) >= n) {
+    throw std::out_of_range("HeteroDataLoader: bad batch or node");
+  }
+  const std::size_t idx = static_cast<std::size_t>(batch) * n +
+                          static_cast<std::size_t>(node);
+  const std::size_t begin = offsets_[idx];
+  const std::size_t end = offsets_[idx + 1];
+  return {indices_.data() + begin, end - begin};
+}
+
+int HeteroDataLoader::batch_size_for_node(int batch, int node) const {
+  return static_cast<int>(batch_for_node(batch, node).size());
+}
+
+}  // namespace cannikin::core

@@ -1,0 +1,47 @@
+// HeteroDataLoader (Section 4.5): loads *uneven* local mini batches to
+// each node according to the OptPerf assignment, replacing the even
+// DistributedSampler of PyTorch DDP.
+//
+// For one epoch over a dataset of N samples with local batch sizes
+// {b_i} (sum B), the loader shuffles the sample indices and cuts them
+// into ceil(N / B) global batches; each global batch hands exactly b_i
+// consecutive indices to node i. The final partial batch is split
+// proportionally to r_i so every sample is used exactly once per epoch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cannikin::core {
+
+class HeteroDataLoader {
+ public:
+  /// Builds the epoch plan; shuffles indices with the given seed.
+  HeteroDataLoader(std::size_t dataset_size, std::vector<int> local_batches,
+                   std::uint64_t seed);
+
+  int num_nodes() const { return static_cast<int>(local_batches_.size()); }
+  int total_batch() const { return total_batch_; }
+  /// Number of global batches in the epoch (last may be partial).
+  int num_batches() const { return num_batches_; }
+
+  /// Sample indices assigned to `node` within global `batch`.
+  std::span<const std::size_t> batch_for_node(int batch, int node) const;
+
+  /// The local batch size of `node` in global `batch` (smaller in the
+  /// final partial batch).
+  int batch_size_for_node(int batch, int node) const;
+
+ private:
+  std::vector<int> local_batches_;
+  int total_batch_ = 0;
+  int num_batches_ = 0;
+  std::vector<std::size_t> indices_;
+  // offsets_[batch * n + node] .. offsets_[batch * n + node + 1) within
+  // indices_ is node's slice of that batch.
+  std::vector<std::size_t> offsets_;
+};
+
+}  // namespace cannikin::core

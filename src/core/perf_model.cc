@@ -1,0 +1,239 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cannikin::core {
+
+void NodePerfLearner::observe(int local_batch, double a_observed,
+                              double p_observed) {
+  if (local_batch <= 0) {
+    throw std::invalid_argument("NodePerfLearner: batch must be positive");
+  }
+  if (a_observed < 0.0 || p_observed < 0.0) {
+    throw std::invalid_argument("NodePerfLearner: negative time observed");
+  }
+  // Drift detection: compare the fresh observation against the current
+  // identified model (not a warm-start prior -- priors come from other
+  // nodes' hardware and earn trust only through their own predictions).
+  // A first misprediction is *quarantined* (kept out of the history so
+  // a lone outlier cannot poison the fit); a second consecutive one
+  // confirms the hardware changed and restarts learning from the two
+  // quarantined observations.
+  // Require three identified sizes before judging drift: two-point
+  // fits from the bootstrap epochs are too crude to accuse the
+  // hardware of changing.
+  if (drift_threshold_ > 0.0 && a_points_.size() >= 3) {
+    const auto model = fit();
+    if (model) {
+      const double predicted = model->compute(local_batch);
+      const double observed = a_observed + p_observed;
+      const double error =
+          std::abs(observed - predicted) / std::max(predicted, 1e-12);
+      if (error > drift_threshold_) {
+        if (drift_strikes_ == 0) {
+          drift_strikes_ = 1;
+          quarantine_ = {local_batch, a_observed, p_observed};
+          return;  // hold back: might be a one-off outlier
+        }
+        // Confirmed drift: the old regime's history is stale.
+        a_points_.clear();
+        p_points_.clear();
+        prior_.reset();
+        drift_strikes_ = 0;
+        ++drift_resets_;
+        a_points_[quarantine_.batch].add(quarantine_.a);
+        p_points_[quarantine_.batch].add(quarantine_.p);
+        // Fall through to record the confirming observation too.
+      } else {
+        drift_strikes_ = 0;  // clean again: discard the quarantined outlier
+      }
+    }
+  }
+  a_points_[local_batch].add(a_observed);
+  p_points_[local_batch].add(p_observed);
+}
+
+void NodePerfLearner::set_prior(const NodeModel& model) { prior_ = model; }
+
+bool NodePerfLearner::ready() const {
+  return a_points_.size() >= 2 || prior_.has_value();
+}
+
+std::optional<NodeModel> NodePerfLearner::fit() const {
+  if (!ready()) return std::nullopt;
+  // Prefer the node's own identified model; fall back to the prior.
+  if (a_points_.size() < 2) return prior_;
+
+  std::vector<double> xs, a_ys, p_ys, weights;
+  xs.reserve(a_points_.size());
+  for (const auto& [b, moments] : a_points_) {
+    xs.push_back(static_cast<double>(b));
+    a_ys.push_back(moments.mean());
+    // Averages over more epochs are proportionally more reliable.
+    weights.push_back(static_cast<double>(moments.count()));
+  }
+  for (const auto& [b, moments] : p_points_) {
+    (void)b;
+    p_ys.push_back(moments.mean());
+  }
+
+  const auto a_fit = fit_line(xs, a_ys, weights);
+  const auto p_fit = fit_line(xs, p_ys, weights);
+  if (!a_fit || !p_fit) return std::nullopt;
+
+  NodeModel model;
+  model.q = a_fit->slope;
+  model.s = a_fit->intercept;
+  model.k = p_fit->slope;
+  model.m = p_fit->intercept;
+  // Timing lines have non-negative physical coefficients; clamp tiny
+  // negative intercepts produced by noise.
+  model.s = std::max(model.s, 0.0);
+  model.m = std::max(model.m, 0.0);
+  model.q = std::max(model.q, 1e-9);
+  model.k = std::max(model.k, 1e-9);
+  return model;
+}
+
+CommParamLearner::CommParamLearner(int num_nodes, CombineMode mode)
+    : nodes_(static_cast<std::size_t>(num_nodes)), mode_(mode) {
+  if (num_nodes <= 0) {
+    throw std::invalid_argument("CommParamLearner: num_nodes must be > 0");
+  }
+}
+
+void CommParamLearner::observe(int node, double gamma, double t_other,
+                               double t_last) {
+  auto& entry = nodes_.at(static_cast<std::size_t>(node));
+  entry.gamma.add(gamma);
+  entry.t_other.add(t_other);
+  entry.t_last.add(t_last);
+  epochs_ = std::max(epochs_, entry.gamma.count());
+}
+
+namespace {
+
+// Combines one per-node statistic. With inverse-variance weighting each
+// node's sample mean is weighted by the reciprocal of its estimated
+// variance-of-the-mean (sample variance / count); nodes that have not
+// yet produced a variance estimate fall back to the median variance.
+double combine_stat(
+    const std::vector<double>& means, const std::vector<double>& variances,
+    const std::vector<std::size_t>& counts, CombineMode mode) {
+  std::vector<Observation> obs;
+  obs.reserve(means.size());
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    const double var_of_mean =
+        counts[i] >= 2 ? variances[i] / static_cast<double>(counts[i]) : 0.0;
+    obs.push_back({means[i], var_of_mean});
+  }
+  const Observation combined = mode == CombineMode::kInverseVariance
+                                   ? inverse_variance_combine(obs)
+                                   : mean_combine(obs);
+  return combined.value;
+}
+
+}  // namespace
+
+std::optional<CommTimes> CommParamLearner::estimate() const {
+  if (epochs_ == 0) return prior_;
+
+  std::vector<double> gamma_means, gamma_vars, to_means, to_vars, tu_means,
+      tu_vars;
+  std::vector<std::size_t> counts;
+  for (const auto& node : nodes_) {
+    if (node.gamma.count() == 0) continue;
+    gamma_means.push_back(node.gamma.mean());
+    gamma_vars.push_back(node.gamma.variance());
+    to_means.push_back(node.t_other.mean());
+    to_vars.push_back(node.t_other.variance());
+    tu_means.push_back(node.t_last.mean());
+    tu_vars.push_back(node.t_last.variance());
+    counts.push_back(node.gamma.count());
+  }
+  if (gamma_means.empty()) return std::nullopt;
+
+  CommTimes times;
+  times.gamma = combine_stat(gamma_means, gamma_vars, counts, mode_);
+  times.t_other = combine_stat(to_means, to_vars, counts, mode_);
+  times.t_last = combine_stat(tu_means, tu_vars, counts, mode_);
+  return times;
+}
+
+ClusterPerfModel::ClusterPerfModel(int num_nodes, CombineMode mode)
+    : node_learners_(static_cast<std::size_t>(num_nodes)),
+      comm_(num_nodes, mode),
+      max_batches_(static_cast<std::size_t>(num_nodes), 1e9) {}
+
+void ClusterPerfModel::observe_epoch(const std::vector<int>& local_batches,
+                                     const std::vector<double>& a_obs,
+                                     const std::vector<double>& p_obs,
+                                     const std::vector<double>& gamma_obs,
+                                     const std::vector<double>& t_other_obs,
+                                     const std::vector<double>& t_last_obs) {
+  const std::size_t n = node_learners_.size();
+  if (local_batches.size() != n || a_obs.size() != n || p_obs.size() != n ||
+      gamma_obs.size() != n || t_other_obs.size() != n ||
+      t_last_obs.size() != n) {
+    throw std::invalid_argument("observe_epoch: size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // A node that received no work this epoch produces no measurement.
+    if (local_batches[i] <= 0) continue;
+    node_learners_[i].observe(local_batches[i], a_obs[i], p_obs[i]);
+    comm_.observe(static_cast<int>(i), gamma_obs[i], t_other_obs[i],
+                  t_last_obs[i]);
+  }
+}
+
+bool ClusterPerfModel::ready() const {
+  for (const auto& learner : node_learners_) {
+    if (!learner.ready()) return false;
+  }
+  return comm_.ready();
+}
+
+std::optional<std::vector<NodeModel>> ClusterPerfModel::node_models() const {
+  std::vector<NodeModel> models;
+  models.reserve(node_learners_.size());
+  for (std::size_t i = 0; i < node_learners_.size(); ++i) {
+    auto fitted = node_learners_[i].fit();
+    if (!fitted) return std::nullopt;
+    fitted->max_batch = max_batches_[i];
+    models.push_back(*fitted);
+  }
+  return models;
+}
+
+void ClusterPerfModel::set_max_batches(const std::vector<double>& caps) {
+  if (caps.size() != max_batches_.size()) {
+    throw std::invalid_argument("set_max_batches: size mismatch");
+  }
+  max_batches_ = caps;
+}
+
+void ClusterPerfModel::set_drift_threshold(double threshold) {
+  for (auto& learner : node_learners_) learner.set_drift_threshold(threshold);
+}
+
+int ClusterPerfModel::drift_resets() const {
+  int total = 0;
+  for (const auto& learner : node_learners_) total += learner.drift_resets();
+  return total;
+}
+
+void ClusterPerfModel::set_priors(
+    const std::vector<std::optional<NodeModel>>& node_priors,
+    const std::optional<CommTimes>& comm_prior) {
+  if (node_priors.size() != node_learners_.size()) {
+    throw std::invalid_argument("set_priors: size mismatch");
+  }
+  for (std::size_t i = 0; i < node_priors.size(); ++i) {
+    if (node_priors[i]) node_learners_[i].set_prior(*node_priors[i]);
+  }
+  if (comm_prior) comm_.set_prior(*comm_prior);
+}
+
+}  // namespace cannikin::core

@@ -1,0 +1,294 @@
+#include "dnn/adaptive_trainer.h"
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "comm/bucket.h"
+#include "comm/collectives.h"
+#include "comm/process_group.h"
+#include "core/hetero_dataloader.h"
+#include "dnn/loss.h"
+
+namespace cannikin::dnn {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double squared_norm(const std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x * x;
+  return total;
+}
+
+}  // namespace
+
+AdaptiveTrainer::AdaptiveTrainer(const InMemoryDataset* train,
+                                 ParallelTrainer::Task task,
+                                 std::function<Model()> factory,
+                                 AdaptiveTrainerOptions options)
+    : train_(train),
+      task_(task),
+      factory_(std::move(factory)),
+      options_(std::move(options)) {
+  if (train_ == nullptr) {
+    throw std::invalid_argument("AdaptiveTrainer: null dataset");
+  }
+  if (options_.num_nodes <= 0) {
+    throw std::invalid_argument("AdaptiveTrainer: num_nodes must be > 0");
+  }
+  if (options_.throttles.empty()) {
+    options_.throttles.assign(static_cast<std::size_t>(options_.num_nodes),
+                              1);
+  }
+  if (static_cast<int>(options_.throttles.size()) != options_.num_nodes) {
+    throw std::invalid_argument("AdaptiveTrainer: throttles size mismatch");
+  }
+  for (int t : options_.throttles) {
+    if (t < 1) throw std::invalid_argument("AdaptiveTrainer: throttle < 1");
+  }
+
+  core::ControllerOptions controller_options;
+  controller_options.initial_total_batch = options_.initial_total_batch;
+  controller_options.max_total_batch = options_.max_total_batch;
+  controller_options.gns_weighting = options_.gns_weighting;
+  // Real-thread wall clock jitters far more than a GPU profiler (OS
+  // scheduling, cache effects, co-running processes): only a gross,
+  // persistent misprediction should count as hardware drift.
+  controller_options.drift_threshold = 1.0;
+  // Real threads have no device-memory cap; bound by the dataset.
+  controller_ = std::make_unique<core::CannikinController>(
+      options_.num_nodes,
+      std::vector<double>(static_cast<std::size_t>(options_.num_nodes),
+                          static_cast<double>(train_->size())),
+      controller_options);
+
+  Model prototype = factory_();
+  Rng rng(options_.seed);
+  prototype.init(rng);
+  params_ = prototype.flat_params();
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    if (options_.use_adam) {
+      optimizers_.push_back(make_adamw(0.0));
+    } else {
+      optimizers_.push_back(std::make_unique<Sgd>(0.9));
+    }
+  }
+}
+
+AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
+  const core::EpochPlan plan = controller_->plan_epoch();
+
+  AdaptiveEpochReport report;
+  report.epoch = plan.epoch;
+  report.total_batch = plan.total_batch;
+  report.local_batches = plan.local_batches;
+  report.planned_from_model = plan.from_model;
+
+  core::HeteroDataLoader loader(
+      train_->size(), plan.local_batches,
+      options_.seed * 31337 + static_cast<std::uint64_t>(epoch_));
+  const int num_batches = loader.num_batches();
+  const double lr = scaled_lr(options_.lr_scaling, options_.base_lr,
+                              plan.total_batch,
+                              options_.initial_total_batch,
+                              controller_->current_gns());
+
+  comm::ProcessGroup group(options_.num_nodes);
+  const auto buckets =
+      comm::make_buckets(params_.size(), options_.bucket_capacity);
+
+  // Per-worker measured phase times (seconds, summed over the epoch).
+  std::vector<double> a_time(static_cast<std::size_t>(options_.num_nodes));
+  std::vector<double> p_time(static_cast<std::size_t>(options_.num_nodes));
+  std::vector<double> comm_time(
+      static_cast<std::size_t>(options_.num_nodes));
+
+  std::mutex result_mutex;
+  std::vector<double> final_params;
+  double loss_sum = 0.0, correct_sum = 0.0, samples = 0.0;
+
+  auto worker = [&](int rank) {
+    comm::Communicator comm = group.communicator(rank);
+    Model model = factory_();
+    model.set_flat_params(params_);
+    Optimizer& optimizer = *optimizers_[static_cast<std::size_t>(rank)];
+    const int throttle =
+        options_.throttles[static_cast<std::size_t>(rank)];
+
+    for (int batch = 0; batch < num_batches; ++batch) {
+      const auto indices = loader.batch_for_node(batch, rank);
+      const int local_b = static_cast<int>(indices.size());
+
+      model.zero_grads();
+      double local_loss = 0.0, local_correct = 0.0;
+
+      const auto a_start = std::chrono::steady_clock::now();
+      Tensor outputs;
+      LossResult loss;
+      if (local_b > 0) {
+        const Tensor inputs = train_->gather(indices);
+        // Throttle: repeat the forward computation, keeping the last.
+        for (int rep = 0; rep < throttle; ++rep) {
+          outputs = model.forward(inputs);
+        }
+        if (task_ == ParallelTrainer::Task::kClassification) {
+          const auto labels = train_->gather_labels(indices);
+          loss = softmax_cross_entropy(outputs, labels);
+          local_correct = accuracy(outputs, labels) * local_b;
+        } else {
+          const auto targets = train_->gather_targets(indices);
+          loss = bce_with_logits(outputs, targets);
+          for (std::size_t i = 0; i < targets.size(); ++i) {
+            if ((outputs[i] > 0.0) == (targets[i] > 0.5)) {
+              local_correct += 1.0;
+            }
+          }
+        }
+        local_loss = loss.value;
+      }
+      a_time[static_cast<std::size_t>(rank)] += seconds_since(a_start);
+
+      const auto p_start = std::chrono::steady_clock::now();
+      if (local_b > 0) {
+        for (int rep = 0; rep < throttle; ++rep) {
+          if (rep > 0) model.zero_grads();
+          model.backward(loss.grad);
+        }
+      }
+      p_time[static_cast<std::size_t>(rank)] += seconds_since(p_start);
+
+      std::vector<double> gradient = model.flat_grads();
+      const double local_norm_sq = squared_norm(gradient);
+
+      int actual_total = 0;
+      for (int node = 0; node < options_.num_nodes; ++node) {
+        actual_total += loader.batch_size_for_node(batch, node);
+      }
+      const double weight =
+          static_cast<double>(local_b) / static_cast<double>(actual_total);
+
+      const auto comm_start = std::chrono::steady_clock::now();
+      comm::bucketized_weighted_all_reduce(
+          comm, std::span<double>(gradient), weight, buckets,
+          static_cast<std::uint64_t>(batch) * (buckets.size() + 4) * 2 + 2);
+      comm_time[static_cast<std::size_t>(rank)] += seconds_since(comm_start);
+
+      const double global_norm_sq = squared_norm(gradient);
+      std::vector<double> stats{static_cast<double>(local_b), local_norm_sq,
+                                local_loss * local_b, local_correct};
+      const auto all_stats = comm::all_gather(
+          comm, stats,
+          static_cast<std::uint64_t>(batch) * (buckets.size() + 4) * 2 + 1);
+
+      std::vector<double> new_params = model.flat_params();
+      optimizer.step(new_params, gradient, lr);
+      model.set_flat_params(new_params);
+
+      if (rank == 0) {
+        std::vector<double> bs, norms;
+        bool usable = true;
+        double batch_loss = 0.0, batch_correct = 0.0;
+        for (int node = 0; node < options_.num_nodes; ++node) {
+          const double b = all_stats[static_cast<std::size_t>(node) * 4];
+          batch_loss += all_stats[static_cast<std::size_t>(node) * 4 + 2];
+          batch_correct += all_stats[static_cast<std::size_t>(node) * 4 + 3];
+          if (b <= 0.0) {
+            usable = false;
+            continue;
+          }
+          bs.push_back(b);
+          norms.push_back(all_stats[static_cast<std::size_t>(node) * 4 + 1]);
+        }
+        std::lock_guard<std::mutex> lock(result_mutex);
+        loss_sum += batch_loss;
+        correct_sum += batch_correct;
+        samples += actual_total;
+        if (usable && bs.size() >= 2) {
+          controller_->update_gns(bs, norms, global_norm_sq);
+        }
+      }
+    }
+    if (rank == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      final_params = model.flat_params();
+    }
+  };
+
+  const auto epoch_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < options_.num_nodes; ++rank) {
+    threads.emplace_back(worker, rank);
+  }
+  for (auto& thread : threads) thread.join();
+  report.epoch_seconds = seconds_since(epoch_start);
+
+  params_ = std::move(final_params);
+
+  // Feed the measured per-batch phase averages back as observations,
+  // exactly what the simulator's profiler produces. The gradient sync
+  // is not overlapped in-process, so gamma is approximated by the first
+  // bucket's even share.
+  const double inv_batches = 1.0 / std::max(num_batches, 1);
+  const double gamma_obs =
+      1.0 / static_cast<double>(std::max<std::size_t>(buckets.size(), 2));
+  std::vector<int> batches;
+  std::vector<double> a_obs, p_obs, gamma_vec, t_other_obs, t_last_obs;
+  for (int node = 0; node < options_.num_nodes; ++node) {
+    const auto idx = static_cast<std::size_t>(node);
+    batches.push_back(plan.local_batches[idx]);
+    a_obs.push_back(a_time[idx] * inv_batches);
+    p_obs.push_back(p_time[idx] * inv_batches);
+    gamma_vec.push_back(gamma_obs);
+    const double total_comm = comm_time[idx] * inv_batches;
+    const double t_last =
+        total_comm / static_cast<double>(std::max<std::size_t>(
+                         buckets.size(), 1));
+    t_last_obs.push_back(t_last);
+    t_other_obs.push_back(total_comm - t_last);
+  }
+  controller_->observe_epoch(batches, a_obs, p_obs, gamma_vec, t_other_obs,
+                             t_last_obs);
+
+  if (samples > 0.0) {
+    report.mean_loss = loss_sum / samples;
+    report.train_accuracy = correct_sum / samples;
+  }
+  report.gns = controller_->current_gns();
+  ++epoch_;
+  return report;
+}
+
+double AdaptiveTrainer::evaluate_accuracy(
+    const InMemoryDataset& dataset) const {
+  Model model = factory_();
+  model.set_flat_params(params_);
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  double correct = 0.0;
+  const std::size_t chunk = 256;
+  for (std::size_t begin = 0; begin < indices.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, indices.size());
+    std::span<const std::size_t> slice(indices.data() + begin, end - begin);
+    const Tensor outputs = model.forward(dataset.gather(slice));
+    if (task_ == ParallelTrainer::Task::kClassification) {
+      correct += accuracy(outputs, dataset.gather_labels(slice)) *
+                 static_cast<double>(slice.size());
+    } else {
+      const auto targets = dataset.gather_targets(slice);
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        if ((outputs[i] > 0.0) == (targets[i] > 0.5)) correct += 1.0;
+      }
+    }
+  }
+  return correct / static_cast<double>(dataset.size());
+}
+
+}  // namespace cannikin::dnn

@@ -1,0 +1,94 @@
+// AdaptiveTrainer: the full Cannikin loop on the real training
+// substrate -- the in-process analogue of the paper's PyTorch library.
+//
+// Each epoch:
+//   1. the CannikinController plans the total batch and per-node local
+//      batches (bootstrap -> Eq. (8) -> OptPerf, exactly as on the
+//      simulator),
+//   2. worker threads train with the HeteroDataLoader's uneven shards,
+//      aggregating gradients with the Eq. (9) bucketized ring
+//      all-reduce and estimating the GNS per Theorem 4.1 from real
+//      gradient norms,
+//   3. every worker *measures* its own phase wall-clock -- data
+//      gather + forward ("a"), backward ("P"), gradient synchronization
+//      -- and the measurements flow back into the controller's
+//      analyzer, closing the loop.
+//
+// Heterogeneity: a per-worker `throttle` factor repeats the forward /
+// backward computation that many times (discarding the extras), turning
+// equal CPU threads into deterministic stand-ins for GPUs of different
+// speeds. The controller knows nothing about throttles; it must learn
+// them from the measured timings.
+//
+// Known approximation: the in-process collectives do not overlap with
+// the backward pass, so the overlap ratio gamma cannot be measured
+// here; workers report gamma = 1 / num_buckets (the first bucket's
+// share under the even-bucket assumption). See DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/controller.h"
+#include "dnn/data.h"
+#include "dnn/model.h"
+#include "dnn/optimizer.h"
+#include "dnn/parallel_trainer.h"
+
+namespace cannikin::dnn {
+
+struct AdaptiveTrainerOptions {
+  int num_nodes = 1;
+  /// Per-worker slowdown factors (>= 1); size num_nodes or empty for
+  /// all-equal. A worker with throttle 3 "computes" 3x slower.
+  std::vector<int> throttles;
+  int initial_total_batch = 32;   ///< B0
+  int max_total_batch = 512;
+  double base_lr = 0.05;
+  LrScaling lr_scaling = LrScaling::kAdaScale;
+  bool use_adam = false;
+  core::GnsWeighting gns_weighting = core::GnsWeighting::kOptimal;
+  std::size_t bucket_capacity = 4096;
+  std::uint64_t seed = 1;
+};
+
+struct AdaptiveEpochReport {
+  int epoch = 0;
+  int total_batch = 0;
+  std::vector<int> local_batches;
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+  double epoch_seconds = 0.0;  ///< measured wall clock of the epoch
+  double gns = 0.0;
+  bool planned_from_model = false;
+};
+
+class AdaptiveTrainer {
+ public:
+  AdaptiveTrainer(const InMemoryDataset* train, ParallelTrainer::Task task,
+                  std::function<Model()> factory,
+                  AdaptiveTrainerOptions options);
+
+  /// Plans (controller) + trains (threads) + observes (measured
+  /// timings) one epoch.
+  AdaptiveEpochReport run_epoch();
+
+  double evaluate_accuracy(const InMemoryDataset& dataset) const;
+  const core::CannikinController& controller() const { return *controller_; }
+  std::size_t num_params() const { return params_.size(); }
+
+ private:
+  const InMemoryDataset* train_;
+  ParallelTrainer::Task task_;
+  std::function<Model()> factory_;
+  AdaptiveTrainerOptions options_;
+
+  std::unique_ptr<core::CannikinController> controller_;
+  std::vector<double> params_;
+  std::vector<std::unique_ptr<Optimizer>> optimizers_;
+  int epoch_ = 0;
+};
+
+}  // namespace cannikin::dnn

@@ -1,0 +1,168 @@
+#include "dnn/data.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cannikin::dnn {
+
+InMemoryDataset::InMemoryDataset(std::vector<std::size_t> sample_shape,
+                                 std::vector<double> features,
+                                 std::vector<int> labels,
+                                 std::vector<double> targets)
+    : sample_shape_(std::move(sample_shape)),
+      features_(std::move(features)),
+      labels_(std::move(labels)),
+      targets_(std::move(targets)) {
+  sample_elements_ = 1;
+  for (std::size_t d : sample_shape_) sample_elements_ *= d;
+  if (sample_elements_ == 0 || features_.size() % sample_elements_ != 0) {
+    throw std::invalid_argument("InMemoryDataset: bad feature size");
+  }
+  size_ = features_.size() / sample_elements_;
+  if (!labels_.empty() && labels_.size() != size_) {
+    throw std::invalid_argument("InMemoryDataset: label count mismatch");
+  }
+  if (!targets_.empty() && targets_.size() != size_) {
+    throw std::invalid_argument("InMemoryDataset: target count mismatch");
+  }
+}
+
+Tensor InMemoryDataset::gather(std::span<const std::size_t> indices) const {
+  std::vector<std::size_t> shape;
+  shape.push_back(indices.size());
+  shape.insert(shape.end(), sample_shape_.begin(), sample_shape_.end());
+  Tensor out(shape);
+  for (std::size_t row = 0; row < indices.size(); ++row) {
+    const std::size_t index = indices[row];
+    if (index >= size_) throw std::out_of_range("gather: bad index");
+    const double* src = features_.data() + index * sample_elements_;
+    double* dst = out.data() + row * sample_elements_;
+    std::copy(src, src + sample_elements_, dst);
+  }
+  return out;
+}
+
+std::vector<int> InMemoryDataset::gather_labels(
+    std::span<const std::size_t> indices) const {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (std::size_t index : indices) out.push_back(labels_.at(index));
+  return out;
+}
+
+std::vector<double> InMemoryDataset::gather_targets(
+    std::span<const std::size_t> indices) const {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (std::size_t index : indices) out.push_back(targets_.at(index));
+  return out;
+}
+
+InMemoryDataset make_gaussian_mixture(std::size_t size, std::size_t dim,
+                                      std::size_t classes, double separation,
+                                      std::uint64_t seed) {
+  if (classes < 2 || dim == 0 || size == 0) {
+    throw std::invalid_argument("make_gaussian_mixture: bad arguments");
+  }
+  Rng rng(seed);
+  // Class means: random unit directions scaled to `separation`.
+  std::vector<double> means(classes * dim);
+  for (std::size_t c = 0; c < classes; ++c) {
+    double norm_sq = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      means[c * dim + d] = rng.normal();
+      norm_sq += means[c * dim + d] * means[c * dim + d];
+    }
+    const double scale = separation / std::sqrt(norm_sq);
+    for (std::size_t d = 0; d < dim; ++d) means[c * dim + d] *= scale;
+  }
+
+  std::vector<double> features(size * dim);
+  std::vector<int> labels(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t c = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(classes) - 1));
+    labels[i] = static_cast<int>(c);
+    for (std::size_t d = 0; d < dim; ++d) {
+      features[i * dim + d] = means[c * dim + d] + rng.normal();
+    }
+  }
+  return InMemoryDataset({dim}, std::move(features), std::move(labels), {});
+}
+
+InMemoryDataset make_synthetic_images(std::size_t size, std::size_t channels,
+                                      std::size_t height, std::size_t width,
+                                      std::size_t classes, double noise,
+                                      std::uint64_t seed) {
+  if (classes < 2 || channels == 0 || height == 0 || width == 0) {
+    throw std::invalid_argument("make_synthetic_images: bad arguments");
+  }
+  Rng rng(seed);
+  const std::size_t pixels = channels * height * width;
+  // Per-class sinusoidal template with random phase/frequency.
+  std::vector<double> templates(classes * pixels);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double fx = rng.uniform(0.5, 2.5);
+    const double fy = rng.uniform(0.5, 2.5);
+    const double phase = rng.uniform(0.0, 6.28);
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+      for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+          templates[c * pixels + (ch * height + y) * width + x] =
+              std::sin(fx * x + fy * y + phase + static_cast<double>(ch));
+        }
+      }
+    }
+  }
+
+  std::vector<double> features(size * pixels);
+  std::vector<int> labels(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t c = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(classes) - 1));
+    labels[i] = static_cast<int>(c);
+    for (std::size_t p = 0; p < pixels; ++p) {
+      features[i * pixels + p] =
+          templates[c * pixels + p] + noise * rng.normal();
+    }
+  }
+  return InMemoryDataset({channels, height, width}, std::move(features),
+                         std::move(labels), {});
+}
+
+InMemoryDataset make_mf_dataset(std::size_t size, std::size_t latent_dim,
+                                std::size_t num_users, std::size_t num_items,
+                                double noise, std::uint64_t seed) {
+  if (latent_dim == 0 || num_users == 0 || num_items == 0) {
+    throw std::invalid_argument("make_mf_dataset: bad arguments");
+  }
+  Rng rng(seed);
+  std::vector<double> user_latent(num_users * latent_dim);
+  std::vector<double> item_latent(num_items * latent_dim);
+  for (double& v : user_latent) v = rng.normal();
+  for (double& v : item_latent) v = rng.normal();
+
+  const std::size_t dim = 2 * latent_dim;
+  std::vector<double> features(size * dim);
+  std::vector<double> targets(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t u = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_users) - 1));
+    const std::size_t it = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_items) - 1));
+    double dot = 0.0;
+    for (std::size_t d = 0; d < latent_dim; ++d) {
+      const double uu = user_latent[u * latent_dim + d];
+      const double ii = item_latent[it * latent_dim + d];
+      features[i * dim + d] = uu + noise * rng.normal();
+      features[i * dim + latent_dim + d] = ii + noise * rng.normal();
+      dot += uu * ii;
+    }
+    targets[i] = dot > 0.0 ? 1.0 : 0.0;
+  }
+  return InMemoryDataset({dim}, std::move(features), {}, std::move(targets));
+}
+
+}  // namespace cannikin::dnn

@@ -1,0 +1,73 @@
+// Synthetic datasets for the training substrate.
+//
+// The paper trains on CIFAR-10/ImageNet/LibriSpeech/SQuAD/MovieLens;
+// none are available offline, so we generate synthetic stand-ins whose
+// statistical structure exercises the same code paths: i.i.d. samples
+// with class/latent structure, learnable by the substrate's models,
+// with genuine gradient noise that shrinks as batch size grows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dnn/tensor.h"
+
+namespace cannikin::dnn {
+
+/// In-memory dataset: every sample is a flat feature vector with an
+/// integer class label and/or a scalar regression/ranking target.
+class InMemoryDataset {
+ public:
+  InMemoryDataset(std::vector<std::size_t> sample_shape,
+                  std::vector<double> features, std::vector<int> labels,
+                  std::vector<double> targets);
+
+  std::size_t size() const { return size_; }
+  /// Shape of one sample, e.g. {3, 8, 8} for images or {dim} for MLPs.
+  const std::vector<std::size_t>& sample_shape() const {
+    return sample_shape_;
+  }
+  std::size_t sample_elements() const { return sample_elements_; }
+
+  int label(std::size_t index) const { return labels_.at(index); }
+  double target(std::size_t index) const { return targets_.at(index); }
+
+  /// Assembles the batch tensor (batch, *sample_shape) for the indices.
+  Tensor gather(std::span<const std::size_t> indices) const;
+  std::vector<int> gather_labels(std::span<const std::size_t> indices) const;
+  std::vector<double> gather_targets(
+      std::span<const std::size_t> indices) const;
+
+ private:
+  std::vector<std::size_t> sample_shape_;
+  std::size_t sample_elements_;
+  std::size_t size_;
+  std::vector<double> features_;
+  std::vector<int> labels_;
+  std::vector<double> targets_;
+};
+
+/// Gaussian-mixture classification: `classes` means on a sphere of
+/// radius `separation`, isotropic unit noise. Learnable by a small MLP;
+/// the CIFAR-like workload for Figure 6 experiments.
+InMemoryDataset make_gaussian_mixture(std::size_t size, std::size_t dim,
+                                      std::size_t classes, double separation,
+                                      std::uint64_t seed);
+
+/// Synthetic images (channels, height, width) where each class has a
+/// characteristic low-frequency pattern plus pixel noise; for the CNN.
+InMemoryDataset make_synthetic_images(std::size_t size, std::size_t channels,
+                                      std::size_t height, std::size_t width,
+                                      std::size_t classes, double noise,
+                                      std::uint64_t seed);
+
+/// Matrix-factorization ranking data (NeuMF stand-in): user/item latent
+/// vectors, feature = concat(user, item) with observation noise, target
+/// = 1 if the latent dot product is positive. Binary targets for
+/// bce_with_logits.
+InMemoryDataset make_mf_dataset(std::size_t size, std::size_t latent_dim,
+                                std::size_t num_users, std::size_t num_items,
+                                double noise, std::uint64_t seed);
+
+}  // namespace cannikin::dnn

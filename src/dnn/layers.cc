@@ -1,0 +1,324 @@
+#include "dnn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cannikin::dnn {
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Tensor::matrix(out_features, in_features)),
+      bias_(Tensor::matrix(1, out_features)),
+      weight_grad_(Tensor::matrix(out_features, in_features)),
+      bias_grad_(Tensor::matrix(1, out_features)) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("Linear: zero-sized layer");
+  }
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Linear::forward: bad input shape");
+  }
+  cached_input_ = input;
+  Tensor out = matmul_transposed(input, weight_);  // (batch, out)
+  const std::size_t batch = input.dim(0);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t c = 0; c < out_; ++c) out.at(r, c) += bias_[c];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  // grad_output: (batch, out). Parameter gradients accumulate the sum
+  // over the batch; the loss is mean-reduced, so the caller's grads are
+  // already scaled by 1/batch (Eq. 1's per-sample averaging).
+  Tensor dw = transposed_matmul(grad_output, cached_input_);  // (out, in)
+  for (std::size_t i = 0; i < dw.size(); ++i) weight_grad_[i] += dw[i];
+  const std::size_t batch = grad_output.dim(0);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t c = 0; c < out_; ++c) {
+      bias_grad_[c] += grad_output.at(r, c);
+    }
+  }
+  return matmul(grad_output, weight_);  // (batch, in)
+}
+
+std::size_t Linear::num_params() const { return weight_.size() + bias_.size(); }
+
+void Linear::copy_params(std::span<double> out) const {
+  std::copy(weight_.data(), weight_.data() + weight_.size(), out.begin());
+  std::copy(bias_.data(), bias_.data() + bias_.size(),
+            out.begin() + static_cast<std::ptrdiff_t>(weight_.size()));
+}
+
+void Linear::set_params(std::span<const double> in) {
+  std::copy(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(weight_.size()),
+            weight_.data());
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(weight_.size()), in.end(),
+            bias_.data());
+}
+
+void Linear::copy_grads(std::span<double> out) const {
+  std::copy(weight_grad_.data(), weight_grad_.data() + weight_grad_.size(),
+            out.begin());
+  std::copy(bias_grad_.data(), bias_grad_.data() + bias_grad_.size(),
+            out.begin() + static_cast<std::ptrdiff_t>(weight_grad_.size()));
+}
+
+void Linear::zero_grads() {
+  weight_grad_.fill(0.0);
+  bias_grad_.fill(0.0);
+}
+
+void Linear::init(Rng& rng) {
+  // Kaiming-uniform fan-in initialization.
+  const double bound = std::sqrt(6.0 / static_cast<double>(in_));
+  for (std::size_t i = 0; i < weight_.size(); ++i) {
+    weight_[i] = rng.uniform(-bound, bound);
+  }
+  bias_.fill(0.0);
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::max(out[i], 0.0);
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor out = grad_output;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (cached_input_[i] <= 0.0) out[i] = 0.0;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ Tanh
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  Tensor out = grad_output;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] *= 1.0 - cached_output_[i] * cached_output_[i];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t pad)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      pad_(pad),
+      weight_(Tensor({out_channels, in_channels, kernel, kernel})),
+      bias_(Tensor::matrix(1, out_channels)),
+      weight_grad_(Tensor({out_channels, in_channels, kernel, kernel})),
+      bias_grad_(Tensor::matrix(1, out_channels)) {
+  if (kernel == 0 || in_channels == 0 || out_channels == 0) {
+    throw std::invalid_argument("Conv2d: zero-sized layer");
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_c_) {
+    throw std::invalid_argument("Conv2d::forward: bad input shape");
+  }
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0), h = input.dim(2), w = input.dim(3);
+  if (h + 2 * pad_ < k_ || w + 2 * pad_ < k_) {
+    throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
+  }
+  const std::size_t oh = h + 2 * pad_ - k_ + 1;
+  const std::size_t ow = w + 2 * pad_ - k_ + 1;
+  Tensor out({batch, out_c_, oh, ow});
+
+  auto in_at = [&](std::size_t n, std::size_t c, long y, long x) -> double {
+    if (y < 0 || x < 0 || y >= static_cast<long>(h) ||
+        x >= static_cast<long>(w)) {
+      return 0.0;
+    }
+    return input[((n * in_c_ + c) * h + static_cast<std::size_t>(y)) * w +
+                 static_cast<std::size_t>(x)];
+  };
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          double total = bias_[oc];
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                total += weight_[((oc * in_c_ + ic) * k_ + ky) * k_ + kx] *
+                         in_at(n, ic, static_cast<long>(oy + ky) -
+                                          static_cast<long>(pad_),
+                               static_cast<long>(ox + kx) -
+                                   static_cast<long>(pad_));
+              }
+            }
+          }
+          out[((n * out_c_ + oc) * oh + oy) * ow + ox] = total;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const std::size_t batch = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  Tensor grad_input({batch, in_c_, h, w});
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const double g =
+              grad_output[((n * out_c_ + oc) * oh + oy) * ow + ox];
+          if (g == 0.0) continue;
+          bias_grad_[oc] += g;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const long y = static_cast<long>(oy + ky) -
+                             static_cast<long>(pad_);
+              if (y < 0 || y >= static_cast<long>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const long x = static_cast<long>(ox + kx) -
+                               static_cast<long>(pad_);
+                if (x < 0 || x >= static_cast<long>(w)) continue;
+                const std::size_t in_idx =
+                    ((n * in_c_ + ic) * h + static_cast<std::size_t>(y)) * w +
+                    static_cast<std::size_t>(x);
+                const std::size_t w_idx =
+                    ((oc * in_c_ + ic) * k_ + ky) * k_ + kx;
+                weight_grad_[w_idx] += g * input[in_idx];
+                grad_input[in_idx] += g * weight_[w_idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::size_t Conv2d::num_params() const { return weight_.size() + bias_.size(); }
+
+void Conv2d::copy_params(std::span<double> out) const {
+  std::copy(weight_.data(), weight_.data() + weight_.size(), out.begin());
+  std::copy(bias_.data(), bias_.data() + bias_.size(),
+            out.begin() + static_cast<std::ptrdiff_t>(weight_.size()));
+}
+
+void Conv2d::set_params(std::span<const double> in) {
+  std::copy(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(weight_.size()),
+            weight_.data());
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(weight_.size()), in.end(),
+            bias_.data());
+}
+
+void Conv2d::copy_grads(std::span<double> out) const {
+  std::copy(weight_grad_.data(), weight_grad_.data() + weight_grad_.size(),
+            out.begin());
+  std::copy(bias_grad_.data(), bias_grad_.data() + bias_grad_.size(),
+            out.begin() + static_cast<std::ptrdiff_t>(weight_grad_.size()));
+}
+
+void Conv2d::zero_grads() {
+  weight_grad_.fill(0.0);
+  bias_grad_.fill(0.0);
+}
+
+void Conv2d::init(Rng& rng) {
+  const double fan_in = static_cast<double>(in_c_ * k_ * k_);
+  const double bound = std::sqrt(6.0 / fan_in);
+  for (std::size_t i = 0; i < weight_.size(); ++i) {
+    weight_[i] = rng.uniform(-bound, bound);
+  }
+  bias_.fill(0.0);
+}
+
+// ------------------------------------------------------------ AvgPool2x2
+
+Tensor AvgPool2x2::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(2) % 2 != 0 || input.dim(3) % 2 != 0) {
+    throw std::invalid_argument("AvgPool2x2: need even (batch,C,H,W)");
+  }
+  cached_shape_ = input.shape();
+  const std::size_t batch = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  Tensor out({batch, c, h / 2, w / 2});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < h / 2; ++y) {
+        for (std::size_t x = 0; x < w / 2; ++x) {
+          double total = 0.0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              total += input[((n * c + ch) * h + 2 * y + dy) * w + 2 * x + dx];
+            }
+          }
+          out[((n * c + ch) * (h / 2) + y) * (w / 2) + x] = total / 4.0;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2x2::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_shape_[0], c = cached_shape_[1],
+                    h = cached_shape_[2], w = cached_shape_[3];
+  Tensor grad_input({batch, c, h, w});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < h / 2; ++y) {
+        for (std::size_t x = 0; x < w / 2; ++x) {
+          const double g =
+              grad_output[((n * c + ch) * (h / 2) + y) * (w / 2) + x] / 4.0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              grad_input[((n * c + ch) * h + 2 * y + dy) * w + 2 * x + dx] = g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& input) {
+  cached_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  return input.reshaped({batch, input.size() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_shape_);
+}
+
+}  // namespace cannikin::dnn

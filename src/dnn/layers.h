@@ -1,0 +1,130 @@
+// Neural-network layers with explicit backward passes.
+//
+// Layers cache whatever the backward pass needs during forward. Each
+// parameterized layer owns its parameters and gradient accumulators and
+// exposes them through a flat span protocol so the model can assemble
+// the flat gradient vector that the bucketized all-reduce and the GNS
+// estimators consume.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "dnn/tensor.h"
+
+namespace cannikin::dnn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; caches activations needed by backward.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Backward pass: receives dLoss/dOutput, accumulates parameter
+  /// gradients, returns dLoss/dInput.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  virtual std::size_t num_params() const { return 0; }
+  virtual void copy_params(std::span<double> out) const { (void)out; }
+  virtual void set_params(std::span<const double> in) { (void)in; }
+  virtual void copy_grads(std::span<double> out) const { (void)out; }
+  virtual void zero_grads() {}
+  virtual void init(Rng& rng) { (void)rng; }
+};
+
+/// Fully connected layer: Y = X W^T + bias, X is (batch, in).
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::size_t num_params() const override;
+  void copy_params(std::span<double> out) const override;
+  void set_params(std::span<const double> in) override;
+  void copy_grads(std::span<double> out) const override;
+  void zero_grads() override;
+  void init(Rng& rng) override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Tensor weight_;       // (out, in)
+  Tensor bias_;         // (1, out)
+  Tensor weight_grad_;  // accumulated mean-of-batch gradient
+  Tensor bias_grad_;
+  Tensor cached_input_;
+};
+
+/// Elementwise rectifier.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Elementwise hyperbolic tangent (used by the NeuMF-style model).
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// 2-D convolution over (batch, C, H, W) tensors, stride 1, zero
+/// padding `pad`. Naive direct loops: models here are tiny.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t pad = 0);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::size_t num_params() const override;
+  void copy_params(std::span<double> out) const override;
+  void set_params(std::span<const double> in) override;
+  void copy_grads(std::span<double> out) const override;
+  void zero_grads() override;
+  void init(Rng& rng) override;
+
+ private:
+  std::size_t in_c_, out_c_, k_, pad_;
+  Tensor weight_;  // (out_c, in_c, k, k)
+  Tensor bias_;    // (1, out_c)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;
+};
+
+/// Average pool 2x2 over (batch, C, H, W); H and W must be even.
+class AvgPool2x2 : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// Flattens (batch, ...) to (batch, features).
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace cannikin::dnn

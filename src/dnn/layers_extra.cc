@@ -1,0 +1,263 @@
+#include "dnn/layers_extra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cannikin::dnn {
+
+// -------------------------------------------------------------- Embedding
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim)
+    : vocab_(vocab),
+      dim_(dim),
+      table_(Tensor::matrix(vocab, dim)),
+      table_grad_(Tensor::matrix(vocab, dim)) {
+  if (vocab == 0 || dim == 0) {
+    throw std::invalid_argument("Embedding: zero-sized table");
+  }
+}
+
+Tensor Embedding::forward(const Tensor& input) {
+  if (input.rank() != 2) {
+    throw std::invalid_argument("Embedding: input must be (batch, slots)");
+  }
+  cached_ids_ = input;
+  const std::size_t batch = input.dim(0), slots = input.dim(1);
+  Tensor out = Tensor::matrix(batch, slots * dim_);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      const auto id = static_cast<long>(input.at(r, slot));
+      if (id < 0 || id >= static_cast<long>(vocab_)) {
+        throw std::out_of_range("Embedding: id out of vocabulary");
+      }
+      const double* row = table_.data() + static_cast<std::size_t>(id) * dim_;
+      double* dst = out.data() + r * slots * dim_ + slot * dim_;
+      std::copy(row, row + dim_, dst);
+    }
+  }
+  return out;
+}
+
+Tensor Embedding::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_ids_.dim(0), slots = cached_ids_.dim(1);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      const auto id =
+          static_cast<std::size_t>(cached_ids_.at(r, slot));
+      const double* src =
+          grad_output.data() + r * slots * dim_ + slot * dim_;
+      double* dst = table_grad_.data() + id * dim_;
+      for (std::size_t d = 0; d < dim_; ++d) dst[d] += src[d];
+    }
+  }
+  // Ids are not differentiable; propagate zeros.
+  Tensor grad_input = cached_ids_;
+  grad_input.fill(0.0);
+  return grad_input;
+}
+
+std::size_t Embedding::num_params() const { return table_.size(); }
+
+void Embedding::copy_params(std::span<double> out) const {
+  std::copy(table_.data(), table_.data() + table_.size(), out.begin());
+}
+
+void Embedding::set_params(std::span<const double> in) {
+  std::copy(in.begin(), in.end(), table_.data());
+}
+
+void Embedding::copy_grads(std::span<double> out) const {
+  std::copy(table_grad_.data(), table_grad_.data() + table_grad_.size(),
+            out.begin());
+}
+
+void Embedding::zero_grads() { table_grad_.fill(0.0); }
+
+void Embedding::init(Rng& rng) {
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    table_[i] = rng.normal(0.0, 0.1);
+  }
+}
+
+// ------------------------------------------------------------- MaxPool2x2
+
+Tensor MaxPool2x2::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(2) % 2 != 0 || input.dim(3) % 2 != 0) {
+    throw std::invalid_argument("MaxPool2x2: need even (batch,C,H,W)");
+  }
+  cached_shape_ = input.shape();
+  const std::size_t batch = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  Tensor out({batch, c, h / 2, w / 2});
+  argmax_.assign(out.size(), 0);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < h / 2; ++y) {
+        for (std::size_t x = 0; x < w / 2; ++x) {
+          double best = -std::numeric_limits<double>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t idx =
+                  ((n * c + ch) * h + 2 * y + dy) * w + 2 * x + dx;
+              if (input[idx] > best) {
+                best = input[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t out_idx =
+              ((n * c + ch) * (h / 2) + y) * (w / 2) + x;
+          out[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2x2::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+// ---------------------------------------------------------------- Dropout
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || rate_ == 0.0) {
+    mask_.assign(input.size(), 1.0);
+    return input;
+  }
+  Tensor out = input;
+  mask_.resize(input.size());
+  const double keep = 1.0 - rate_;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    mask_[i] = rng_.bernoulli(keep) ? 1.0 / keep : 0.0;
+    out[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  Tensor out = grad_output;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= mask_[i];
+  return out;
+}
+
+// --------------------------------------------------------------- LayerNorm
+
+LayerNorm::LayerNorm(std::size_t features, double epsilon)
+    : features_(features),
+      epsilon_(epsilon),
+      gain_(Tensor::matrix(1, features, 1.0)),
+      bias_(Tensor::matrix(1, features)),
+      gain_grad_(Tensor::matrix(1, features)),
+      bias_grad_(Tensor::matrix(1, features)) {
+  if (features == 0) throw std::invalid_argument("LayerNorm: zero features");
+}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != features_) {
+    throw std::invalid_argument("LayerNorm: bad input shape");
+  }
+  const std::size_t batch = input.dim(0);
+  Tensor out = input;
+  cached_normalized_ = Tensor::matrix(batch, features_);
+  cached_inv_std_.resize(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < features_; ++c) mean += input.at(r, c);
+    mean /= static_cast<double>(features_);
+    double var = 0.0;
+    for (std::size_t c = 0; c < features_; ++c) {
+      const double d = input.at(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(features_);
+    const double inv_std = 1.0 / std::sqrt(var + epsilon_);
+    cached_inv_std_[r] = inv_std;
+    for (std::size_t c = 0; c < features_; ++c) {
+      const double normalized = (input.at(r, c) - mean) * inv_std;
+      cached_normalized_.at(r, c) = normalized;
+      out.at(r, c) = normalized * gain_[c] + bias_[c];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  const std::size_t batch = grad_output.dim(0);
+  Tensor grad_input = Tensor::matrix(batch, features_);
+  const double inv_n = 1.0 / static_cast<double>(features_);
+  for (std::size_t r = 0; r < batch; ++r) {
+    // dL/dx for y = gain * (x - mean) * inv_std + bias (standard
+    // layer-norm backward with the two projection terms).
+    double sum_dy_g = 0.0;
+    double sum_dy_g_xhat = 0.0;
+    for (std::size_t c = 0; c < features_; ++c) {
+      const double dy = grad_output.at(r, c);
+      const double xhat = cached_normalized_.at(r, c);
+      gain_grad_[c] += dy * xhat;
+      bias_grad_[c] += dy;
+      const double dy_g = dy * gain_[c];
+      sum_dy_g += dy_g;
+      sum_dy_g_xhat += dy_g * xhat;
+    }
+    for (std::size_t c = 0; c < features_; ++c) {
+      const double dy_g = grad_output.at(r, c) * gain_[c];
+      const double xhat = cached_normalized_.at(r, c);
+      grad_input.at(r, c) =
+          cached_inv_std_[r] *
+          (dy_g - inv_n * sum_dy_g - xhat * inv_n * sum_dy_g_xhat);
+    }
+  }
+  return grad_input;
+}
+
+std::size_t LayerNorm::num_params() const {
+  return gain_.size() + bias_.size();
+}
+
+void LayerNorm::copy_params(std::span<double> out) const {
+  std::copy(gain_.data(), gain_.data() + gain_.size(), out.begin());
+  std::copy(bias_.data(), bias_.data() + bias_.size(),
+            out.begin() + static_cast<std::ptrdiff_t>(gain_.size()));
+}
+
+void LayerNorm::set_params(std::span<const double> in) {
+  std::copy(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(gain_.size()),
+            gain_.data());
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(gain_.size()), in.end(),
+            bias_.data());
+}
+
+void LayerNorm::copy_grads(std::span<double> out) const {
+  std::copy(gain_grad_.data(), gain_grad_.data() + gain_grad_.size(),
+            out.begin());
+  std::copy(bias_grad_.data(), bias_grad_.data() + bias_grad_.size(),
+            out.begin() + static_cast<std::ptrdiff_t>(gain_grad_.size()));
+}
+
+void LayerNorm::zero_grads() {
+  gain_grad_.fill(0.0);
+  bias_grad_.fill(0.0);
+}
+
+void LayerNorm::init(Rng& rng) {
+  (void)rng;
+  gain_.fill(1.0);
+  bias_.fill(0.0);
+}
+
+}  // namespace cannikin::dnn

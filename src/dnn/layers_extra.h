@@ -1,0 +1,95 @@
+// Additional layers for the workload model zoo: embeddings (NeuMF),
+// max pooling and dropout (CNNs), layer normalization (BERT-style
+// blocks). Same explicit-backward protocol as layers.h.
+#pragma once
+
+#include "common/rng.h"
+#include "dnn/layers.h"
+
+namespace cannikin::dnn {
+
+/// Embedding lookup: input (batch, slots) of integer ids (stored as
+/// doubles), output (batch, slots * dim) of concatenated embeddings.
+/// The trainable table is (vocab, dim); gradients are accumulated
+/// densely (tables here are small).
+class Embedding : public Layer {
+ public:
+  Embedding(std::size_t vocab, std::size_t dim);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::size_t num_params() const override;
+  void copy_params(std::span<double> out) const override;
+  void set_params(std::span<const double> in) override;
+  void copy_grads(std::span<double> out) const override;
+  void zero_grads() override;
+  void init(Rng& rng) override;
+
+  std::size_t vocab() const { return vocab_; }
+  std::size_t dim() const { return dim_; }
+
+ private:
+  std::size_t vocab_;
+  std::size_t dim_;
+  Tensor table_;       // (vocab, dim)
+  Tensor table_grad_;  // (vocab, dim)
+  Tensor cached_ids_;  // (batch, slots)
+};
+
+/// Max pool 2x2 over (batch, C, H, W); H and W must be even.
+class MaxPool2x2 : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output cell
+};
+
+/// Inverted dropout. Deterministic given the seed; `train(false)`
+/// switches to identity (evaluation mode).
+class Dropout : public Layer {
+ public:
+  explicit Dropout(double rate, std::uint64_t seed = 1);
+
+  void set_training(bool training) { training_ = training; }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  double rate_;
+  bool training_ = true;
+  Rng rng_;
+  std::vector<double> mask_;
+};
+
+/// Layer normalization over the last dimension of a (batch, features)
+/// tensor, with learnable gain and bias.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::size_t num_params() const override;
+  void copy_params(std::span<double> out) const override;
+  void set_params(std::span<const double> in) override;
+  void copy_grads(std::span<double> out) const override;
+  void zero_grads() override;
+  void init(Rng& rng) override;
+
+ private:
+  std::size_t features_;
+  double epsilon_;
+  Tensor gain_;   // (1, features)
+  Tensor bias_;   // (1, features)
+  Tensor gain_grad_;
+  Tensor bias_grad_;
+  // Cached normalized input and per-row inverse stddev for backward.
+  Tensor cached_normalized_;
+  std::vector<double> cached_inv_std_;
+};
+
+}  // namespace cannikin::dnn

@@ -1,0 +1,103 @@
+#include "dnn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cannikin::dnn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: shape mismatch");
+  }
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  LossResult result;
+  result.grad = Tensor::matrix(batch, classes);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+
+  for (std::size_t r = 0; r < batch; ++r) {
+    const int label = labels[r];
+    if (label < 0 || static_cast<std::size_t>(label) >= classes) {
+      throw std::invalid_argument("softmax_cross_entropy: bad label");
+    }
+    double max_logit = logits.at(r, 0);
+    for (std::size_t c = 1; c < classes; ++c) {
+      max_logit = std::max(max_logit, logits.at(r, c));
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(logits.at(r, c) - max_logit);
+    }
+    const double log_denom = std::log(denom);
+    result.value +=
+        -(logits.at(r, static_cast<std::size_t>(label)) - max_logit -
+          log_denom);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double softmax =
+          std::exp(logits.at(r, c) - max_logit - log_denom);
+      result.grad.at(r, c) =
+          (softmax - (static_cast<std::size_t>(label) == c ? 1.0 : 0.0)) *
+          inv_batch;
+    }
+  }
+  result.value *= inv_batch;
+  return result;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("accuracy: shape mismatch");
+  }
+  if (labels.empty()) return 0.0;
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (logits.at(r, c) > logits.at(r, best)) best = c;
+    }
+    if (static_cast<int>(best) == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+LossResult mse(const Tensor& predictions, const Tensor& targets) {
+  if (predictions.size() != targets.size()) {
+    throw std::invalid_argument("mse: size mismatch");
+  }
+  const std::size_t batch = predictions.dim(0);
+  LossResult result;
+  result.grad = predictions;
+  const double scale = 2.0 / static_cast<double>(predictions.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double diff = predictions[i] - targets[i];
+    result.value += diff * diff;
+    result.grad[i] = diff * scale;
+  }
+  result.value /= static_cast<double>(predictions.size());
+  (void)batch;
+  return result;
+}
+
+LossResult bce_with_logits(const Tensor& logits,
+                           const std::vector<double>& targets) {
+  if (logits.size() != targets.size()) {
+    throw std::invalid_argument("bce_with_logits: size mismatch");
+  }
+  LossResult result;
+  result.grad = logits;
+  const double inv_batch = 1.0 / static_cast<double>(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double z = logits[i];
+    const double t = targets[i];
+    // Numerically stable log(1 + e^-|z|) formulation.
+    result.value += std::max(z, 0.0) - z * t + std::log1p(std::exp(-std::abs(z)));
+    const double sigmoid = 1.0 / (1.0 + std::exp(-z));
+    result.grad[i] = (sigmoid - t) * inv_batch;
+  }
+  result.value *= inv_batch;
+  return result;
+}
+
+}  // namespace cannikin::dnn

@@ -1,0 +1,33 @@
+// Mean-reduced losses with analytic input gradients.
+//
+// Mean reduction matches Eq. (1): every node's local gradient is the
+// average over its local mini batch, so the Eq. (9) weighted aggregate
+// reproduces the full-batch average gradient exactly.
+#pragma once
+
+#include <vector>
+
+#include "dnn/tensor.h"
+
+namespace cannikin::dnn {
+
+struct LossResult {
+  double value = 0.0;  ///< mean loss over the batch
+  Tensor grad;         ///< dLoss/dInput, already divided by batch size
+};
+
+/// Softmax + cross entropy from raw logits (batch, classes).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Mean squared error against targets of identical shape.
+LossResult mse(const Tensor& predictions, const Tensor& targets);
+
+/// Sigmoid + binary cross entropy from logits (batch, 1).
+LossResult bce_with_logits(const Tensor& logits,
+                           const std::vector<double>& targets);
+
+}  // namespace cannikin::dnn

@@ -1,0 +1,60 @@
+// Sequential model with flat parameter/gradient access.
+//
+// The flat protocol is what makes the model "distributable": the
+// trainer reads the flat gradient, runs the bucketized weighted
+// all-reduce over it (Eq. 9), writes updated flat parameters back, and
+// feeds |g_i|^2 / |g|^2 into the GNS estimators.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "dnn/layers.h"
+#include "dnn/tensor.h"
+
+namespace cannikin::dnn {
+
+class Model {
+ public:
+  Model() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Model& add(std::unique_ptr<Layer> layer);
+
+  /// Initializes all parameterized layers.
+  void init(Rng& rng);
+
+  std::size_t num_params() const;
+
+  Tensor forward(const Tensor& input);
+  /// Backward from the loss gradient; accumulates parameter gradients.
+  void backward(const Tensor& loss_grad);
+
+  void zero_grads();
+
+  std::vector<double> flat_params() const;
+  void set_flat_params(const std::vector<double>& params);
+  std::vector<double> flat_grads() const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// A small MLP classifier: input -> hidden (ReLU) x depth -> classes.
+Model make_mlp(std::size_t input_dim, std::size_t hidden_dim,
+               std::size_t depth, std::size_t classes);
+
+/// A small CNN classifier over (C, H, W) images: conv-relu-pool twice,
+/// then linear. The CIFAR-10 stand-in of the training substrate.
+Model make_cnn(std::size_t channels, std::size_t height, std::size_t width,
+               std::size_t conv_channels, std::size_t classes);
+
+/// An MLP regressor producing a single logit (NeuMF-style ranking
+/// stand-in over concatenated user/item embeddings).
+Model make_mlp_regressor(std::size_t input_dim, std::size_t hidden_dim,
+                         std::size_t depth);
+
+}  // namespace cannikin::dnn

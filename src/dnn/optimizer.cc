@@ -1,0 +1,97 @@
+#include "dnn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cannikin::dnn {
+
+Sgd::Sgd(double momentum, double weight_decay)
+    : momentum_(momentum), weight_decay_(weight_decay) {
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("Sgd: momentum must be in [0, 1)");
+  }
+}
+
+void Sgd::step(std::span<double> params, std::span<const double> grads,
+               double lr) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("Sgd::step: size mismatch");
+  }
+  if (velocity_.size() != params.size()) {
+    velocity_.assign(params.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double g = grads[i] + weight_decay_ * params[i];
+    velocity_[i] = momentum_ * velocity_[i] + g;
+    params[i] -= lr * velocity_[i];
+  }
+}
+
+void Sgd::reset() { velocity_.clear(); }
+
+Adam::Adam(double beta1, double beta2, double eps, double weight_decay,
+           bool decoupled)
+    : beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay),
+      decoupled_(decoupled) {}
+
+void Adam::step(std::span<double> params, std::span<const double> grads,
+                double lr) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("Adam::step: size mismatch");
+  }
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0);
+    v_.assign(params.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    double g = grads[i];
+    if (!decoupled_) g += weight_decay_ * params[i];
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * g;
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * g * g;
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    params[i] -= lr * m_hat / (std::sqrt(v_hat) + eps_);
+    if (decoupled_) params[i] -= lr * weight_decay_ * params[i];
+  }
+}
+
+void Adam::reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+double scaled_lr(LrScaling scaling, double base_lr, double total_batch,
+                 double initial_batch, double gns) {
+  if (total_batch <= 0.0 || initial_batch <= 0.0) {
+    throw std::invalid_argument("scaled_lr: batches must be positive");
+  }
+  const double ratio = total_batch / initial_batch;
+  switch (scaling) {
+    case LrScaling::kNone:
+      return base_lr;
+    case LrScaling::kLinear:
+      return base_lr * ratio;
+    case LrScaling::kSquareRoot:
+      return base_lr * std::sqrt(ratio);
+    case LrScaling::kAdaScale: {
+      // AdaScale's gain: the expected per-step progress of the larger
+      // batch relative to b0, bounded by ratio and approaching 1 when
+      // the noise scale is small relative to the batch.
+      const double noise = std::max(gns, 0.0);
+      const double gain =
+          ratio * (noise + initial_batch) / (noise + total_batch);
+      return base_lr * std::max(gain, 1.0);
+    }
+  }
+  return base_lr;
+}
+
+}  // namespace cannikin::dnn

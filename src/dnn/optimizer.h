@@ -1,0 +1,66 @@
+// Optimizers over flat parameter vectors, plus the learning-rate
+// scaling rules of Table 5 (AdaScale for the SGD workloads, square-root
+// scaling for the Adam/AdamW workloads).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace cannikin::dnn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update in place; `grads` has the same length as params.
+  virtual void step(std::span<double> params, std::span<const double> grads,
+                    double lr) = 0;
+  virtual void reset() = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double momentum = 0.9, double weight_decay = 0.0);
+  void step(std::span<double> params, std::span<const double> grads,
+            double lr) override;
+  void reset() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<double> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8,
+       double weight_decay = 0.0, bool decoupled = false);
+  void step(std::span<double> params, std::span<const double> grads,
+            double lr) override;
+  void reset() override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  bool decoupled_;  ///< true = AdamW-style decoupled weight decay
+  std::vector<double> m_;
+  std::vector<double> v_;
+  long t_ = 0;
+};
+
+inline std::unique_ptr<Optimizer> make_adamw(double weight_decay = 0.01) {
+  return std::make_unique<Adam>(0.9, 0.999, 1e-8, weight_decay, true);
+}
+
+/// Learning-rate scaling when the total batch grows from b0 to b.
+enum class LrScaling {
+  kNone,
+  kLinear,      ///< lr * b / b0
+  kSquareRoot,  ///< lr * sqrt(b / b0)
+  kAdaScale,    ///< lr * gain, gain = (b/b0) * (gns + b0) / (gns + b)
+};
+
+/// Scaled learning rate; `gns` is only used by kAdaScale.
+double scaled_lr(LrScaling scaling, double base_lr, double total_batch,
+                 double initial_batch, double gns);
+
+}  // namespace cannikin::dnn

@@ -1,0 +1,246 @@
+#include "dnn/parallel_trainer.h"
+
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "comm/bucket.h"
+#include "comm/collectives.h"
+#include "comm/process_group.h"
+#include "core/hetero_dataloader.h"
+#include "dnn/loss.h"
+
+namespace cannikin::dnn {
+
+namespace {
+
+double squared_norm(const std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x * x;
+  return total;
+}
+
+}  // namespace
+
+ParallelTrainer::ParallelTrainer(const InMemoryDataset* train, Task task,
+                                 std::function<Model()> factory,
+                                 TrainerOptions options)
+    : train_(train),
+      task_(task),
+      factory_(std::move(factory)),
+      options_(options),
+      gns_(options.gns_smoothing, options.gns_weighting) {
+  if (train_ == nullptr) {
+    throw std::invalid_argument("ParallelTrainer: null dataset");
+  }
+  if (options_.num_nodes <= 0) {
+    throw std::invalid_argument("ParallelTrainer: num_nodes must be > 0");
+  }
+  Model prototype = factory_();
+  Rng rng(options_.seed);
+  prototype.init(rng);
+  params_ = prototype.flat_params();
+
+  optimizers_.reserve(static_cast<std::size_t>(options_.num_nodes));
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    if (options_.use_adam) {
+      optimizers_.push_back(make_adamw(0.0));
+    } else {
+      optimizers_.push_back(std::make_unique<Sgd>(options_.momentum));
+    }
+  }
+}
+
+EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
+  if (static_cast<int>(local_batches.size()) != options_.num_nodes) {
+    throw std::invalid_argument("run_epoch: wrong local batch count");
+  }
+  int total_batch = 0;
+  for (int b : local_batches) total_batch += b;
+  if (total_batch <= 0) {
+    throw std::invalid_argument("run_epoch: empty total batch");
+  }
+
+  core::HeteroDataLoader loader(train_->size(), local_batches,
+                                options_.seed * 7919 +
+                                    static_cast<std::uint64_t>(epoch_));
+  const int num_batches = loader.num_batches();
+  const double lr =
+      scaled_lr(options_.lr_scaling, options_.base_lr, total_batch,
+                options_.initial_total_batch, gns_.gns());
+
+  comm::ProcessGroup group(options_.num_nodes);
+  const auto buckets =
+      comm::make_buckets(params_.size(), options_.bucket_capacity);
+
+  EpochResult result;
+  std::mutex result_mutex;
+  std::vector<double> final_params;
+
+  auto worker = [&](int rank) {
+    comm::Communicator comm = group.communicator(rank);
+    Model model = factory_();
+    model.set_flat_params(params_);
+    Optimizer& optimizer = *optimizers_[static_cast<std::size_t>(rank)];
+
+    for (int batch = 0; batch < num_batches; ++batch) {
+      const auto indices = loader.batch_for_node(batch, rank);
+      const int local_b = static_cast<int>(indices.size());
+
+      model.zero_grads();
+      double local_loss = 0.0;
+      double local_correct = 0.0;
+      if (local_b > 0) {
+        const Tensor inputs = train_->gather(indices);
+        const Tensor outputs = model.forward(inputs);
+        LossResult loss;
+        if (task_ == Task::kClassification) {
+          const auto labels = train_->gather_labels(indices);
+          loss = softmax_cross_entropy(outputs, labels);
+          local_correct = accuracy(outputs, labels) * local_b;
+        } else {
+          const auto targets = train_->gather_targets(indices);
+          loss = bce_with_logits(outputs, targets);
+          for (std::size_t i = 0; i < targets.size(); ++i) {
+            const bool predicted = outputs[i] > 0.0;
+            if (predicted == (targets[i] > 0.5)) local_correct += 1.0;
+          }
+        }
+        local_loss = loss.value;
+        model.backward(loss.grad);
+      }
+
+      std::vector<double> gradient = model.flat_grads();
+      const double local_norm_sq = squared_norm(gradient);
+
+      // Eq. (9): weight each local gradient by its share of the batch.
+      const int actual_total = [&] {
+        int t = 0;
+        for (int node = 0; node < options_.num_nodes; ++node) {
+          t += loader.batch_size_for_node(batch, node);
+        }
+        return t;
+      }();
+      const double weight =
+          static_cast<double>(local_b) / static_cast<double>(actual_total);
+      comm::bucketized_weighted_all_reduce(
+          comm, std::span<double>(gradient), weight, buckets,
+          static_cast<std::uint64_t>(batch) * (buckets.size() + 4) * 2 + 2);
+
+      const double global_norm_sq = squared_norm(gradient);
+
+      // Statistics: gather per-node batch sizes, norms and losses.
+      std::vector<double> stats{static_cast<double>(local_b), local_norm_sq,
+                                local_loss * local_b, local_correct};
+      const std::vector<double> all_stats = comm::all_gather(
+          comm, stats,
+          static_cast<std::uint64_t>(batch) * (buckets.size() + 4) * 2 + 1);
+
+      // Every rank applies the identical update; replicas stay in sync.
+      std::vector<double> new_params = model.flat_params();
+      optimizer.step(new_params, gradient, lr);
+      model.set_flat_params(new_params);
+
+      if (rank == 0) {
+        std::vector<double> bs, norms;
+        double loss_sum = 0.0, correct_sum = 0.0;
+        bool usable = true;
+        for (int node = 0; node < options_.num_nodes; ++node) {
+          const double b = all_stats[static_cast<std::size_t>(node) * 4];
+          const double norm = all_stats[static_cast<std::size_t>(node) * 4 + 1];
+          loss_sum += all_stats[static_cast<std::size_t>(node) * 4 + 2];
+          correct_sum += all_stats[static_cast<std::size_t>(node) * 4 + 3];
+          if (b <= 0.0) {
+            usable = false;
+            continue;
+          }
+          bs.push_back(b);
+          norms.push_back(norm);
+        }
+        std::lock_guard<std::mutex> lock(result_mutex);
+        result.mean_loss += loss_sum / actual_total;
+        result.train_accuracy += correct_sum / actual_total;
+        ++result.steps;
+        // The Eq. (10) estimators need every contributing b_i < B.
+        if (usable && bs.size() >= 2) {
+          const core::GnsSample sample = core::estimate_gns(
+              bs, norms, global_norm_sq, options_.gns_weighting);
+          result.gns_samples.push_back(sample);
+        }
+      }
+    }
+    if (rank == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      final_params = model.flat_params();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options_.num_nodes));
+  for (int rank = 0; rank < options_.num_nodes; ++rank) {
+    threads.emplace_back(worker, rank);
+  }
+  for (auto& thread : threads) thread.join();
+
+  params_ = std::move(final_params);
+  for (const auto& sample : result.gns_samples) gns_.update_sample(sample);
+  if (result.steps > 0) {
+    result.mean_loss /= result.steps;
+    result.train_accuracy /= result.steps;
+  }
+  result.gns_after = gns_.gns();
+  ++epoch_;
+  return result;
+}
+
+double ParallelTrainer::evaluate_accuracy(
+    const InMemoryDataset& dataset) const {
+  Model model = factory_();
+  model.set_flat_params(params_);
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+  double correct = 0.0;
+  const std::size_t chunk = 256;
+  for (std::size_t begin = 0; begin < indices.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, indices.size());
+    std::span<const std::size_t> slice(indices.data() + begin, end - begin);
+    const Tensor outputs = model.forward(dataset.gather(slice));
+    if (task_ == Task::kClassification) {
+      const auto labels = dataset.gather_labels(slice);
+      correct += accuracy(outputs, labels) * static_cast<double>(slice.size());
+    } else {
+      const auto targets = dataset.gather_targets(slice);
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        if ((outputs[i] > 0.0) == (targets[i] > 0.5)) correct += 1.0;
+      }
+    }
+  }
+  return correct / static_cast<double>(dataset.size());
+}
+
+double ParallelTrainer::evaluate_loss(const InMemoryDataset& dataset) const {
+  Model model = factory_();
+  model.set_flat_params(params_);
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+  double total = 0.0;
+  const std::size_t chunk = 256;
+  for (std::size_t begin = 0; begin < indices.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, indices.size());
+    std::span<const std::size_t> slice(indices.data() + begin, end - begin);
+    const Tensor outputs = model.forward(dataset.gather(slice));
+    LossResult loss;
+    if (task_ == Task::kClassification) {
+      loss = softmax_cross_entropy(outputs, dataset.gather_labels(slice));
+    } else {
+      loss = bce_with_logits(outputs, dataset.gather_targets(slice));
+    }
+    total += loss.value * static_cast<double>(slice.size());
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+}  // namespace cannikin::dnn

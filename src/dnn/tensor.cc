@@ -1,0 +1,93 @@
+#include "dnn/tensor.h"
+
+#include <numeric>
+
+namespace cannikin::dnn {
+
+namespace {
+
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t total = 1;
+  for (std::size_t d : shape) total *= d;
+  return shape.empty() ? 0 : total;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape, double fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {
+  if (shape_.empty()) {
+    throw std::invalid_argument("Tensor: empty shape");
+  }
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  if (shape_size(shape) != size()) {
+    throw std::invalid_argument("Tensor::reshaped: size mismatch");
+  }
+  Tensor out;
+  out.shape_ = std::move(shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: shape mismatch");
+  }
+  const std::size_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(1);
+  Tensor c = Tensor::matrix(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double v = a.at(r, k);
+      if (v == 0.0) continue;
+      const double* brow = b.data() + k * cols;
+      double* crow = c.data() + r * cols;
+      for (std::size_t col = 0; col < cols; ++col) crow[col] += v * brow[col];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transposed(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
+    throw std::invalid_argument("matmul_transposed: shape mismatch");
+  }
+  const std::size_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(0);
+  Tensor c = Tensor::matrix(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t col = 0; col < cols; ++col) {
+      double total = 0.0;
+      const double* arow = a.data() + r * inner;
+      const double* brow = b.data() + col * inner;
+      for (std::size_t k = 0; k < inner; ++k) total += arow[k] * brow[k];
+      c.at(r, col) = total;
+    }
+  }
+  return c;
+}
+
+Tensor transposed_matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("transposed_matmul: shape mismatch");
+  }
+  const std::size_t rows = a.dim(1), inner = a.dim(0), cols = b.dim(1);
+  Tensor c = Tensor::matrix(rows, cols);
+  for (std::size_t k = 0; k < inner; ++k) {
+    const double* arow = a.data() + k * rows;
+    const double* brow = b.data() + k * cols;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double v = arow[r];
+      if (v == 0.0) continue;
+      double* crow = c.data() + r * cols;
+      for (std::size_t col = 0; col < cols; ++col) crow[col] += v * brow[col];
+    }
+  }
+  return c;
+}
+
+}  // namespace cannikin::dnn

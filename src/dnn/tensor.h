@@ -1,0 +1,67 @@
+// Minimal dense tensor for the CPU training substrate.
+//
+// The training substrate exists to validate Cannikin's statistical
+// machinery (Eq. 9 aggregation, Eq. 10 / Theorem 4.1 GNS estimation,
+// convergence equivalence of Figure 6) on *real* stochastic gradients.
+// Models are small, so a simple contiguous row-major double tensor is
+// the right tool; no views, no broadcasting, no autograd graph --
+// layers implement their own backward passes.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace cannikin::dnn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape, double fill = 0.0);
+
+  static Tensor matrix(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    return Tensor({rows, cols}, fill);
+  }
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t axis) const { return shape_.at(axis); }
+  std::size_t size() const { return data_.size(); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D accessors (checked only in debug builds for speed).
+  double& at(std::size_t r, std::size_t c) {
+    return data_[r * shape_[1] + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * shape_[1] + c];
+  }
+
+  /// Reinterprets the tensor with a new shape of identical total size.
+  Tensor reshaped(std::vector<std::size_t> shape) const;
+
+  void fill(double value);
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<double> data_;
+};
+
+/// C = A x B for 2-D tensors (rows_a x k) * (k x cols_b).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A x B^T.
+Tensor matmul_transposed(const Tensor& a, const Tensor& b);
+
+/// C = A^T x B.
+Tensor transposed_matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace cannikin::dnn

@@ -1,0 +1,69 @@
+// Experiment harness: drives a TrainingSystem on a simulated cluster
+// and workload until the workload's target progress is reached,
+// recording the per-epoch trace every evaluation figure is built from.
+//
+// Epoch timing comes from the simulator (or the policy's analytic
+// override for model parallelism); statistical progress follows the
+// workload's efficiency model: an epoch at total batch B adds
+// dataset_size * E(B, progress) effective samples. Per-epoch overhead
+// is the *measured* planning wall-clock of the policy plus a modeled
+// reconfiguration cost (local batch + data index distribution), the
+// same components Table 6 accounts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/training_system.h"
+#include "sim/cluster.h"
+#include "workloads/registry.h"
+
+namespace cannikin::experiments {
+
+struct EpochRow {
+  int epoch = 0;
+  int total_batch = 0;
+  std::vector<int> local_batches;
+  double avg_batch_time = 0.0;  ///< true simulated batch time
+  double epoch_seconds = 0.0;   ///< training time (no overhead)
+  double overhead_seconds = 0.0;
+  double cumulative_seconds = 0.0;  ///< including overhead
+  double progress_fraction = 0.0;   ///< after this epoch
+  double gns = 0.0;
+  double metric = 0.0;
+};
+
+struct RunTrace {
+  std::string system;
+  std::string workload;
+  std::vector<EpochRow> epochs;
+  double total_seconds = 0.0;
+  bool reached_target = false;
+
+  double final_metric() const {
+    return epochs.empty() ? 0.0 : epochs.back().metric;
+  }
+};
+
+struct HarnessOptions {
+  int max_epochs = 1000;
+  /// Cap on batches actually event-simulated per epoch; the epoch time
+  /// is scaled up from the simulated sample. Keeps long fixed-small-
+  /// batch baselines tractable without changing expected times.
+  int max_simulated_batches = 64;
+  /// Reconfiguration cost model (Table 6): per-sample data-index setup
+  /// and per-node configuration round trip.
+  double index_cost_per_sample = 20e-9;
+  double config_cost_per_node = 5e-3;
+  /// Multiplier on the measured planning wall clock (1.0 = as measured).
+  double overhead_scale = 1.0;
+};
+
+/// Runs `system` on `job` until `workload.target_progress()` effective
+/// samples have accumulated or max_epochs elapse.
+RunTrace run_to_target(sim::ClusterJob& job,
+                       const workloads::Workload& workload,
+                       TrainingSystem& system,
+                       const HarnessOptions& options = {});
+
+}  // namespace cannikin::experiments

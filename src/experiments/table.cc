@@ -1,0 +1,69 @@
+#include "experiments/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cannikin::experiments {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::ostream& out)
+    : headers_(std::move(headers)), out_(&out) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TablePrinter: no headers");
+  }
+}
+
+void TablePrinter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: wrong cell count");
+  }
+  rows_.push_back(cells);
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      *out_ << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+            << cells[c];
+    }
+    *out_ << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  *out_ << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  out_->flush();
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  std::ostringstream stream;
+  stream << std::fixed << std::setprecision(precision) << value;
+  return stream.str();
+}
+
+void print_series(const std::string& name, const std::vector<double>& xs,
+                  const std::vector<double>& ys, std::ostream& out) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("print_series: size mismatch");
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out << name << ": x=" << xs[i] << " y=" << ys[i] << "\n";
+  }
+  out.flush();
+}
+
+void print_banner(const std::string& title, std::ostream& out) {
+  out << "\n==== " << title << " ====\n";
+}
+
+}  // namespace cannikin::experiments

@@ -1,0 +1,38 @@
+// Plain-text table/series printers shared by the bench binaries, so
+// every reproduced figure prints in a consistent, diff-friendly format.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace cannikin::experiments {
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::ostream& out = std::cout);
+
+  void add_row(const std::vector<std::string>& cells);
+  /// Prints header + separator + all accumulated rows.
+  void print() const;
+
+  static std::string fmt(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::ostream* out_;
+};
+
+/// Prints a named (x, y) series as "name: x=... y=..." lines; figures
+/// are emitted as series so the shape can be read directly or piped
+/// into a plotting tool.
+void print_series(const std::string& name, const std::vector<double>& xs,
+                  const std::vector<double>& ys, std::ostream& out = std::cout);
+
+/// Section banner.
+void print_banner(const std::string& title, std::ostream& out = std::cout);
+
+}  // namespace cannikin::experiments

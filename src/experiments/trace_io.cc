@@ -1,0 +1,45 @@
+#include "experiments/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cannikin::experiments {
+
+void write_trace_csv(const RunTrace& trace, std::ostream& out) {
+  out << "epoch,total_batch,avg_batch_time,epoch_seconds,overhead_seconds,"
+         "cumulative_seconds,progress_fraction,gns,metric,local_batches\n";
+  out.precision(10);
+  for (const auto& row : trace.epochs) {
+    out << row.epoch << ',' << row.total_batch << ',' << row.avg_batch_time
+        << ',' << row.epoch_seconds << ',' << row.overhead_seconds << ','
+        << row.cumulative_seconds << ',' << row.progress_fraction << ','
+        << row.gns << ',' << row.metric << ',';
+    for (std::size_t i = 0; i < row.local_batches.size(); ++i) {
+      if (i > 0) out << '|';
+      out << row.local_batches[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_trace_csv(const RunTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_trace_csv: cannot open " + path);
+  }
+  write_trace_csv(trace, out);
+  if (!out.good()) {
+    throw std::runtime_error("write_trace_csv: write failed for " + path);
+  }
+}
+
+std::string summarize(const RunTrace& trace) {
+  std::ostringstream out;
+  out << trace.system << " on " << trace.workload << ": "
+      << trace.epochs.size() << " epochs, " << trace.total_seconds
+      << " s, target " << (trace.reached_target ? "reached" : "MISSED");
+  return out.str();
+}
+
+}  // namespace cannikin::experiments

@@ -1,0 +1,24 @@
+// Trace export: RunTrace -> CSV / summary, so bench output can feed
+// external plotting without re-running experiments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "experiments/harness.h"
+
+namespace cannikin::experiments {
+
+/// Writes one row per epoch:
+/// epoch,total_batch,avg_batch_time,epoch_seconds,overhead_seconds,
+/// cumulative_seconds,progress_fraction,gns,metric,local_batches
+/// (local batches joined by '|').
+void write_trace_csv(const RunTrace& trace, std::ostream& out);
+
+/// Convenience: writes the CSV to a file path; throws on I/O failure.
+void write_trace_csv(const RunTrace& trace, const std::string& path);
+
+/// One-line human summary: system, workload, epochs, time, target hit.
+std::string summarize(const RunTrace& trace);
+
+}  // namespace cannikin::experiments

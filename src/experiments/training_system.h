@@ -1,0 +1,51 @@
+// Common interface for the distributed-training policies compared in
+// the evaluation: Cannikin, AdaptDL, LB-BSP, HetPipe and PyTorch DDP.
+//
+// The harness drives each policy epoch by epoch: the policy plans a
+// configuration, the simulator executes it, the observations flow back.
+// A policy only sees observations (never the simulator's ground truth);
+// the one exception is HetPipe, whose pipeline-partition cost has no
+// data-parallel execution on the simulator and is computed analytically
+// (see baselines/hetpipe.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace cannikin::experiments {
+
+struct SystemPlan {
+  int total_batch = 0;
+  /// Gradient-accumulation factor: each optimizer step runs this many
+  /// micro-batches and synchronizes only on the last.
+  int accumulation_steps = 1;
+  /// Per-node *micro-batch* local sizes (data-parallel policies). Empty
+  /// for model-parallel policies that provide batch_time_override.
+  std::vector<int> local_batches;
+  /// When > 0 the harness uses this per-batch time directly instead of
+  /// simulating a data-parallel epoch (model parallelism).
+  double batch_time_override = 0.0;
+  double planning_seconds = 0.0;  ///< measured planning wall clock
+  int linear_solves = 0;          ///< solver work, for overhead accounting
+};
+
+class TrainingSystem {
+ public:
+  virtual ~TrainingSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Plans the next epoch's configuration.
+  virtual SystemPlan plan_epoch() = 0;
+
+  /// Feeds back the simulator's observations for the planned epoch.
+  /// Not called when the plan used batch_time_override.
+  virtual void observe_epoch(const sim::EpochObservation& obs) = 0;
+
+  /// Feeds the current gradient noise scale (for adaptive policies).
+  virtual void observe_gns(double gns) { (void)gns; }
+};
+
+}  // namespace cannikin::experiments

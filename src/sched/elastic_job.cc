@@ -1,0 +1,120 @@
+#include "sched/elastic_job.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cannikin::sched {
+
+ElasticCannikinJob::ElasticCannikinJob(const workloads::Workload* workload,
+                                       sim::ClusterSpec full_cluster,
+                                       sim::NoiseConfig noise,
+                                       std::uint64_t seed,
+                                       bool use_model_bank)
+    : workload_(workload),
+      full_cluster_(std::move(full_cluster)),
+      noise_(noise),
+      seed_(seed),
+      use_model_bank_(use_model_bank) {
+  if (workload_ == nullptr) {
+    throw std::invalid_argument("ElasticCannikinJob: null workload");
+  }
+}
+
+void ElasticCannikinJob::bank_current_models() {
+  if (!system_) return;
+  const auto models = system_->controller().learned_models();
+  const auto comm = system_->controller().learned_comm();
+  if (models) {
+    for (std::size_t i = 0; i < allocation_.size(); ++i) {
+      const auto& node = full_cluster_.nodes.at(
+          static_cast<std::size_t>(allocation_[i]));
+      bank_.store_node(ModelBank::node_key(node), (*models)[i]);
+    }
+  }
+  if (comm) {
+    bank_.store_comm(static_cast<int>(allocation_.size()), *comm);
+  }
+}
+
+void ElasticCannikinJob::set_allocation(const std::vector<int>& node_ids) {
+  if (node_ids.empty()) {
+    throw std::invalid_argument("set_allocation: empty allocation");
+  }
+  bank_current_models();
+  const double gns_carry = system_ ? current_gns() : 0.0;
+
+  allocation_ = node_ids;
+  sim::ClusterSpec subset;
+  subset.name = full_cluster_.name + "/subset";
+  subset.network = full_cluster_.network;
+  for (int id : node_ids) {
+    subset.nodes.push_back(
+        full_cluster_.nodes.at(static_cast<std::size_t>(id)));
+  }
+  job_ = std::make_unique<sim::ClusterJob>(subset, workload_->profile, noise_,
+                                           seed_);
+
+  std::vector<double> caps;
+  for (int i = 0; i < job_->size(); ++i) {
+    caps.push_back(job_->max_local_batch(i));
+  }
+  system_ = std::make_unique<experiments::CannikinSystem>(
+      job_->size(), caps, workload_->b0, workload_->max_total_batch);
+
+  if (use_model_bank_ && !bank_.empty()) {
+    std::vector<std::optional<core::NodeModel>> priors;
+    bool all_covered = true;
+    for (const auto& node : subset.nodes) {
+      auto prior = bank_.node(ModelBank::node_key(node));
+      all_covered = all_covered && prior.has_value();
+      priors.push_back(std::move(prior));
+    }
+    const auto comm_prior = bank_.comm(static_cast<int>(node_ids.size()));
+    system_->mutable_controller().warm_start(priors, comm_prior, gns_carry);
+    if (all_covered) ++warm_reallocations_;
+  } else if (gns_carry > 0.0) {
+    system_->mutable_controller().warm_start(
+        std::vector<std::optional<core::NodeModel>>(node_ids.size(),
+                                                    std::nullopt),
+        std::nullopt, gns_carry);
+  }
+}
+
+double ElasticCannikinJob::run_epoch() {
+  if (!system_ || !job_) {
+    throw std::logic_error("run_epoch: no allocation");
+  }
+  const double target = workload_->target_progress();
+  system_->observe_gns(workload_->gns_at(progress_ / target));
+
+  const auto plan = system_->plan_epoch();
+  const int num_batches = static_cast<int>(
+      (workload_->dataset_size + static_cast<std::size_t>(plan.total_batch) -
+       1) /
+      static_cast<std::size_t>(plan.total_batch));
+  const int simulated = std::min(num_batches, 64);
+  const auto obs = job_->run_epoch(plan.local_batches, simulated,
+                                   plan.accumulation_steps);
+  system_->observe_epoch(obs);
+
+  const double efficiency =
+      workload_->efficiency(plan.total_batch, progress_ / target);
+  progress_ += static_cast<double>(workload_->dataset_size) * efficiency;
+  ++epochs_;
+
+  const double config_overhead =
+      plan.planning_seconds +
+      20e-9 * static_cast<double>(workload_->dataset_size) +
+      5e-3 * job_->size();
+  return obs.avg_batch_time * num_batches + config_overhead;
+}
+
+double ElasticCannikinJob::progress_fraction() const {
+  return std::min(progress_ / workload_->target_progress(), 1.0);
+}
+
+double ElasticCannikinJob::current_gns() const {
+  return system_ ? system_->controller().current_gns() : 0.0;
+}
+
+}  // namespace cannikin::sched

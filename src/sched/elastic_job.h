@@ -1,0 +1,70 @@
+// An elastic Cannikin training job: survives resource reallocations.
+//
+// The paper notes that existing data/model-parallel heterogeneous
+// systems "cannot manage the sudden changes of resources that occur in
+// clusters with dynamic resource allocation" (Section 1) and that
+// Cannikin "supports job schedulers that allocate a heterogeneous
+// cluster for each job" (Section 6). ElasticCannikinJob realizes this:
+// on every set_allocation() it banks the models learned so far (per
+// GPU/host type) and warm-starts a fresh controller over the new node
+// set, so only nodes of genuinely unseen types pay bootstrap epochs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "experiments/cannikin_system.h"
+#include "sched/model_bank.h"
+#include "sim/cluster.h"
+#include "workloads/registry.h"
+
+namespace cannikin::sched {
+
+class ElasticCannikinJob {
+ public:
+  ElasticCannikinJob(const workloads::Workload* workload,
+                     sim::ClusterSpec full_cluster, sim::NoiseConfig noise,
+                     std::uint64_t seed, bool use_model_bank = true);
+
+  /// Reassigns the job to the given node indices of the full cluster.
+  /// Banks the current allocation's learned models first.
+  void set_allocation(const std::vector<int>& node_ids);
+
+  bool has_allocation() const { return system_ != nullptr; }
+  const std::vector<int>& allocation() const { return allocation_; }
+
+  /// Runs one training epoch; returns its wall-clock seconds (training
+  /// + reconfiguration overhead). Requires an allocation.
+  double run_epoch();
+
+  double progress_fraction() const;
+  bool done() const { return progress_fraction() >= 1.0; }
+  int epochs_run() const { return epochs_; }
+  double current_gns() const;
+  const workloads::Workload& workload() const { return *workload_; }
+  const ModelBank& bank() const { return bank_; }
+
+  /// Number of reallocations whose nodes were fully covered by banked
+  /// models (no bootstrap needed) -- observability for tests/benches.
+  int warm_reallocations() const { return warm_reallocations_; }
+
+ private:
+  void bank_current_models();
+
+  const workloads::Workload* workload_;
+  sim::ClusterSpec full_cluster_;
+  sim::NoiseConfig noise_;
+  std::uint64_t seed_;
+  bool use_model_bank_;
+
+  std::vector<int> allocation_;
+  std::unique_ptr<sim::ClusterJob> job_;
+  std::unique_ptr<experiments::CannikinSystem> system_;
+
+  ModelBank bank_;
+  double progress_ = 0.0;
+  int epochs_ = 0;
+  int warm_reallocations_ = 0;
+};
+
+}  // namespace cannikin::sched

@@ -1,0 +1,86 @@
+#include "sched/model_bank.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/gpu.h"
+
+namespace cannikin::sched {
+
+std::string ModelBank::node_key(const sim::NodeSpec& node) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s/h%.3f/c%.3f",
+                sim::gpu_spec(node.gpu).name.c_str(), node.host_speed,
+                node.contention);
+  return buf;
+}
+
+void ModelBank::store_node(const std::string& key,
+                           const core::NodeModel& model) {
+  nodes_[key] = model;
+}
+
+std::optional<core::NodeModel> ModelBank::node(const std::string& key) const {
+  auto it = nodes_.find(key);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ModelBank::store_comm(int cluster_size, const core::CommTimes& times) {
+  comms_[cluster_size] = times;
+}
+
+std::optional<core::CommTimes> ModelBank::comm(int cluster_size) const {
+  auto it = comms_.find(cluster_size);
+  if (it == comms_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ModelBank::serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "modelbank v1\n";
+  for (const auto& [key, m] : nodes_) {
+    out << "node " << key << " " << m.q << " " << m.s << " " << m.k << " "
+        << m.m << " " << m.max_batch << "\n";
+  }
+  for (const auto& [n, c] : comms_) {
+    out << "comm " << n << " " << c.gamma << " " << c.t_other << " "
+        << c.t_last << "\n";
+  }
+  return out.str();
+}
+
+ModelBank ModelBank::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != "modelbank v1") {
+    throw std::invalid_argument("ModelBank: bad header: " + header);
+  }
+  ModelBank bank;
+  std::string kind;
+  while (in >> kind) {
+    if (kind == "node") {
+      std::string key;
+      core::NodeModel m;
+      if (!(in >> key >> m.q >> m.s >> m.k >> m.m >> m.max_batch)) {
+        throw std::invalid_argument("ModelBank: malformed node entry");
+      }
+      bank.nodes_[key] = m;
+    } else if (kind == "comm") {
+      int n = 0;
+      core::CommTimes c;
+      if (!(in >> n >> c.gamma >> c.t_other >> c.t_last)) {
+        throw std::invalid_argument("ModelBank: malformed comm entry");
+      }
+      bank.comms_[n] = c;
+    } else {
+      throw std::invalid_argument("ModelBank: unknown record: " + kind);
+    }
+  }
+  return bank;
+}
+
+}  // namespace cannikin::sched

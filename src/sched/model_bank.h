@@ -1,0 +1,52 @@
+// Per-GPU-type performance-model bank (Section 6, "Adapt to schedulers
+// for heterogeneous clusters").
+//
+// When a dynamic-resource scheduler reallocates a job onto a different
+// set of (possibly heterogeneous) GPUs, the two bootstrap epochs of
+// Section 4.2 would have to be repeated from scratch. But Eq. (3)'s
+// coefficients depend only on the (workload, GPU type, host type)
+// combination -- not on which physical node carries them -- so Cannikin
+// can bank the models it has learned and warm-start the controller on
+// any node whose type it has seen before. Communication parameters
+// depend on the ring size, so they are banked per cluster size.
+//
+// The bank serializes to a line-oriented text format so a job can carry
+// its learned models across checkpoint/restart.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/perf_model.h"
+#include "sim/cluster.h"
+
+namespace cannikin::sched {
+
+class ModelBank {
+ public:
+  /// Canonical key for a node's hardware combination.
+  static std::string node_key(const sim::NodeSpec& node);
+
+  void store_node(const std::string& key, const core::NodeModel& model);
+  std::optional<core::NodeModel> node(const std::string& key) const;
+
+  void store_comm(int cluster_size, const core::CommTimes& times);
+  std::optional<core::CommTimes> comm(int cluster_size) const;
+
+  std::size_t num_node_entries() const { return nodes_.size(); }
+  std::size_t num_comm_entries() const { return comms_.size(); }
+  bool empty() const { return nodes_.empty() && comms_.empty(); }
+
+  /// Line-oriented text serialization (stable across processes).
+  std::string serialize() const;
+  /// Parses serialize() output; throws std::invalid_argument on
+  /// malformed input.
+  static ModelBank deserialize(const std::string& text);
+
+ private:
+  std::map<std::string, core::NodeModel> nodes_;
+  std::map<int, core::CommTimes> comms_;
+};
+
+}  // namespace cannikin::sched

@@ -1,0 +1,53 @@
+// Event-driven multi-job simulation: several elastic Cannikin jobs
+// sharing one heterogeneous cluster under a scheduling policy.
+//
+// Jobs run on disjoint node sets. The driver advances the job whose
+// current epoch finishes first; when a job completes, its nodes are
+// returned and the remaining jobs are re-allocated (elastic scaling).
+// This is the experiment backing the Section 6 discussion: a scheduler
+// that may hand *mixed* GPU types to a single job, because Cannikin
+// absorbs the heterogeneity inside the job.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/elastic_job.h"
+#include "sched/scheduler.h"
+
+namespace cannikin::sched {
+
+enum class AllocationPolicy {
+  kGoodputScheduler,  ///< greedy marginal-goodput (heterogeneous mixes)
+  kStaticPartition,   ///< fixed contiguous partition, never re-allocated
+};
+
+struct MultiJobOptions {
+  AllocationPolicy policy = AllocationPolicy::kGoodputScheduler;
+  bool use_model_bank = true;
+  int max_epochs_per_job = 3000;
+  std::uint64_t seed = 1;
+  sim::NoiseConfig noise;
+};
+
+struct JobOutcome {
+  std::string workload;
+  double completion_seconds = 0.0;
+  int epochs = 0;
+  int reallocations = 0;
+  int warm_reallocations = 0;
+};
+
+struct MultiJobResult {
+  std::vector<JobOutcome> jobs;
+  double makespan = 0.0;
+  double mean_completion = 0.0;
+};
+
+/// Runs the given workloads to target on `cluster` under `options`.
+MultiJobResult run_multi_job(
+    const sim::ClusterSpec& cluster,
+    const std::vector<const workloads::Workload*>& jobs,
+    const MultiJobOptions& options = {});
+
+}  // namespace cannikin::sched

@@ -1,0 +1,127 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/goodput.h"
+#include "core/optperf.h"
+#include "sim/gpu.h"
+#include "sim/network.h"
+
+namespace cannikin::sched {
+
+GoodputScheduler::GoodputScheduler(sim::ClusterSpec cluster)
+    : cluster_(std::move(cluster)) {
+  if (cluster_.nodes.empty()) {
+    throw std::invalid_argument("GoodputScheduler: empty cluster");
+  }
+}
+
+double GoodputScheduler::estimated_goodput(
+    const SchedulerJobInfo& job, const std::vector<int>& node_ids) const {
+  if (job.workload == nullptr) {
+    throw std::invalid_argument("estimated_goodput: null workload");
+  }
+  if (node_ids.empty()) return 0.0;
+
+  // Catalog-derived performance models for the subset.
+  std::vector<core::NodeModel> models;
+  models.reserve(node_ids.size());
+  for (int id : node_ids) {
+    const auto& node = cluster_.nodes.at(static_cast<std::size_t>(id));
+    const sim::NodeTruth truth =
+        sim::derive_node_truth(node, job.workload->profile);
+    models.push_back({truth.q, truth.s, truth.k, truth.m,
+                      static_cast<double>(truth.max_local_batch)});
+  }
+  const auto schedule = sim::make_comm_schedule(
+      cluster_.network, job.workload->profile.gradient_bytes,
+      job.workload->profile.bucket_bytes,
+      static_cast<int>(node_ids.size()));
+  core::OptPerfSolver solver(
+      models,
+      {job.workload->profile.gamma, schedule.t_other, schedule.t_last});
+
+  const int min_batch =
+      std::max(job.workload->b0, 2 * static_cast<int>(node_ids.size()));
+  const auto candidates = core::batch_size_candidates(
+      min_batch, std::max(job.workload->max_total_batch, min_batch), 1.5);
+
+  const core::GoodputModel goodput(job.workload->b0);
+  double best = 0.0;
+  for (int candidate : candidates) {
+    const auto result = solver.solve(candidate);
+    if (!result.feasible || result.batch_time <= 0.0) continue;
+    best = std::max(
+        best, goodput.goodput(job.gns, candidate, result.batch_time));
+  }
+  return best;
+}
+
+std::vector<int> GoodputScheduler::allocate(
+    const std::vector<SchedulerJobInfo>& jobs) const {
+  const int n = cluster_.size();
+  std::vector<int> allocation(static_cast<std::size_t>(n), -1);
+  if (jobs.empty()) return allocation;
+
+  // Nodes ordered fastest-first so the seeding round hands each job a
+  // strong anchor node.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int lhs, int rhs) {
+    const auto speed = [&](int id) {
+      const auto& node = cluster_.nodes[static_cast<std::size_t>(id)];
+      return sim::gpu_spec(node.gpu).relative_speed * node.contention;
+    };
+    return speed(lhs) > speed(rhs);
+  });
+
+  std::vector<std::vector<int>> assigned(jobs.size());
+  std::size_t cursor = 0;
+
+  // Seeding: round-robin until every job has its min_nodes.
+  for (std::size_t job = 0; job < jobs.size(); ++job) {
+    const int want = std::max(jobs[job].min_nodes, 1);
+    while (static_cast<int>(assigned[job].size()) < want &&
+           cursor < order.size()) {
+      const int node = order[cursor++];
+      assigned[job].push_back(node);
+      allocation[static_cast<std::size_t>(node)] = static_cast<int>(job);
+    }
+  }
+
+  // Baseline goodputs for normalization (Pollux's speedup objective).
+  std::vector<double> base(jobs.size());
+  std::vector<double> current(jobs.size());
+  for (std::size_t job = 0; job < jobs.size(); ++job) {
+    base[job] = std::max(estimated_goodput(jobs[job], assigned[job]), 1e-12);
+    current[job] = base[job];
+  }
+
+  // Greedy marginal assignment of the remaining nodes.
+  for (; cursor < order.size(); ++cursor) {
+    const int node = order[cursor];
+    double best_gain = -std::numeric_limits<double>::infinity();
+    std::size_t best_job = 0;
+    double best_goodput = 0.0;
+    for (std::size_t job = 0; job < jobs.size(); ++job) {
+      std::vector<int> probe = assigned[job];
+      probe.push_back(node);
+      const double with_node = estimated_goodput(jobs[job], probe);
+      const double gain = (with_node - current[job]) / base[job];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_job = job;
+        best_goodput = with_node;
+      }
+    }
+    assigned[best_job].push_back(node);
+    current[best_job] = best_goodput;
+    allocation[static_cast<std::size_t>(node)] = static_cast<int>(best_job);
+  }
+  return allocation;
+}
+
+}  // namespace cannikin::sched

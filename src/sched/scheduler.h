@@ -1,0 +1,48 @@
+// Goodput-maximizing allocation of a heterogeneous cluster across
+// multiple Cannikin jobs (Section 6, "Adapt to schedulers").
+//
+// Existing dynamic schedulers allocate homogeneous node sets per job;
+// because Cannikin handles heterogeneity *inside* a job, the scheduler
+// is free to hand any mix of GPUs to any job. Allocation is greedy by
+// marginal normalized goodput: each job first receives one node, then
+// every remaining node goes to the job whose estimated goodput (via an
+// OptPerf solve on catalog-derived models -- the scheduler knows GPU
+// and host types, not job-measured coefficients) gains the most,
+// relative to its single-node goodput. This mirrors Pollux's
+// sum-of-speedups objective on heterogeneous hardware.
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "workloads/registry.h"
+
+namespace cannikin::sched {
+
+struct SchedulerJobInfo {
+  const workloads::Workload* workload = nullptr;
+  double gns = 0.0;   ///< current gradient noise scale (drives B choice)
+  int min_nodes = 1;  ///< smallest useful allocation
+};
+
+class GoodputScheduler {
+ public:
+  explicit GoodputScheduler(sim::ClusterSpec cluster);
+
+  /// Estimated goodput (effective samples/s) of `job` on the node-index
+  /// subset, using catalog-derived performance models.
+  double estimated_goodput(const SchedulerJobInfo& job,
+                           const std::vector<int>& node_ids) const;
+
+  /// Assigns every node to a job; allocation[i] is the job index for
+  /// cluster node i, or -1 when `jobs` is empty. Each job receives at
+  /// least min_nodes nodes when the cluster is large enough.
+  std::vector<int> allocate(const std::vector<SchedulerJobInfo>& jobs) const;
+
+  const sim::ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  sim::ClusterSpec cluster_;
+};
+
+}  // namespace cannikin::sched

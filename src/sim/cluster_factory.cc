@@ -1,0 +1,102 @@
+#include "sim/cluster_factory.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace cannikin::sim {
+
+namespace {
+
+NetworkModel lab_network() {
+  NetworkModel net;
+  net.bandwidth_bytes_per_s = 1.25e9;  // 10 Gbps
+  net.latency_s = 50e-6;
+  return net;
+}
+
+}  // namespace
+
+ClusterSpec cluster_a() {
+  ClusterSpec spec;
+  spec.name = "cluster-a";
+  // Hosts from Table 3: i9-10980XE (18C), Xeon W-2255 (10C),
+  // Xeon W-2102 (4C) -- one GPU each.
+  spec.nodes = {
+      {GpuModel::kA5000, "a5000", 1.0, 1.5},
+      {GpuModel::kA4000, "a4000", 1.0, 1.0},
+      {GpuModel::kP4000, "p4000", 1.0, 0.5},
+  };
+  spec.network = lab_network();
+  return spec;
+}
+
+ClusterSpec cluster_b() {
+  ClusterSpec spec;
+  spec.name = "cluster-b";
+  // Hosts from Table 4, expressed *per GPU*: the a100 and v100 servers
+  // pack 4 GPUs per dual-socket host (Platinum 8380x2 / Gold 6230x2),
+  // so each GPU gets a fraction of the host; the rtx servers dedicate a
+  // full dual Gold 6126 host to a single GPU. Host-per-GPU therefore
+  // anti-correlates with GPU speed -- the structural heterogeneity that
+  // separates overlap-aware OptPerf from compute-only balancing.
+  for (int i = 0; i < 4; ++i) {
+    spec.nodes.push_back(
+        {GpuModel::kA100, "a100-" + std::to_string(i), 1.0, 0.9});
+  }
+  for (int i = 0; i < 4; ++i) {
+    spec.nodes.push_back(
+        {GpuModel::kV100, "v100-" + std::to_string(i), 1.0, 0.55});
+  }
+  for (int i = 0; i < 8; ++i) {
+    spec.nodes.push_back(
+        {GpuModel::kRtx6000, "rtx-" + std::to_string(i), 1.0, 1.3});
+  }
+  spec.network = lab_network();
+  return spec;
+}
+
+ClusterSpec cluster_b_grouped() {
+  ClusterSpec spec = cluster_b();
+  spec.name = "cluster-b-grouped";
+  // a100 server, v100 server, eight standalone rtx servers.
+  spec.comm_groups = {0, 0, 0, 0, 1, 1, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  return spec;
+}
+
+ClusterSpec cluster_c() {
+  std::vector<double> contentions;
+  const double pattern[] = {1.0, 0.75, 0.55, 0.4};
+  for (int i = 0; i < 16; ++i) contentions.push_back(pattern[i % 4]);
+  return cluster_c(contentions);
+}
+
+ClusterSpec cluster_c(const std::vector<double>& contentions) {
+  ClusterSpec spec;
+  spec.name = "cluster-c";
+  for (std::size_t i = 0; i < contentions.size(); ++i) {
+    if (contentions[i] <= 0.0 || contentions[i] > 1.0) {
+      throw std::invalid_argument("cluster_c: contention must be in (0, 1]");
+    }
+    spec.nodes.push_back(
+        {GpuModel::kRtx6000, "rtx-" + std::to_string(i), contentions[i], 1.0});
+  }
+  spec.network = lab_network();
+  return spec;
+}
+
+ClusterSpec two_speed_cluster(int n, double ratio) {
+  if (n < 2) throw std::invalid_argument("two_speed_cluster: n < 2");
+  if (ratio < 1.0) throw std::invalid_argument("two_speed_cluster: ratio < 1");
+  ClusterSpec spec;
+  spec.name = "two-speed-" + std::to_string(n);
+  for (int i = 0; i < n; ++i) {
+    const bool fast = i < n / 2;
+    spec.nodes.push_back({GpuModel::kRtx6000,
+                          (fast ? "fast-" : "slow-") + std::to_string(i),
+                          fast ? 1.0 : 1.0 / ratio, 1.0});
+  }
+  spec.network = lab_network();
+  return spec;
+}
+
+}  // namespace cannikin::sim

@@ -1,0 +1,36 @@
+// Factories for the paper's evaluation clusters.
+//
+//   Cluster A (Table 3): 3 workstation nodes -- RTX A5000, RTX A4000,
+//     Quadro P4000, one GPU each, 10 Gbps Ethernet.
+//   Cluster B (Table 4): 16 GPUs on 10 servers -- 4x A100, 4x V100 and
+//     8x RTX 6000; each GPU is one data-parallel node.
+//   Cluster C (Section 6): 16x RTX 6000 made heterogeneous by co-located
+//     dummy workloads; `contentions` gives each node's remaining share.
+//   two_speed_cluster: synthetic cluster for the Section 6 heterogeneity
+//     sweep -- half fast nodes (speed `ratio`) and half slow ones.
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace cannikin::sim {
+
+ClusterSpec cluster_a();
+ClusterSpec cluster_b();
+
+/// Cluster B with its physical server topology exposed (Table 4: the
+/// four A100s share one server, the four V100s another, each RTX 6000
+/// its own), enabling BlueConnect-style hierarchical all-reduce.
+ClusterSpec cluster_b_grouped();
+
+/// 16-node RTX 6000 cluster with sharing-induced heterogeneity. The
+/// default contention pattern cycles {1.0, 0.75, 0.55, 0.4}.
+ClusterSpec cluster_c();
+ClusterSpec cluster_c(const std::vector<double>& contentions);
+
+/// n-node cluster, half at contention `ratio` (>= 1 is expressed by
+/// slowing the other half), used for the heterogeneity-degree study.
+ClusterSpec two_speed_cluster(int n, double ratio);
+
+}  // namespace cannikin::sim

@@ -1,0 +1,38 @@
+#include "sim/gpu.h"
+
+#include <algorithm>
+
+namespace cannikin::sim {
+
+const std::vector<GpuSpec>& gpu_catalog() {
+  // Relative speeds normalized to RTX 6000 = 1.0. A100 uses the paper's
+  // measured ratio (Section 6); the rest are scaled from FP16 TFLOPS and
+  // public MLPerf-style training throughput numbers.
+  static const std::vector<GpuSpec> catalog = {
+      {GpuModel::kP100, "p100", 0.55, 16.0, 21.2},
+      {GpuModel::kV100, "v100", 1.40, 32.0, 31.4},
+      {GpuModel::kA100, "a100", 3.42, 40.0, 77.97},
+      {GpuModel::kH100, "h100", 8.00, 80.0, 204.9},
+      {GpuModel::kRtx6000, "rtx6000", 1.00, 24.0, 32.6},
+      {GpuModel::kA5000, "a5000", 1.90, 24.0, 27.8},
+      {GpuModel::kA4000, "a4000", 1.20, 16.0, 19.2},
+      {GpuModel::kP4000, "p4000", 0.45, 8.0, 5.3},
+  };
+  return catalog;
+}
+
+const GpuSpec& gpu_spec(GpuModel model) {
+  for (const auto& spec : gpu_catalog()) {
+    if (spec.model == model) return spec;
+  }
+  throw std::invalid_argument("gpu_spec: unknown model");
+}
+
+GpuModel parse_gpu_model(const std::string& name) {
+  for (const auto& spec : gpu_catalog()) {
+    if (spec.name == name) return spec.model;
+  }
+  throw std::invalid_argument("parse_gpu_model: unknown name: " + name);
+}
+
+}  // namespace cannikin::sim

@@ -1,0 +1,47 @@
+// GPU catalog for the simulated clusters.
+//
+// The paper evaluates on real NVIDIA GPUs (Tables 1, 3 and 4). We model
+// each GPU type by a single relative speed factor: the throughput of the
+// device on typical DNN training kernels normalized to an RTX 6000
+// (cluster B's slowest GPU). Speeds are calibrated from the paper where
+// given (Section 6: A100 = 3.42x RTX 6000) and from the FP16 TFLOPS of
+// Table 1 otherwise; absolute accuracy is unnecessary because every
+// result we reproduce is a ratio between policies run on the *same*
+// simulated hardware.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cannikin::sim {
+
+enum class GpuModel {
+  kP100,
+  kV100,
+  kA100,
+  kH100,
+  kRtx6000,
+  kA5000,
+  kA4000,
+  kP4000,
+};
+
+struct GpuSpec {
+  GpuModel model;
+  std::string name;
+  double relative_speed;  ///< throughput relative to RTX 6000
+  double memory_gb;       ///< device memory, caps the local batch size
+  double fp16_tflops;     ///< Table 1 (informational)
+};
+
+/// Returns the catalog entry for a GPU model; throws on unknown model.
+const GpuSpec& gpu_spec(GpuModel model);
+
+/// All catalog entries (Table 1 plus the workstation GPUs of Table 3).
+const std::vector<GpuSpec>& gpu_catalog();
+
+/// Parses a catalog name ("a100", "rtx6000", ...); throws on unknown.
+GpuModel parse_gpu_model(const std::string& name);
+
+}  // namespace cannikin::sim

@@ -1,0 +1,85 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace cannikin::sim {
+
+double NetworkModel::all_reduce_time(double bytes, int n) const {
+  if (n <= 0) throw std::invalid_argument("all_reduce_time: n must be > 0");
+  if (n == 1) return 0.0;
+  const double steps = 2.0 * (n - 1);
+  return steps * (bytes / n) / bandwidth_bytes_per_s + steps * latency_s;
+}
+
+double NetworkModel::hierarchical_all_reduce_time(
+    double bytes, const std::vector<int>& groups) const {
+  const int n = static_cast<int>(groups.size());
+  if (n <= 0) {
+    throw std::invalid_argument("hierarchical_all_reduce_time: no nodes");
+  }
+  if (n == 1) return 0.0;
+  // Largest server size and distinct-server count.
+  std::map<int, int> sizes;
+  for (int g : groups) ++sizes[g];
+  int largest = 1;
+  for (const auto& [group, size] : sizes) {
+    (void)group;
+    largest = std::max(largest, size);
+  }
+  const int servers = static_cast<int>(sizes.size());
+  if (largest == 1) return all_reduce_time(bytes, n);
+
+  double total = 0.0;
+  if (largest > 1) {
+    total += 2.0 * (largest - 1) / largest * bytes /
+             intra_bandwidth_bytes_per_s;
+    total += 2.0 * (largest - 1) * latency_s;
+  }
+  if (servers > 1) {
+    total += 2.0 * (servers - 1) / servers * (bytes / largest) /
+             bandwidth_bytes_per_s;
+    total += 2.0 * (servers - 1) * latency_s;
+  }
+  return total;
+}
+
+double CommSchedule::bucket_time(int j) const {
+  if (j < 0 || j >= num_buckets) {
+    throw std::out_of_range("CommSchedule::bucket_time: bad index");
+  }
+  if (j == num_buckets - 1) return t_last;
+  return t_other / (num_buckets - 1);
+}
+
+CommSchedule make_comm_schedule(const NetworkModel& net, double gradient_bytes,
+                                double bucket_bytes,
+                                const std::vector<int>& groups) {
+  CommSchedule schedule = make_comm_schedule(net, gradient_bytes, bucket_bytes,
+                                             static_cast<int>(groups.size()));
+  const double total =
+      net.hierarchical_all_reduce_time(gradient_bytes, groups);
+  schedule.t_last = total / schedule.num_buckets;
+  schedule.t_other = total - schedule.t_last;
+  return schedule;
+}
+
+CommSchedule make_comm_schedule(const NetworkModel& net, double gradient_bytes,
+                                double bucket_bytes, int n) {
+  if (gradient_bytes <= 0.0 || bucket_bytes <= 0.0) {
+    throw std::invalid_argument("make_comm_schedule: sizes must be positive");
+  }
+  CommSchedule schedule;
+  schedule.num_buckets = static_cast<int>(
+      std::max(1.0, std::ceil(gradient_bytes / bucket_bytes)));
+  const double total = net.all_reduce_time(gradient_bytes, n);
+  // Buckets are near-equal sized, so the last bucket carries 1/num_buckets
+  // of the total synchronization time.
+  schedule.t_last = total / schedule.num_buckets;
+  schedule.t_other = total - schedule.t_last;
+  return schedule;
+}
+
+}  // namespace cannikin::sim

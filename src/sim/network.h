@@ -1,0 +1,62 @@
+// Network model for gradient synchronization.
+//
+// The paper (Section 3.2.2) models ring all-reduce time as a learnable
+// constant for a fixed job and cluster: it depends on the gradient size
+// and network status but not on batch sizes. We derive that constant
+// from the classic ring all-reduce cost model (Patarasuk & Yuan): for n
+// nodes exchanging S bytes over links of bandwidth W with per-hop
+// latency L, each of the 2(n-1) steps moves S/n bytes, giving
+//   T = 2 (n-1) (S / n) / W + 2 (n-1) L.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cannikin::sim {
+
+struct NetworkModel {
+  double bandwidth_bytes_per_s = 1.25e9;        ///< 10 Gbps default
+  double latency_s = 50e-6;                     ///< per ring step
+  double intra_bandwidth_bytes_per_s = 25e9;    ///< PCIe/NVLink inside a server
+
+  /// Ring all-reduce time for `bytes` across `n` nodes.
+  double all_reduce_time(double bytes, int n) const;
+
+  /// BlueConnect-style hierarchical all-reduce (Cho et al., MLSys'19):
+  /// `groups[i]` is node i's server id. Phase 1 reduce-scatters within
+  /// each server over the fast intra links; phase 2 runs ring
+  /// all-reduces *across* servers, each GPU carrying 1/g of the buffer
+  /// in parallel; phase 3 all-gathers within the server. With the
+  /// largest server size g and G distinct servers:
+  ///   T = 2 (g-1)/g * S / W_intra + 2 (G-1)/G * (S/g) / W_inter + lat.
+  /// Falls back to the flat ring when every group has one node.
+  double hierarchical_all_reduce_time(double bytes,
+                                      const std::vector<int>& groups) const;
+};
+
+/// Per-bucket communication schedule for a bucketized all-reduce:
+/// buckets 0..num_buckets-2 together take `t_other` (T_o), the last
+/// bucket takes `t_last` (T_u); total is T_comm.
+struct CommSchedule {
+  int num_buckets = 1;
+  double t_other = 0.0;  ///< T_o: all buckets except the last
+  double t_last = 0.0;   ///< T_u: the last bucket
+
+  double total() const { return t_other + t_last; }
+  /// Time of bucket j in synchronization order (0-based).
+  double bucket_time(int j) const;
+};
+
+/// Builds the communication schedule for a gradient of `gradient_bytes`
+/// split into buckets of at most `bucket_bytes`, all-reduced over `n`
+/// nodes through `net`.
+CommSchedule make_comm_schedule(const NetworkModel& net, double gradient_bytes,
+                                double bucket_bytes, int n);
+
+/// Hierarchical variant: total time from
+/// NetworkModel::hierarchical_all_reduce_time, bucketized identically.
+CommSchedule make_comm_schedule(const NetworkModel& net, double gradient_bytes,
+                                double bucket_bytes,
+                                const std::vector<int>& groups);
+
+}  // namespace cannikin::sim

@@ -1,0 +1,72 @@
+// The Table 5 workload registry.
+//
+// Each workload bundles
+//  - the compute-cost profile (sim::JobProfile) calibrated to public
+//    throughput numbers for the real model on an RTX 6000,
+//  - the batch-size range (B0 from Table 5, a memory-derived maximum),
+//  - the optimizer / LR-scaler of Table 5 (informational for the
+//    simulated runs; the dnn substrate uses them for real training), and
+//  - a convergence model: training must accumulate
+//        target_progress = epochs_at_b0 * dataset_size
+//    effective samples, where a batch of size B under gradient noise
+//    scale phi contributes B * E(B) = B * (phi + B0) / (phi + B)
+//    effective samples (the Pollux goodput model the paper builds on),
+//    and phi follows a geometric trajectory from gns_initial to
+//    gns_final as training progresses -- matching the empirical growth
+//    of the GNS over training (McCandlish et al.).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace cannikin::workloads {
+
+enum class OptimizerKind { kSgd, kAdam, kAdamW };
+enum class LrScalerKind { kAdaScale, kSquareRoot };
+
+struct Workload {
+  std::string name;       ///< short id: cifar10, imagenet, ...
+  std::string task;       ///< Table 5 "Task"
+  std::string dataset;    ///< Table 5 "Dataset"
+  std::string model;      ///< Table 5 "Model"
+  double model_params;    ///< parameter count (Table 5 "Size")
+  OptimizerKind optimizer;
+  LrScalerKind lr_scaler;
+  std::string target;     ///< Table 5 "Target"
+
+  sim::JobProfile profile;     ///< ground-truth compute/comm costs
+  std::size_t dataset_size;    ///< samples per epoch
+  int b0;                      ///< initial total batch size (Table 5)
+  int max_total_batch;         ///< upper end of the batch-size range
+
+  double epochs_at_b0;   ///< epochs to target when training at B0
+  double gns_initial;    ///< noise scale at the start of training
+  double gns_final;      ///< noise scale near convergence
+
+  /// Geometric GNS trajectory over progress fraction in [0, 1].
+  double gns_at(double progress_fraction) const;
+
+  /// Effective samples required to reach the target metric.
+  double target_progress() const {
+    return epochs_at_b0 * static_cast<double>(dataset_size);
+  }
+
+  /// Statistical efficiency E(B) at a progress point.
+  double efficiency(double total_batch, double progress_fraction) const;
+
+  /// Maps a progress fraction to a plot-friendly metric value rising
+  /// from `metric_floor` to `metric_target` with saturating shape.
+  double metric_at(double progress_fraction) const;
+  double metric_floor = 0.0;
+  double metric_target = 1.0;
+};
+
+/// All five Table 5 workloads.
+const std::vector<Workload>& registry();
+
+/// Lookup by short id; throws on unknown name.
+const Workload& by_name(const std::string& name);
+
+}  // namespace cannikin::workloads

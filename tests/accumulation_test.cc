@@ -1,0 +1,160 @@
+// Tests for gradient accumulation: the solver's accumulated plans, the
+// simulator's no_sync micro-step timing, and the controller growing the
+// batch past the cluster's memory capacity.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/optperf.h"
+#include "experiments/cannikin_system.h"
+#include "experiments/harness.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+namespace cannikin {
+namespace {
+
+core::OptPerfSolver truth_solver(const sim::ClusterJob& job) {
+  std::vector<core::NodeModel> models;
+  for (int i = 0; i < job.size(); ++i) {
+    const auto& t = job.truth(i);
+    models.push_back(
+        {t.q, t.s, t.k, t.m, static_cast<double>(t.max_local_batch)});
+  }
+  return core::OptPerfSolver(
+      models, {job.gamma(), job.comm().t_other, job.comm().t_last});
+}
+
+TEST(SolveAccumulated, WithinMemoryPrefersSingleStep) {
+  // SQuAD's heavy fixed costs mean extra micro-steps only add time.
+  // Cluster A's memory caps the per-step batch at ~63 samples for BERT,
+  // so probe below that.
+  sim::ClusterJob job(sim::cluster_a(), workloads::by_name("squad").profile,
+                      sim::NoiseConfig::none(), 1);
+  const auto solver = truth_solver(job);
+  ASSERT_GT(solver.cap_sum(), 48.0);
+  const auto plan = solver.solve_accumulated(48, 4);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.steps, 1);
+  EXPECT_NEAR(plan.step_time, solver.solve(48).batch_time, 1e-12);
+}
+
+TEST(SolveAccumulated, BeyondMemoryUsesEnoughSteps) {
+  sim::ClusterJob job(sim::cluster_a(), workloads::by_name("squad").profile,
+                      sim::NoiseConfig::none(), 1);
+  const auto solver = truth_solver(job);
+  const double caps = solver.cap_sum();
+  ASSERT_LT(caps, 200.0);  // cluster A is genuinely memory-tight for BERT
+
+  const int total = static_cast<int>(2.5 * caps);
+  const auto plan = solver.solve_accumulated(total, 4);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_GE(plan.steps, 3);  // ceil(2.5) micro-steps at least
+  EXPECT_LE(plan.micro_total, static_cast<int>(caps) + 1);
+  // Step time: (m-1) compute-only micro-batches + one overlapped one.
+  EXPECT_GT(plan.step_time, solver.solve(plan.micro_total).batch_time);
+}
+
+TEST(SolveAccumulated, StepTimeMatchesSimulatedNoSyncTiming) {
+  sim::ClusterJob job(sim::cluster_a(), workloads::by_name("squad").profile,
+                      sim::NoiseConfig::none(), 1);
+  const auto solver = truth_solver(job);
+  const auto plan = solver.solve_accumulated(
+      static_cast<int>(2.0 * solver.cap_sum()), 4);
+
+  const auto obs =
+      job.run_epoch(plan.micro.local_batches_int, 3, plan.steps);
+  // Continuous-vs-integer rounding is the only slack.
+  EXPECT_NEAR(obs.avg_batch_time, plan.step_time, 0.02 * plan.step_time);
+}
+
+TEST(SolveAccumulated, Validation) {
+  sim::ClusterJob job(sim::cluster_a(), workloads::by_name("squad").profile,
+                      sim::NoiseConfig::none(), 1);
+  const auto solver = truth_solver(job);
+  EXPECT_THROW(solver.solve_accumulated(0.0), std::invalid_argument);
+  EXPECT_THROW(solver.solve_accumulated(10.0, 0), std::invalid_argument);
+  // Unreachable batch: flagged infeasible, best-effort plan returned.
+  const auto plan = solver.solve_accumulated(100.0 * solver.cap_sum(), 2);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(RunEpoch, AccumulationAddsComputeOnlyMicroSteps) {
+  sim::ClusterJob job(sim::cluster_a(), workloads::by_name("squad").profile,
+                      sim::NoiseConfig::none(), 1);
+  const std::vector<int> micro{40, 30, 15};
+  const auto plain = job.run_epoch(micro, 2, 1);
+  const auto accumulated = job.run_epoch(micro, 2, 3);
+
+  double compute = 0.0;
+  for (int i = 0; i < job.size(); ++i) {
+    compute = std::max(
+        compute, job.truth(i).compute(micro[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_NEAR(accumulated.avg_batch_time,
+              plain.avg_batch_time + 2.0 * compute, 1e-9);
+  EXPECT_THROW(job.run_epoch(micro, 2, 0), std::invalid_argument);
+}
+
+TEST(Controller, GrowsBatchPastMemoryWithAccumulation) {
+  // BERT on cluster A: memory caps the per-step batch at ~105 samples,
+  // but late-training GNS justifies a larger one. With accumulation the
+  // controller must exceed the memory bound; without it, it cannot.
+  const auto& workload = workloads::by_name("squad");
+  sim::ClusterJob job(sim::cluster_a(), workload.profile,
+                      sim::NoiseConfig::none(), 1);
+  std::vector<double> caps;
+  double cap_sum = 0.0;
+  for (int i = 0; i < job.size(); ++i) {
+    caps.push_back(job.max_local_batch(i));
+    cap_sum += caps.back();
+  }
+
+  auto run = [&](int max_accumulation) {
+    core::ControllerOptions options;
+    options.initial_total_batch = workload.b0;
+    options.max_total_batch = workload.max_total_batch;
+    options.max_accumulation_steps = max_accumulation;
+    core::CannikinController controller(job.size(), caps, options);
+    int last_total = 0;
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      controller.update_gns_value(1e6);  // huge noise: wants max batch
+      const auto plan = controller.plan_epoch();
+      last_total = plan.total_batch;
+      const auto obs = job.run_epoch(plan.local_batches, 8,
+                                     plan.accumulation_steps);
+      std::vector<int> b;
+      std::vector<double> a, p, g, to, tu;
+      for (const auto& node : obs.nodes) {
+        b.push_back(node.local_batch);
+        a.push_back(node.a);
+        p.push_back(node.p);
+        g.push_back(node.gamma);
+        to.push_back(node.t_other);
+        tu.push_back(node.t_last);
+      }
+      controller.observe_epoch(b, a, p, g, to, tu);
+    }
+    return last_total;
+  };
+
+  EXPECT_LE(run(1), static_cast<int>(cap_sum));
+  EXPECT_GT(run(4), static_cast<int>(cap_sum));
+}
+
+TEST(Harness, AccumulatedRunReachesTargetOnMemoryTightCluster) {
+  const auto& workload = workloads::by_name("squad");
+  sim::ClusterJob job(sim::cluster_a(), workload.profile, sim::NoiseConfig{},
+                      5);
+  std::vector<double> caps;
+  for (int i = 0; i < job.size(); ++i) caps.push_back(job.max_local_batch(i));
+  experiments::CannikinSystem system(job.size(), caps, workload.b0,
+                                     workload.max_total_batch);
+  experiments::HarnessOptions options;
+  options.max_epochs = 100;
+  const auto trace =
+      experiments::run_to_target(job, workload, system, options);
+  EXPECT_TRUE(trace.reached_target);
+}
+
+}  // namespace
+}  // namespace cannikin

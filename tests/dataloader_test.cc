@@ -1,0 +1,130 @@
+// Tests for HeteroDataLoader (Section 4.5) and the Eq. (9) gradient
+// aggregation helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/gradient_agg.h"
+#include "core/hetero_dataloader.h"
+
+namespace cannikin::core {
+namespace {
+
+TEST(HeteroDataLoader, EverySampleExactlyOncePerEpoch) {
+  HeteroDataLoader loader(1000, {30, 20, 10}, 1);
+  EXPECT_EQ(loader.total_batch(), 60);
+  EXPECT_EQ(loader.num_batches(), 17);  // ceil(1000 / 60)
+
+  std::set<std::size_t> seen;
+  for (int batch = 0; batch < loader.num_batches(); ++batch) {
+    for (int node = 0; node < loader.num_nodes(); ++node) {
+      for (std::size_t index : loader.batch_for_node(batch, node)) {
+        EXPECT_TRUE(seen.insert(index).second)
+            << "index " << index << " assigned twice";
+        EXPECT_LT(index, 1000u);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HeteroDataLoader, FullBatchesMatchRequestedSplit) {
+  HeteroDataLoader loader(1000, {30, 20, 10}, 2);
+  for (int batch = 0; batch + 1 < loader.num_batches(); ++batch) {
+    EXPECT_EQ(loader.batch_size_for_node(batch, 0), 30);
+    EXPECT_EQ(loader.batch_size_for_node(batch, 1), 20);
+    EXPECT_EQ(loader.batch_size_for_node(batch, 2), 10);
+  }
+}
+
+TEST(HeteroDataLoader, PartialFinalBatchSplitsProportionally) {
+  // 1000 = 16 * 60 + 40: the last batch has 40 samples, split 2:1:...
+  HeteroDataLoader loader(1000, {30, 20, 10}, 3);
+  const int last = loader.num_batches() - 1;
+  int total = 0;
+  for (int node = 0; node < 3; ++node) {
+    total += loader.batch_size_for_node(last, node);
+  }
+  EXPECT_EQ(total, 40);
+  EXPECT_EQ(loader.batch_size_for_node(last, 0), 20);
+  EXPECT_EQ(loader.batch_size_for_node(last, 1), 13);
+  EXPECT_EQ(loader.batch_size_for_node(last, 2), 7);
+}
+
+TEST(HeteroDataLoader, ZeroBatchNodeGetsNothing) {
+  HeteroDataLoader loader(100, {10, 0, 10}, 4);
+  for (int batch = 0; batch < loader.num_batches(); ++batch) {
+    EXPECT_EQ(loader.batch_size_for_node(batch, 1), 0);
+  }
+}
+
+TEST(HeteroDataLoader, ShuffleDependsOnSeed) {
+  HeteroDataLoader a(100, {10, 10}, 1);
+  HeteroDataLoader b(100, {10, 10}, 2);
+  HeteroDataLoader c(100, {10, 10}, 1);
+  const auto sa = a.batch_for_node(0, 0);
+  const auto sb = b.batch_for_node(0, 0);
+  const auto sc = c.batch_for_node(0, 0);
+  EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sc.begin()));
+  EXPECT_FALSE(std::equal(sa.begin(), sa.end(), sb.begin()));
+}
+
+TEST(HeteroDataLoader, DatasetSmallerThanTotalBatch) {
+  HeteroDataLoader loader(25, {30, 20, 10}, 5);
+  EXPECT_EQ(loader.num_batches(), 1);
+  int total = 0;
+  for (int node = 0; node < 3; ++node) {
+    total += loader.batch_size_for_node(0, node);
+  }
+  EXPECT_EQ(total, 25);
+}
+
+TEST(HeteroDataLoader, Validation) {
+  EXPECT_THROW(HeteroDataLoader(0, {10}, 1), std::invalid_argument);
+  EXPECT_THROW(HeteroDataLoader(10, {}, 1), std::invalid_argument);
+  EXPECT_THROW(HeteroDataLoader(10, {0, 0}, 1), std::invalid_argument);
+  EXPECT_THROW(HeteroDataLoader(10, {-1, 2}, 1), std::invalid_argument);
+  HeteroDataLoader loader(100, {10, 10}, 1);
+  EXPECT_THROW(loader.batch_for_node(100, 0), std::out_of_range);
+  EXPECT_THROW(loader.batch_for_node(0, 5), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- Eq. (9)
+
+TEST(AggregationWeights, ProportionalAndNormalized) {
+  const auto weights = aggregation_weights({10, 30, 60});
+  EXPECT_DOUBLE_EQ(weights[0], 0.1);
+  EXPECT_DOUBLE_EQ(weights[1], 0.3);
+  EXPECT_DOUBLE_EQ(weights[2], 0.6);
+}
+
+TEST(AggregationWeights, Validation) {
+  EXPECT_THROW(aggregation_weights({-1, 2}), std::invalid_argument);
+  EXPECT_THROW(aggregation_weights({0, 0}), std::invalid_argument);
+}
+
+TEST(AggregateGradients, EqualsSampleAverage) {
+  // Three nodes with per-sample gradients g = 1, 2, 4; Eq. (9) must
+  // reproduce the full-batch sample average.
+  const std::vector<std::vector<double>> locals{{1.0}, {2.0}, {4.0}};
+  const std::vector<int> batches{10, 20, 10};
+  const auto global = aggregate_gradients(locals, batches);
+  // (10*1 + 20*2 + 10*4) / 40 = 2.25.
+  EXPECT_DOUBLE_EQ(global[0], 2.25);
+}
+
+TEST(AggregateGradients, EqualBatchesReduceToMean) {
+  const std::vector<std::vector<double>> locals{{2.0, 4.0}, {6.0, 8.0}};
+  const auto global = aggregate_gradients(locals, {16, 16});
+  EXPECT_DOUBLE_EQ(global[0], 4.0);
+  EXPECT_DOUBLE_EQ(global[1], 6.0);
+}
+
+TEST(AggregateGradients, Validation) {
+  EXPECT_THROW(aggregate_gradients({}, {}), std::invalid_argument);
+  EXPECT_THROW(aggregate_gradients({{1.0}, {1.0, 2.0}}, {1, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cannikin::core

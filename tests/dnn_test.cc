@@ -1,0 +1,433 @@
+// Tests for the training substrate: tensors, layers (finite-difference
+// gradient checks), losses, models, optimizers, datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "dnn/data.h"
+#include "dnn/layers.h"
+#include "dnn/loss.h"
+#include "dnn/model.h"
+#include "dnn/optimizer.h"
+#include "dnn/tensor.h"
+
+namespace cannikin::dnn {
+namespace {
+
+// ----------------------------------------------------------------- tensor
+
+TEST(Tensor, ShapeAndFill) {
+  Tensor t({2, 3}, 1.5);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 1.5);
+  t.fill(0.0);
+  EXPECT_DOUBLE_EQ(t[5], 0.0);
+  EXPECT_THROW(Tensor(std::vector<std::size_t>{}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) t[i] = static_cast<double>(i);
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_DOUBLE_EQ(r.at(2, 1), 5.0);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, MatmulAgainstHandComputed) {
+  Tensor a = Tensor::matrix(2, 3);
+  Tensor b = Tensor::matrix(3, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a[i] = static_cast<double>(i + 1);       // [[1,2,3],[4,5,6]]
+    b[i] = static_cast<double>(6 - i);       // [[6,5],[4,3],[2,1]]
+  }
+  const Tensor c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1 * 6 + 2 * 4 + 3 * 2);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 4 * 5 + 5 * 3 + 6 * 1);
+}
+
+TEST(Tensor, TransposedVariantsAgreeWithMatmul) {
+  Rng rng(1);
+  Tensor a = Tensor::matrix(4, 3);
+  Tensor b = Tensor::matrix(5, 3);
+  Tensor c = Tensor::matrix(4, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.normal();
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.normal();
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = rng.normal();
+
+  // a * b^T via matmul_transposed.
+  const Tensor abt = matmul_transposed(a, b);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t col = 0; col < 5; ++col) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) expected += a.at(r, k) * b.at(col, k);
+      EXPECT_NEAR(abt.at(r, col), expected, 1e-12);
+    }
+  }
+  // a^T * c via transposed_matmul.
+  const Tensor atc = transposed_matmul(a, c);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t col = 0; col < 5; ++col) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) expected += a.at(k, r) * c.at(k, col);
+      EXPECT_NEAR(atc.at(r, col), expected, 1e-12);
+    }
+  }
+}
+
+// ------------------------------------------------- gradient check helpers
+
+// Numerically checks dLoss/dInput and dLoss/dParams of a model against
+// central finite differences, where Loss = sum(output * probe) for a
+// fixed random probe tensor (covers arbitrary upstream gradients).
+void gradient_check(Model& model, const Tensor& input, double tolerance) {
+  Rng rng(99);
+  Tensor output = model.forward(input);
+  Tensor probe = output;
+  for (std::size_t i = 0; i < probe.size(); ++i) probe[i] = rng.normal();
+
+  auto loss_at = [&](const Tensor& x) {
+    const Tensor out = model.forward(x);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) total += out[i] * probe[i];
+    return total;
+  };
+
+  model.zero_grads();
+  model.forward(input);
+  model.backward(probe);
+  const std::vector<double> analytic_param_grads = model.flat_grads();
+
+  // Parameter gradients.
+  const std::vector<double> params = model.flat_params();
+  const double eps = 1e-5;
+  for (std::size_t p = 0; p < params.size(); p += std::max<std::size_t>(
+           1, params.size() / 25)) {  // probe ~25 parameters
+    std::vector<double> bumped = params;
+    bumped[p] += eps;
+    model.set_flat_params(bumped);
+    const double up = loss_at(input);
+    bumped[p] -= 2 * eps;
+    model.set_flat_params(bumped);
+    const double down = loss_at(input);
+    model.set_flat_params(params);
+    EXPECT_NEAR(analytic_param_grads[p], (up - down) / (2 * eps), tolerance)
+        << "param " << p;
+  }
+}
+
+// Per-layer input gradient check (Model::backward does not expose the
+// input gradient, so dInput is validated layer by layer).
+void layer_input_gradient_check(Layer& layer, const Tensor& input,
+                                double tolerance) {
+  Rng rng(7);
+  Tensor output = layer.forward(input);
+  Tensor probe = output;
+  for (std::size_t i = 0; i < probe.size(); ++i) probe[i] = rng.normal();
+
+  layer.zero_grads();
+  layer.forward(input);
+  const Tensor analytic = layer.backward(probe);
+
+  const double eps = 1e-5;
+  auto loss_at = [&](const Tensor& x) {
+    Tensor out = layer.forward(x);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) total += out[i] * probe[i];
+    return total;
+  };
+  for (std::size_t i = 0; i < input.size();
+       i += std::max<std::size_t>(1, input.size() / 20)) {
+    Tensor bumped = input;
+    bumped[i] += eps;
+    const double up = loss_at(bumped);
+    bumped[i] -= 2 * eps;
+    const double down = loss_at(bumped);
+    EXPECT_NEAR(analytic[i], (up - down) / (2 * eps), tolerance)
+        << "input " << i;
+  }
+}
+
+Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.normal();
+  return t;
+}
+
+// ----------------------------------------------------------------- layers
+
+TEST(Linear, GradientCheck) {
+  Rng rng(1);
+  Model model;
+  model.add(std::make_unique<Linear>(5, 4));
+  model.init(rng);
+  gradient_check(model, random_tensor({3, 5}, rng), 1e-6);
+
+  Linear layer(5, 4);
+  layer.init(rng);
+  layer_input_gradient_check(layer, random_tensor({3, 5}, rng), 1e-6);
+}
+
+TEST(ReLUAndTanh, InputGradientCheck) {
+  Rng rng(2);
+  ReLU relu;
+  layer_input_gradient_check(relu, random_tensor({4, 6}, rng), 1e-5);
+  Tanh tanh_layer;
+  layer_input_gradient_check(tanh_layer, random_tensor({4, 6}, rng), 1e-5);
+}
+
+TEST(Conv2d, GradientCheck) {
+  Rng rng(3);
+  Model model;
+  model.add(std::make_unique<Conv2d>(2, 3, 3, 1));
+  model.init(rng);
+  gradient_check(model, random_tensor({2, 2, 6, 6}, rng), 1e-5);
+
+  Conv2d layer(2, 3, 3, 1);
+  layer.init(rng);
+  layer_input_gradient_check(layer, random_tensor({2, 2, 6, 6}, rng), 1e-5);
+}
+
+TEST(Conv2d, OutputShapeWithPadding) {
+  Rng rng(4);
+  Conv2d same(1, 2, 3, 1);
+  same.init(rng);
+  const Tensor out = same.forward(random_tensor({1, 1, 8, 8}, rng));
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{1, 2, 8, 8}));
+
+  Conv2d valid(1, 2, 3, 0);
+  valid.init(rng);
+  const Tensor out2 = valid.forward(random_tensor({1, 1, 8, 8}, rng));
+  EXPECT_EQ(out2.shape(), (std::vector<std::size_t>{1, 2, 6, 6}));
+}
+
+TEST(AvgPool2x2, ForwardAveragesAndBackwardCheck) {
+  Rng rng(5);
+  AvgPool2x2 pool;
+  Tensor input({1, 1, 2, 2});
+  input[0] = 1.0;
+  input[1] = 2.0;
+  input[2] = 3.0;
+  input[3] = 4.0;
+  const Tensor out = pool.forward(input);
+  EXPECT_DOUBLE_EQ(out[0], 2.5);
+  layer_input_gradient_check(pool, random_tensor({2, 3, 4, 4}, rng), 1e-6);
+  EXPECT_THROW(pool.forward(Tensor({1, 1, 3, 3})), std::invalid_argument);
+}
+
+TEST(Flatten, RoundTrip) {
+  Rng rng(6);
+  Flatten flatten;
+  const Tensor input = random_tensor({2, 3, 4, 4}, rng);
+  const Tensor out = flatten.forward(input);
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{2, 48}));
+  const Tensor back = flatten.backward(out);
+  EXPECT_EQ(back.shape(), input.shape());
+}
+
+// ----------------------------------------------------------------- losses
+
+TEST(SoftmaxCrossEntropy, KnownValueAndGradientCheck) {
+  Tensor logits = Tensor::matrix(1, 2);
+  logits[0] = 0.0;
+  logits[1] = 0.0;
+  const auto result = softmax_cross_entropy(logits, {0});
+  EXPECT_NEAR(result.value, std::log(2.0), 1e-12);
+  EXPECT_NEAR(result.grad[0], 0.5 - 1.0, 1e-12);
+  EXPECT_NEAR(result.grad[1], 0.5, 1e-12);
+
+  // Finite-difference check.
+  Rng rng(7);
+  Tensor x = random_tensor({3, 5}, rng);
+  const std::vector<int> labels{1, 4, 2};
+  const auto loss = softmax_cross_entropy(x, labels);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Tensor bumped = x;
+    bumped[i] += eps;
+    const double up = softmax_cross_entropy(bumped, labels).value;
+    bumped[i] -= 2 * eps;
+    const double down = softmax_cross_entropy(bumped, labels).value;
+    EXPECT_NEAR(loss.grad[i], (up - down) / (2 * eps), 1e-6);
+  }
+  EXPECT_THROW(softmax_cross_entropy(x, {1, 9, 2}), std::invalid_argument);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits = Tensor::matrix(2, 3);
+  logits.at(0, 1) = 5.0;  // predicts 1
+  logits.at(1, 0) = 5.0;  // predicts 0
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 2}), 0.5);
+}
+
+TEST(Mse, ValueAndGradient) {
+  Tensor pred = Tensor::matrix(2, 1);
+  Tensor target = Tensor::matrix(2, 1);
+  pred[0] = 1.0;
+  pred[1] = 3.0;
+  target[0] = 0.0;
+  target[1] = 1.0;
+  const auto result = mse(pred, target);
+  EXPECT_NEAR(result.value, (1.0 + 4.0) / 2.0, 1e-12);
+  EXPECT_NEAR(result.grad[0], 2.0 * 1.0 / 2.0, 1e-12);
+}
+
+TEST(BceWithLogits, MatchesDirectFormulaAndGradientCheck) {
+  Rng rng(8);
+  Tensor logits = random_tensor({4, 1}, rng);
+  const std::vector<double> targets{1.0, 0.0, 1.0, 0.0};
+  const auto result = bce_with_logits(logits, targets);
+
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double p = 1.0 / (1.0 + std::exp(-logits[i]));
+    expected += -(targets[i] * std::log(p) + (1 - targets[i]) * std::log(1 - p));
+  }
+  EXPECT_NEAR(result.value, expected / 4.0, 1e-9);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 4; ++i) {
+    Tensor bumped = logits;
+    bumped[i] += eps;
+    const double up = bce_with_logits(bumped, targets).value;
+    bumped[i] -= 2 * eps;
+    const double down = bce_with_logits(bumped, targets).value;
+    EXPECT_NEAR(result.grad[i], (up - down) / (2 * eps), 1e-6);
+  }
+}
+
+// ------------------------------------------------------------------ model
+
+TEST(Model, FlatParamRoundTrip) {
+  Rng rng(9);
+  Model model = make_mlp(10, 8, 2, 3);
+  model.init(rng);
+  const auto params = model.flat_params();
+  EXPECT_EQ(params.size(), model.num_params());
+  EXPECT_EQ(params.size(), 10u * 8 + 8 + 8u * 8 + 8 + 8u * 3 + 3);
+
+  std::vector<double> doubled = params;
+  for (auto& v : doubled) v *= 2.0;
+  model.set_flat_params(doubled);
+  EXPECT_EQ(model.flat_params(), doubled);
+  EXPECT_THROW(model.set_flat_params({1.0}), std::invalid_argument);
+}
+
+TEST(Model, MlpGradientCheck) {
+  Rng rng(10);
+  Model model = make_mlp(6, 5, 1, 4);
+  model.init(rng);
+  gradient_check(model, random_tensor({4, 6}, rng), 1e-5);
+}
+
+TEST(Model, CnnForwardShape) {
+  Rng rng(11);
+  Model model = make_cnn(3, 8, 8, 4, 10);
+  model.init(rng);
+  const Tensor out = model.forward(random_tensor({2, 3, 8, 8}, rng));
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{2, 10}));
+  EXPECT_THROW(make_cnn(3, 9, 8, 4, 10), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- optimizer
+
+TEST(Sgd, PlainStepMovesAgainstGradient) {
+  Sgd sgd(0.0);
+  std::vector<double> params{1.0, -1.0};
+  const std::vector<double> grads{0.5, -0.5};
+  sgd.step(params, grads, 0.1);
+  EXPECT_NEAR(params[0], 0.95, 1e-12);
+  EXPECT_NEAR(params[1], -0.95, 1e-12);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Sgd sgd(0.9);
+  std::vector<double> params{0.0};
+  const std::vector<double> grads{1.0};
+  sgd.step(params, grads, 1.0);   // v=1, p=-1
+  sgd.step(params, grads, 1.0);   // v=1.9, p=-2.9
+  EXPECT_NEAR(params[0], -2.9, 1e-12);
+  sgd.reset();
+  params[0] = 0.0;
+  sgd.step(params, grads, 1.0);
+  EXPECT_NEAR(params[0], -1.0, 1e-12);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam adam;
+  std::vector<double> params{5.0};
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> grads{2.0 * params[0]};
+    adam.step(params, grads, 0.05);
+  }
+  EXPECT_NEAR(params[0], 0.0, 1e-2);
+}
+
+TEST(Adam, DecoupledWeightDecayShrinksParams) {
+  auto adamw = make_adamw(0.1);
+  std::vector<double> params{1.0};
+  const std::vector<double> zero_grads{0.0};
+  adamw->step(params, zero_grads, 0.1);
+  EXPECT_LT(params[0], 1.0);
+}
+
+TEST(ScaledLr, AllRules) {
+  EXPECT_DOUBLE_EQ(scaled_lr(LrScaling::kNone, 0.1, 256, 64, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(scaled_lr(LrScaling::kLinear, 0.1, 256, 64, 0.0), 0.4);
+  EXPECT_DOUBLE_EQ(scaled_lr(LrScaling::kSquareRoot, 0.1, 256, 64, 0.0), 0.2);
+  // AdaScale: gain -> ratio when noise >> batch, -> 1 when noise -> 0.
+  EXPECT_NEAR(scaled_lr(LrScaling::kAdaScale, 0.1, 256, 64, 1e9), 0.4, 1e-3);
+  EXPECT_NEAR(scaled_lr(LrScaling::kAdaScale, 0.1, 256, 64, 0.0), 0.1, 1e-9);
+  EXPECT_THROW(scaled_lr(LrScaling::kLinear, 0.1, 0, 64, 0.0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- data
+
+TEST(GaussianMixture, LearnableStructure) {
+  const auto dataset = make_gaussian_mixture(500, 8, 3, 4.0, 1);
+  EXPECT_EQ(dataset.size(), 500u);
+  EXPECT_EQ(dataset.sample_elements(), 8u);
+  // Labels within range.
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_GE(dataset.label(i), 0);
+    EXPECT_LT(dataset.label(i), 3);
+  }
+}
+
+TEST(SyntheticImages, ShapeAndDeterminism) {
+  const auto a = make_synthetic_images(50, 3, 8, 8, 4, 0.3, 7);
+  const auto b = make_synthetic_images(50, 3, 8, 8, 4, 0.3, 7);
+  EXPECT_EQ(a.sample_shape(), (std::vector<std::size_t>{3, 8, 8}));
+  const std::size_t idx[] = {0, 1};
+  const Tensor ta = a.gather(std::span<const std::size_t>(idx, 2));
+  const Tensor tb = b.gather(std::span<const std::size_t>(idx, 2));
+  EXPECT_EQ(ta.storage(), tb.storage());
+}
+
+TEST(MfDataset, BinaryTargets) {
+  const auto dataset = make_mf_dataset(300, 6, 20, 30, 0.1, 5);
+  EXPECT_EQ(dataset.sample_elements(), 12u);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const double t = dataset.target(i);
+    EXPECT_TRUE(t == 0.0 || t == 1.0);
+  }
+}
+
+TEST(InMemoryDataset, GatherAndValidation) {
+  InMemoryDataset dataset({2}, {1.0, 2.0, 3.0, 4.0}, {0, 1}, {});
+  const std::size_t idx[] = {1, 0};
+  const Tensor batch = dataset.gather(std::span<const std::size_t>(idx, 2));
+  EXPECT_DOUBLE_EQ(batch.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(batch.at(1, 1), 2.0);
+  const auto labels = dataset.gather_labels(std::span<const std::size_t>(idx, 2));
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_THROW(InMemoryDataset({2}, {1.0, 2.0, 3.0}, {}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(InMemoryDataset({2}, {1.0, 2.0}, {0, 1}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cannikin::dnn

@@ -1,0 +1,112 @@
+// Tests for dynamic-resource handling: runtime contention changes in
+// the simulator and drift detection in the performance-model learner
+// ("sudden changes of resources", Section 1).
+#include <gtest/gtest.h>
+
+#include "core/optperf.h"
+#include "core/perf_model.h"
+#include "experiments/cannikin_system.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+namespace cannikin {
+namespace {
+
+TEST(SetContention, RescalesGroundTruth) {
+  sim::ClusterJob job(sim::cluster_a(), workloads::by_name("cifar10").profile,
+                      sim::NoiseConfig::none(), 1);
+  const double q_before = job.truth(0).q;
+  const double s_before = job.truth(0).s;
+  job.set_contention(0, 0.5);
+  EXPECT_NEAR(job.truth(0).q, 2.0 * q_before, 1e-12);
+  EXPECT_NEAR(job.truth(0).s, 2.0 * s_before, 1e-12);
+  EXPECT_THROW(job.set_contention(0, 0.0), std::invalid_argument);
+}
+
+TEST(DriftDetection, ResetsAfterTwoConsecutiveMispredictions) {
+  core::NodePerfLearner learner;
+  // Identify a clean model.
+  for (int b : {10, 20, 30}) {
+    learner.observe(b, 0.001 * b + 0.01, 0.002 * b + 0.005);
+  }
+  EXPECT_EQ(learner.drift_resets(), 0);
+
+  // Hardware slows down 2x: observations now 2x the prediction.
+  learner.observe(20, 2 * (0.001 * 20 + 0.01), 2 * (0.002 * 20 + 0.005));
+  EXPECT_EQ(learner.drift_resets(), 0);  // first strike
+  learner.observe(30, 2 * (0.001 * 30 + 0.01), 2 * (0.002 * 30 + 0.005));
+  EXPECT_EQ(learner.drift_resets(), 1);  // reset fired
+  // History restarted from the two quarantined new-regime points, so
+  // the learner is already re-identified.
+  EXPECT_EQ(learner.num_distinct_batches(), 2u);
+
+  const auto model = learner.fit();
+  ASSERT_TRUE(model.has_value());
+  EXPECT_NEAR(model->q, 0.002, 1e-9);
+}
+
+TEST(DriftDetection, SingleOutlierDoesNotReset) {
+  core::NodePerfLearner learner;
+  for (int b : {10, 20, 30}) {
+    learner.observe(b, 0.001 * b + 0.01, 0.002 * b + 0.005);
+  }
+  // One bad epoch, then clean again: no reset.
+  learner.observe(20, 5.0, 5.0);
+  learner.observe(20, 0.001 * 20 + 0.01, 0.002 * 20 + 0.005);
+  learner.observe(30, 5.0, 5.0);
+  EXPECT_EQ(learner.drift_resets(), 0);
+}
+
+TEST(DriftDetection, CanBeDisabled) {
+  core::NodePerfLearner learner;
+  learner.set_drift_threshold(0.0);
+  for (int b : {10, 20}) {
+    learner.observe(b, 0.001 * b + 0.01, 0.002 * b + 0.005);
+  }
+  for (int i = 0; i < 5; ++i) learner.observe(20, 9.0, 9.0);
+  EXPECT_EQ(learner.drift_resets(), 0);
+}
+
+TEST(DriftDetection, CannikinReadaptsAfterContentionChange) {
+  // A node suddenly loses half its GPU mid-training (a co-located
+  // tenant arrives). With drift detection, Cannikin discards the stale
+  // model, re-learns, and returns close to the new optimum.
+  const auto& workload = workloads::by_name("imagenet");
+  sim::ClusterJob job(sim::cluster_a(), workload.profile, sim::NoiseConfig{},
+                      4);
+  std::vector<double> caps;
+  for (int i = 0; i < job.size(); ++i) caps.push_back(job.max_local_batch(i));
+  experiments::CannikinSystem system(job.size(), caps, 128, 128,
+                                     /*adaptive=*/false);
+
+  auto epoch = [&] {
+    const auto plan = system.plan_epoch();
+    const auto obs = job.run_epoch(plan.local_batches, 128);
+    system.observe_epoch(obs);
+    return obs.avg_batch_time;
+  };
+
+  for (int e = 0; e < 5; ++e) epoch();
+
+  job.set_contention(0, 0.45);  // the fast a5000 loses over half its GPU
+
+  // New ground-truth optimum after the change.
+  std::vector<core::NodeModel> models;
+  for (int i = 0; i < job.size(); ++i) {
+    const auto& t = job.truth(i);
+    models.push_back(
+        {t.q, t.s, t.k, t.m, static_cast<double>(t.max_local_batch)});
+  }
+  core::OptPerfSolver solver(models, {job.gamma(), job.comm().t_other,
+                                      job.comm().t_last});
+  const double new_optperf = solver.solve(128).batch_time;
+
+  double last = 0.0;
+  for (int e = 0; e < 12; ++e) last = epoch();
+
+  EXPECT_GT(system.controller().perf_model().drift_resets(), 0);
+  EXPECT_LT(last, 1.10 * new_optperf);
+}
+
+}  // namespace
+}  // namespace cannikin

@@ -1,0 +1,111 @@
+// Tests for the flag parser and the trace CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/flags.h"
+#include "experiments/cannikin_system.h"
+#include "experiments/harness.h"
+#include "experiments/trace_io.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+namespace cannikin {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsAndSpaceForms) {
+  const Flags flags = parse({"--alpha=3", "--beta", "7", "--gamma"});
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_EQ(flags.get_int("beta", 0), 7);
+  EXPECT_TRUE(flags.get_bool("gamma"));
+  EXPECT_FALSE(flags.has("delta"));
+  EXPECT_EQ(flags.get_int("delta", 42), 42);
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags flags = parse({"one", "--k=v", "two"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "one");
+  EXPECT_EQ(flags.positional()[1], "two");
+  EXPECT_EQ(flags.get("k"), "v");
+}
+
+TEST(Flags, BooleanBeforeAnotherFlag) {
+  const Flags flags = parse({"--verbose", "--count", "4"});
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_int("count", 0), 4);
+}
+
+TEST(Flags, TypedGettersValidate) {
+  const Flags flags = parse({"--n=abc", "--x=1.5", "--b=yes"});
+  EXPECT_THROW(flags.get_int("n", 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 0.0), 1.5);
+  EXPECT_TRUE(flags.get_bool("b"));
+  EXPECT_THROW(flags.get_bool("x"), std::invalid_argument);
+}
+
+TEST(Flags, UnknownKeyDetection) {
+  const Flags flags = parse({"--good=1", "--oops=2"});
+  const auto unknown = flags.unknown_keys({"good"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "oops");
+}
+
+TEST(TraceIo, CsvHasHeaderAndOneRowPerEpoch) {
+  const auto& workload = workloads::by_name("cifar10");
+  sim::ClusterJob job(sim::cluster_a(), workload.profile, sim::NoiseConfig{},
+                      1);
+  std::vector<double> caps;
+  for (int i = 0; i < job.size(); ++i) caps.push_back(job.max_local_batch(i));
+  experiments::CannikinSystem system(job.size(), caps, workload.b0,
+                                     workload.max_total_batch);
+  experiments::HarnessOptions options;
+  options.max_epochs = 5;
+  const auto trace = experiments::run_to_target(job, workload, system,
+                                                options);
+
+  std::ostringstream out;
+  experiments::write_trace_csv(trace, out);
+  const std::string csv = out.str();
+
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 17), "epoch,total_batch");
+  int rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    // Every row has 9 commas (10 fields) and a local-batch list.
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9);
+    EXPECT_NE(line.find('|'), std::string::npos);
+  }
+  EXPECT_EQ(rows, static_cast<int>(trace.epochs.size()));
+}
+
+TEST(TraceIo, SummaryMentionsSystemAndWorkload) {
+  experiments::RunTrace trace;
+  trace.system = "cannikin";
+  trace.workload = "cifar10";
+  trace.total_seconds = 12.5;
+  trace.reached_target = true;
+  const std::string summary = experiments::summarize(trace);
+  EXPECT_NE(summary.find("cannikin"), std::string::npos);
+  EXPECT_NE(summary.find("cifar10"), std::string::npos);
+  EXPECT_NE(summary.find("reached"), std::string::npos);
+}
+
+TEST(TraceIo, FileWriteFailureThrows) {
+  experiments::RunTrace trace;
+  EXPECT_THROW(
+      experiments::write_trace_csv(trace, "/nonexistent-dir/trace.csv"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cannikin

@@ -1,0 +1,116 @@
+// Tests for the goodput model and batch-size candidate selection.
+#include <gtest/gtest.h>
+
+#include "core/goodput.h"
+
+namespace cannikin::core {
+namespace {
+
+TEST(GoodputModel, EfficiencyIsOneAtInitialBatch) {
+  GoodputModel model(64.0);
+  EXPECT_DOUBLE_EQ(model.efficiency(500.0, 64.0), 1.0);
+}
+
+TEST(GoodputModel, EfficiencyDecreasesWithBatch) {
+  GoodputModel model(64.0);
+  double previous = 2.0;
+  for (double batch = 64.0; batch <= 4096.0; batch *= 2.0) {
+    const double e = model.efficiency(500.0, batch);
+    EXPECT_LT(e, previous);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LE(e, 1.0);
+    previous = e;
+  }
+}
+
+TEST(GoodputModel, HigherNoiseToleratesLargerBatches) {
+  // E(B) rises with the noise scale: large batches only hurt when the
+  // gradient is clean.
+  GoodputModel model(64.0);
+  EXPECT_GT(model.efficiency(10000.0, 1024.0),
+            model.efficiency(100.0, 1024.0));
+}
+
+TEST(GoodputModel, NegativeGnsClampedToZero) {
+  GoodputModel model(64.0);
+  EXPECT_DOUBLE_EQ(model.efficiency(-50.0, 128.0),
+                   model.efficiency(0.0, 128.0));
+}
+
+TEST(GoodputModel, GoodputBalancesThroughputAndEfficiency) {
+  GoodputModel model(64.0);
+  // Linear-time cluster: throughput grows sublinearly past the knee, so
+  // goodput must peak at an interior batch when noise is moderate.
+  auto batch_time = [](double b) { return 0.05 + 0.0005 * b; };
+  const double gns = 800.0;
+  const double g_small = model.goodput(gns, 64.0, batch_time(64.0));
+  const double g_mid = model.goodput(gns, 1024.0, batch_time(1024.0));
+  const double g_huge = model.goodput(gns, 65536.0, batch_time(65536.0));
+  EXPECT_GT(g_mid, g_small);
+  EXPECT_GT(g_mid, g_huge);
+}
+
+TEST(GoodputModel, Validation) {
+  EXPECT_THROW(GoodputModel(0.0), std::invalid_argument);
+  GoodputModel model(32.0);
+  EXPECT_THROW(model.efficiency(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(model.goodput(10.0, 32.0, 0.0), std::invalid_argument);
+}
+
+TEST(BatchSizeCandidates, GeometricGridIncludesEndpoints) {
+  const auto candidates = batch_size_candidates(64, 4096, 2.0);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates.front(), 64);
+  EXPECT_EQ(candidates.back(), 4096);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GT(candidates[i], candidates[i - 1]);
+  }
+}
+
+TEST(BatchSizeCandidates, SingletonRange) {
+  const auto candidates = batch_size_candidates(64, 64);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 64);
+}
+
+TEST(BatchSizeCandidates, Validation) {
+  EXPECT_THROW(batch_size_candidates(0, 10), std::invalid_argument);
+  EXPECT_THROW(batch_size_candidates(20, 10), std::invalid_argument);
+  EXPECT_THROW(batch_size_candidates(10, 20, 1.0), std::invalid_argument);
+}
+
+TEST(SelectBatchSize, PicksGoodputMaximizer) {
+  GoodputModel model(64.0);
+  const auto candidates = batch_size_candidates(64, 8192, 2.0);
+  auto batch_time = [](int b) { return 0.05 + 0.0005 * b; };
+
+  // Low noise: small batches win.
+  EXPECT_EQ(select_batch_size(model, 0.0, candidates, batch_time), 64);
+  // High noise: larger batch chosen.
+  EXPECT_GT(select_batch_size(model, 50000.0, candidates, batch_time), 1024);
+}
+
+TEST(SelectBatchSize, GrowsMonotonicallyWithNoise) {
+  GoodputModel model(64.0);
+  const auto candidates = batch_size_candidates(64, 8192, 1.5);
+  auto batch_time = [](int b) { return 0.02 + 0.0004 * b; };
+  int previous = 0;
+  for (double gns : {0.0, 100.0, 500.0, 2000.0, 10000.0, 100000.0}) {
+    const int chosen = select_batch_size(model, gns, candidates, batch_time);
+    EXPECT_GE(chosen, previous);
+    previous = chosen;
+  }
+}
+
+TEST(SelectBatchSize, SkipsInvalidTimes) {
+  GoodputModel model(64.0);
+  const int chosen = select_batch_size(
+      model, 100.0, {64, 128, 256},
+      [](int b) { return b == 128 ? -1.0 : 0.1; });
+  EXPECT_NE(chosen, 128);
+  EXPECT_THROW(select_batch_size(model, 1.0, {}, [](int) { return 1.0; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cannikin::core

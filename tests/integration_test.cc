@@ -1,0 +1,238 @@
+// End-to-end integration tests asserting the paper's headline result
+// *shapes*: Cannikin converges faster than AdaptDL, LB-BSP and DDP on
+// heterogeneous clusters (Figures 7/8), approaches OptPerf within two
+// learning epochs while LB-BSP needs many rounds (Figure 9), predicts
+// OptPerf accurately (Section 5.3), and degenerates gracefully to
+// AdaptDL-like behavior on homogeneous clusters (Section 6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/adaptdl.h"
+#include "baselines/ddp.h"
+#include "baselines/lbbsp.h"
+#include "core/optperf.h"
+#include "experiments/cannikin_system.h"
+#include "experiments/harness.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+namespace cannikin {
+namespace {
+
+using experiments::CannikinSystem;
+using experiments::HarnessOptions;
+using experiments::run_to_target;
+
+std::vector<double> caps_of(const sim::ClusterJob& job) {
+  std::vector<double> caps;
+  for (int i = 0; i < job.size(); ++i) caps.push_back(job.max_local_batch(i));
+  return caps;
+}
+
+TEST(Integration, CannikinFastestOnHeterogeneousClusterB) {
+  const auto& workload = workloads::by_name("cifar10");
+  HarnessOptions options;
+  options.max_epochs = 400;
+
+  auto run_system = [&](auto&& factory) {
+    sim::ClusterJob job(sim::cluster_b(), workload.profile,
+                        sim::NoiseConfig{}, 7);
+    auto system = factory(job);
+    return run_to_target(job, workload, *system, options);
+  };
+
+  const auto cannikin = run_system([&](sim::ClusterJob& job) {
+    return std::make_unique<CannikinSystem>(job.size(), caps_of(job),
+                                            workload.b0,
+                                            workload.max_total_batch);
+  });
+  const auto adaptdl = run_system([&](sim::ClusterJob& job) {
+    return std::make_unique<baselines::AdaptDlSystem>(
+        job.size(), workload.b0, workload.max_total_batch, caps_of(job));
+  });
+  const auto ddp = run_system([&](sim::ClusterJob& job) {
+    return std::make_unique<baselines::DdpSystem>(job.size(), workload.b0,
+                                                  caps_of(job));
+  });
+  const auto lbbsp = run_system([&](sim::ClusterJob& job) {
+    return std::make_unique<baselines::LbBspSystem>(job.size(), workload.b0,
+                                                    caps_of(job));
+  });
+
+  ASSERT_TRUE(cannikin.reached_target);
+  ASSERT_TRUE(adaptdl.reached_target);
+  ASSERT_TRUE(ddp.reached_target);
+  ASSERT_TRUE(lbbsp.reached_target);
+
+  // Figure 7/8 orderings.
+  EXPECT_LT(cannikin.total_seconds, adaptdl.total_seconds);
+  EXPECT_LT(cannikin.total_seconds, ddp.total_seconds);
+  EXPECT_LT(cannikin.total_seconds, lbbsp.total_seconds);
+  // Adaptive batch sizing beats fixed-batch training outright.
+  EXPECT_LT(adaptdl.total_seconds, ddp.total_seconds);
+}
+
+TEST(Integration, CannikinApproachesOptPerfByThirdEpochLbBspSlower) {
+  // Figure 9: fixed total batch 128, ImageNet on cluster A, even init.
+  const auto& workload = workloads::by_name("imagenet");
+  const int total_batch = 128;
+
+  sim::ClusterJob truth_job(sim::cluster_a(), workload.profile,
+                            sim::NoiseConfig::none(), 1);
+  // Ground-truth OptPerf from the true coefficients.
+  std::vector<core::NodeModel> models;
+  for (int i = 0; i < truth_job.size(); ++i) {
+    const auto& t = truth_job.truth(i);
+    models.push_back({t.q, t.s, t.k, t.m,
+                      static_cast<double>(t.max_local_batch)});
+  }
+  core::OptPerfSolver solver(
+      models, {truth_job.gamma(), truth_job.comm().t_other,
+               truth_job.comm().t_last});
+  const double optperf = solver.solve(total_batch).batch_time;
+
+  auto batch_time_at_epoch = [&](experiments::TrainingSystem& system,
+                                 sim::ClusterJob& job, int epochs) {
+    double last = 0.0;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      const auto plan = system.plan_epoch();
+      // A real B=128 ImageNet epoch averages ~10k batches; simulate 128
+      // so profiler noise stays realistically small.
+      const auto obs = job.run_epoch(plan.local_batches, 128);
+      system.observe_epoch(obs);
+      last = obs.avg_batch_time;
+    }
+    return last;
+  };
+
+  sim::ClusterJob job_a(sim::cluster_a(), workload.profile,
+                        sim::NoiseConfig{}, 2);
+  CannikinSystem cannikin(job_a.size(), caps_of(job_a), total_batch,
+                          total_batch, /*adaptive=*/false);
+  const double cannikin_epoch4 = batch_time_at_epoch(cannikin, job_a, 4);
+  // Within 6% of OptPerf after two learning epochs + rounding + noise.
+  EXPECT_LT(cannikin_epoch4, 1.06 * optperf);
+
+  sim::ClusterJob job_b(sim::cluster_a(), workload.profile,
+                        sim::NoiseConfig{}, 2);
+  baselines::LbBspSystem lbbsp(job_b.size(), total_batch, caps_of(job_b));
+  const double lbbsp_epoch4 = batch_time_at_epoch(lbbsp, job_b, 4);
+  // LB-BSP moves at most Delta=5 samples per node per epoch: still far.
+  EXPECT_GT(lbbsp_epoch4, 1.10 * optperf);
+
+  sim::ClusterJob job_c(sim::cluster_a(), workload.profile,
+                        sim::NoiseConfig{}, 2);
+  baselines::LbBspSystem lbbsp_long(job_c.size(), total_batch,
+                                    caps_of(job_c));
+  const double lbbsp_epoch25 = batch_time_at_epoch(lbbsp_long, job_c, 25);
+  // ... but it does converge eventually (toward equal compute time,
+  // which at this batch size is close to OptPerf).
+  EXPECT_LT(lbbsp_epoch25, lbbsp_epoch4);
+}
+
+TEST(Integration, LearnedOptPerfPredictionWithinSevenPercent) {
+  // Section 5.3: train with measurement noise, then compare the
+  // model-predicted OptPerf against the true (simulator) batch time of
+  // the predicted assignment and against the true optimum.
+  const auto& workload = workloads::by_name("imagenet");
+  sim::ClusterJob job(sim::cluster_a(), workload.profile, sim::NoiseConfig{},
+                      11);
+  CannikinSystem system(job.size(), caps_of(job), workload.b0,
+                        workload.max_total_batch);
+  system.observe_gns(workload.gns_initial);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const auto plan = system.plan_epoch();
+    system.observe_epoch(job.run_epoch(plan.local_batches, 16));
+  }
+  const auto models = system.controller().learned_models();
+  const auto comm = system.controller().learned_comm();
+  ASSERT_TRUE(models && comm);
+  core::OptPerfSolver learned(*models, *comm);
+
+  for (int total : {100, 400, 1000}) {
+    const auto predicted = learned.solve(total);
+    const double actual = job.true_batch_time(predicted.local_batches);
+    EXPECT_NEAR(predicted.batch_time, actual, 0.07 * actual)
+        << "B=" << total;
+  }
+}
+
+TEST(Integration, HomogeneousClusterMatchesAdaptDlWithinMargin) {
+  // Section 6: "In homogeneous clusters, Cannikin's performance is
+  // identical to AdaptDL."
+  const auto& workload = workloads::by_name("cifar10");
+  sim::ClusterSpec homogeneous = sim::cluster_c(std::vector<double>(8, 1.0));
+  HarnessOptions options;
+  options.max_epochs = 400;
+
+  sim::ClusterJob job1(homogeneous, workload.profile, sim::NoiseConfig{}, 5);
+  CannikinSystem cannikin(job1.size(), caps_of(job1), workload.b0,
+                          workload.max_total_batch);
+  const auto trace_c = run_to_target(job1, workload, cannikin, options);
+
+  sim::ClusterJob job2(homogeneous, workload.profile, sim::NoiseConfig{}, 5);
+  baselines::AdaptDlSystem adaptdl(job2.size(), workload.b0,
+                                   workload.max_total_batch, caps_of(job2));
+  const auto trace_a = run_to_target(job2, workload, adaptdl, options);
+
+  ASSERT_TRUE(trace_c.reached_target);
+  ASSERT_TRUE(trace_a.reached_target);
+  EXPECT_NEAR(trace_c.total_seconds, trace_a.total_seconds,
+              0.15 * trace_a.total_seconds);
+}
+
+TEST(Integration, SharingInducedHeterogeneityClusterC) {
+  // Section 6: contended cluster C behaves like the hardware-
+  // heterogeneous clusters -- Cannikin still beats DDP clearly.
+  const auto& workload = workloads::by_name("cifar10");
+  HarnessOptions options;
+  options.max_epochs = 400;
+
+  sim::ClusterJob job1(sim::cluster_c(), workload.profile,
+                       sim::NoiseConfig{}, 9);
+  CannikinSystem cannikin(job1.size(), caps_of(job1), workload.b0,
+                          workload.max_total_batch);
+  const auto trace_c = run_to_target(job1, workload, cannikin, options);
+
+  sim::ClusterJob job2(sim::cluster_c(), workload.profile,
+                       sim::NoiseConfig{}, 9);
+  baselines::DdpSystem ddp(job2.size(), workload.b0, caps_of(job2));
+  const auto trace_d = run_to_target(job2, workload, ddp, options);
+
+  ASSERT_TRUE(trace_c.reached_target);
+  ASSERT_TRUE(trace_d.reached_target);
+  EXPECT_LT(trace_c.total_seconds, 0.7 * trace_d.total_seconds);
+}
+
+TEST(Integration, HarnessTraceAccounting) {
+  const auto& workload = workloads::by_name("cifar10");
+  sim::ClusterJob job(sim::cluster_a(), workload.profile, sim::NoiseConfig{},
+                      3);
+  CannikinSystem system(job.size(), caps_of(job), workload.b0,
+                        workload.max_total_batch);
+  HarnessOptions options;
+  options.max_epochs = 150;
+  const auto trace = run_to_target(job, workload, system, options);
+  ASSERT_TRUE(trace.reached_target);
+  ASSERT_FALSE(trace.epochs.empty());
+
+  double previous_clock = 0.0;
+  double previous_progress = 0.0;
+  for (const auto& row : trace.epochs) {
+    EXPECT_GT(row.total_batch, 0);
+    EXPECT_GT(row.epoch_seconds, 0.0);
+    EXPECT_GE(row.overhead_seconds, 0.0);
+    EXPECT_GT(row.cumulative_seconds, previous_clock);
+    EXPECT_GE(row.progress_fraction, previous_progress);
+    previous_clock = row.cumulative_seconds;
+    previous_progress = row.progress_fraction;
+  }
+  EXPECT_NEAR(trace.epochs.back().progress_fraction, 1.0, 1e-9);
+  EXPECT_NEAR(trace.final_metric(), workload.metric_target, 1e-6);
+  EXPECT_DOUBLE_EQ(trace.total_seconds,
+                   trace.epochs.back().cumulative_seconds);
+}
+
+}  // namespace
+}  // namespace cannikin

@@ -1,0 +1,284 @@
+// Tests for the extra layers (Embedding, MaxPool2x2, Dropout,
+// LayerNorm) and the model zoo: every Table 5 stand-in trains on real
+// gradients through the data-parallel trainer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dnn/layers_extra.h"
+#include "dnn/model.h"
+#include "dnn/parallel_trainer.h"
+#include "dnn/zoo.h"
+
+namespace cannikin::dnn {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.normal();
+  return t;
+}
+
+// Central finite-difference check of a layer's parameter gradients via
+// Loss = sum(output * probe).
+void param_gradient_check(Layer& layer, const Tensor& input,
+                          double tolerance) {
+  Rng rng(3);
+  Tensor probe = layer.forward(input);
+  for (std::size_t i = 0; i < probe.size(); ++i) probe[i] = rng.normal();
+
+  layer.zero_grads();
+  layer.forward(input);
+  layer.backward(probe);
+  std::vector<double> analytic(layer.num_params());
+  layer.copy_grads(analytic);
+
+  std::vector<double> params(layer.num_params());
+  layer.copy_params(params);
+  auto loss_at = [&] {
+    const Tensor out = layer.forward(input);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) total += out[i] * probe[i];
+    return total;
+  };
+  const double eps = 1e-5;
+  for (std::size_t p = 0; p < params.size();
+       p += std::max<std::size_t>(1, params.size() / 20)) {
+    std::vector<double> bumped = params;
+    bumped[p] += eps;
+    layer.set_params(bumped);
+    const double up = loss_at();
+    bumped[p] -= 2 * eps;
+    layer.set_params(bumped);
+    const double down = loss_at();
+    layer.set_params(params);
+    EXPECT_NEAR(analytic[p], (up - down) / (2 * eps), tolerance)
+        << "param " << p;
+  }
+}
+
+// -------------------------------------------------------------- Embedding
+
+TEST(Embedding, LooksUpRowsAndConcatenates) {
+  Embedding embedding(5, 3);
+  std::vector<double> table(15);
+  for (std::size_t i = 0; i < 15; ++i) table[i] = static_cast<double>(i);
+  embedding.set_params(table);
+
+  Tensor ids = Tensor::matrix(2, 2);
+  ids.at(0, 0) = 1;
+  ids.at(0, 1) = 4;
+  ids.at(1, 0) = 0;
+  ids.at(1, 1) = 0;
+  const Tensor out = embedding.forward(ids);
+  ASSERT_EQ(out.shape(), (std::vector<std::size_t>{2, 6}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 3.0);   // row 1 starts at 3
+  EXPECT_DOUBLE_EQ(out.at(0, 3), 12.0);  // row 4 starts at 12
+  EXPECT_DOUBLE_EQ(out.at(1, 5), 2.0);   // row 0 third element
+}
+
+TEST(Embedding, GradientAccumulatesPerRowWithRepeats) {
+  Embedding embedding(4, 2);
+  Rng rng(1);
+  embedding.init(rng);
+  Tensor ids = Tensor::matrix(1, 2);
+  ids.at(0, 0) = 2;
+  ids.at(0, 1) = 2;  // same row twice: gradients must add
+  embedding.zero_grads();
+  embedding.forward(ids);
+  Tensor grad = Tensor::matrix(1, 4);
+  grad[0] = 1.0;
+  grad[1] = 2.0;
+  grad[2] = 10.0;
+  grad[3] = 20.0;
+  embedding.backward(grad);
+  std::vector<double> grads(embedding.num_params());
+  embedding.copy_grads(grads);
+  EXPECT_DOUBLE_EQ(grads[2 * 2], 11.0);
+  EXPECT_DOUBLE_EQ(grads[2 * 2 + 1], 22.0);
+  // Untouched rows stay zero.
+  EXPECT_DOUBLE_EQ(grads[0], 0.0);
+}
+
+TEST(Embedding, ParamGradientCheckAndValidation) {
+  Embedding embedding(6, 3);
+  Rng rng(2);
+  embedding.init(rng);
+  Tensor ids = Tensor::matrix(3, 2);
+  ids.at(0, 0) = 0;
+  ids.at(0, 1) = 5;
+  ids.at(1, 0) = 2;
+  ids.at(1, 1) = 2;
+  ids.at(2, 0) = 4;
+  ids.at(2, 1) = 1;
+  param_gradient_check(embedding, ids, 1e-6);
+
+  Tensor bad = Tensor::matrix(1, 1);
+  bad[0] = 6;
+  EXPECT_THROW(embedding.forward(bad), std::out_of_range);
+  EXPECT_THROW(Embedding(0, 3), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- MaxPool2x2
+
+TEST(MaxPool2x2, ForwardPicksMaxBackwardRoutesToArgmax) {
+  MaxPool2x2 pool;
+  Tensor input({1, 1, 2, 2});
+  input[0] = 1.0;
+  input[1] = 9.0;
+  input[2] = 3.0;
+  input[3] = 4.0;
+  const Tensor out = pool.forward(input);
+  EXPECT_DOUBLE_EQ(out[0], 9.0);
+
+  Tensor grad({1, 1, 1, 1});
+  grad[0] = 5.0;
+  const Tensor back = pool.backward(grad);
+  EXPECT_DOUBLE_EQ(back[1], 5.0);
+  EXPECT_DOUBLE_EQ(back[0], 0.0);
+  EXPECT_THROW(pool.forward(Tensor({1, 1, 3, 3})), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Dropout
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout dropout(0.5, 1);
+  dropout.set_training(false);
+  Rng rng(4);
+  const Tensor input = random_tensor({3, 5}, rng);
+  const Tensor out = dropout.forward(input);
+  EXPECT_EQ(out.storage(), input.storage());
+}
+
+TEST(Dropout, TrainingMaskIsUnbiasedAndBackwardMatches) {
+  Dropout dropout(0.3, 7);
+  Tensor input = Tensor::matrix(1, 4000, 1.0);
+  const Tensor out = dropout.forward(input);
+  double mean = 0.0;
+  int zeros = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    mean += out[i];
+    zeros += out[i] == 0.0;
+  }
+  mean /= static_cast<double>(out.size());
+  EXPECT_NEAR(mean, 1.0, 0.05);  // inverted dropout preserves scale
+  EXPECT_NEAR(zeros / 4000.0, 0.3, 0.05);
+
+  // Backward applies the identical mask.
+  Tensor grad = Tensor::matrix(1, 4000, 2.0);
+  const Tensor back = dropout.backward(grad);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i], out[i] * 2.0);
+  }
+  EXPECT_THROW(Dropout(1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- LayerNorm
+
+TEST(LayerNorm, NormalizesRows) {
+  LayerNorm norm(4);
+  Rng rng(5);
+  norm.init(rng);
+  Tensor input = Tensor::matrix(2, 4);
+  for (std::size_t i = 0; i < 8; ++i) input[i] = static_cast<double>(i * i);
+  const Tensor out = norm.forward(input);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) mean += out.at(r, c);
+    mean /= 4.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      var += (out.at(r, c) - mean) * (out.at(r, c) - mean);
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var / 4.0, 1.0, 1e-4);
+  }
+}
+
+TEST(LayerNorm, InputAndParamGradientCheck) {
+  LayerNorm norm(6);
+  Rng rng(6);
+  norm.init(rng);
+  // Perturb gain/bias away from identity to exercise all terms.
+  std::vector<double> params(norm.num_params());
+  norm.copy_params(params);
+  for (auto& p : params) p += rng.normal(0.0, 0.2);
+  norm.set_params(params);
+
+  const Tensor input = random_tensor({3, 6}, rng);
+  param_gradient_check(norm, input, 1e-5);
+
+  // Input gradient via finite differences.
+  Tensor probe = norm.forward(input);
+  for (std::size_t i = 0; i < probe.size(); ++i) probe[i] = rng.normal();
+  norm.zero_grads();
+  norm.forward(input);
+  const Tensor analytic = norm.backward(probe);
+  auto loss_at = [&](const Tensor& x) {
+    const Tensor out = norm.forward(x);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) total += out[i] * probe[i];
+    return total;
+  };
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    Tensor bumped = input;
+    bumped[i] += eps;
+    const double up = loss_at(bumped);
+    bumped[i] -= 2 * eps;
+    const double down = loss_at(bumped);
+    EXPECT_NEAR(analytic[i], (up - down) / (2 * eps), 1e-4) << "input " << i;
+  }
+}
+
+// -------------------------------------------------------------- model zoo
+
+class ZooTraining : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooTraining, StandinTrainsOnUnevenLocalBatches) {
+  ZooEntry entry = make_standin(GetParam(), 600, 13);
+
+  TrainerOptions options;
+  options.num_nodes = 3;
+  options.base_lr = entry.base_lr;
+  options.lr_scaling = entry.lr_scaling;
+  options.use_adam = entry.use_adam;
+  options.initial_total_batch = 48;
+  options.seed = 21;
+  ParallelTrainer trainer(entry.dataset.get(), entry.task, entry.factory,
+                          options);
+
+  const double initial = trainer.evaluate_loss(*entry.dataset);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    trainer.run_epoch({24, 16, 8});
+  }
+  EXPECT_LT(trainer.evaluate_loss(*entry.dataset), initial) << GetParam();
+  EXPECT_GE(trainer.current_gns(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ZooTraining,
+                         ::testing::Values("cifar10", "imagenet",
+                                           "librispeech", "squad",
+                                           "movielens"));
+
+TEST(Zoo, UnknownWorkloadThrows) {
+  EXPECT_THROW(make_standin("mnist"), std::invalid_argument);
+}
+
+TEST(Zoo, NeumfEmbeddingModelShapes) {
+  ZooEntry entry = make_neumf_standin(200, 30, 40, 3);
+  Model model = entry.factory();
+  Rng rng(1);
+  model.init(rng);
+  // (30 + 40) x 8 table + MLP.
+  EXPECT_EQ(model.num_params(), 70u * 8 + (16u * 16 + 16) + (16u + 1));
+
+  const std::size_t idx[] = {0, 1, 2};
+  const Tensor inputs =
+      entry.dataset->gather(std::span<const std::size_t>(idx, 3));
+  const Tensor out = model.forward(inputs);
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{3, 1}));
+}
+
+}  // namespace
+}  // namespace cannikin::dnn

@@ -1,0 +1,83 @@
+// Tests for the hierarchical (BlueConnect-style) all-reduce model and
+// the grouped cluster-B factory.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/cluster_factory.h"
+#include "sim/network.h"
+#include "workloads/registry.h"
+
+namespace cannikin::sim {
+namespace {
+
+TEST(HierarchicalAllReduce, AllSingletonGroupsEqualsFlatRing) {
+  NetworkModel net;
+  const std::vector<int> singletons{0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(net.hierarchical_all_reduce_time(1e8, singletons),
+                   net.all_reduce_time(1e8, 5));
+}
+
+TEST(HierarchicalAllReduce, FasterThanFlatWhenServersShareGpus) {
+  NetworkModel net;  // intra 25 GB/s vs inter 1.25 GB/s
+  const std::vector<int> grouped{0, 0, 0, 0, 1, 1, 1, 1};
+  const double hier = net.hierarchical_all_reduce_time(4e8, grouped);
+  const double flat = net.all_reduce_time(4e8, 8);
+  EXPECT_LT(hier, flat);
+  // Dominant term: inter-server traffic shrinks by the group size g=4.
+  EXPECT_LT(hier, 0.5 * flat);
+}
+
+TEST(HierarchicalAllReduce, SingleServerUsesOnlyIntraLinks) {
+  NetworkModel net;
+  const std::vector<int> one_server{0, 0, 0, 0};
+  const double t = net.hierarchical_all_reduce_time(1e8, one_server);
+  const double expected =
+      2.0 * 3 / 4.0 * 1e8 / net.intra_bandwidth_bytes_per_s +
+      2.0 * 3 * net.latency_s;
+  EXPECT_NEAR(t, expected, 1e-12);
+}
+
+TEST(HierarchicalAllReduce, EdgeCases) {
+  NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.hierarchical_all_reduce_time(1e8, {7}), 0.0);
+  EXPECT_THROW(net.hierarchical_all_reduce_time(1e8, {}),
+               std::invalid_argument);
+}
+
+TEST(HierarchicalCommSchedule, TotalMatchesHierarchicalTime) {
+  NetworkModel net;
+  const std::vector<int> groups{0, 0, 1, 1, 2};
+  const auto schedule = make_comm_schedule(net, 104e6, 25e6, groups);
+  EXPECT_EQ(schedule.num_buckets, 5);
+  EXPECT_NEAR(schedule.total(),
+              net.hierarchical_all_reduce_time(104e6, groups), 1e-12);
+}
+
+TEST(ClusterBGrouped, TopologyMatchesTable4Servers) {
+  const auto spec = cluster_b_grouped();
+  ASSERT_EQ(spec.comm_groups.size(), 16u);
+  // A100s share server 0, V100s server 1, each RTX its own.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(spec.comm_groups[i], 0);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(spec.comm_groups[i], 1);
+  for (int i = 8; i < 16; ++i) EXPECT_EQ(spec.comm_groups[i], i - 6);
+}
+
+TEST(ClusterBGrouped, JobSeesShorterCommTimes) {
+  const auto& profile = workloads::by_name("squad").profile;
+  ClusterJob flat(cluster_b(), profile, NoiseConfig::none(), 1);
+  ClusterJob hier(cluster_b_grouped(), profile, NoiseConfig::none(), 1);
+  EXPECT_LT(hier.comm().total(), flat.comm().total());
+  // Same bucket structure; only the times change.
+  EXPECT_EQ(hier.comm().num_buckets, flat.comm().num_buckets);
+}
+
+TEST(ClusterJob, CommGroupsSizeValidated) {
+  ClusterSpec spec = cluster_a();
+  spec.comm_groups = {0, 1};  // three nodes, two entries
+  EXPECT_THROW(ClusterJob(spec, workloads::by_name("cifar10").profile,
+                          NoiseConfig::none(), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cannikin::sim

@@ -1,0 +1,363 @@
+// Tests for the OptPerf solvers (Section 3.3, Algorithm 1).
+//
+// The strongest checks are solver-vs-ground-truth: the binary-search
+// solver must (a) match the exhaustive boundary scan, (b) satisfy the
+// optimality conditions of Appendices A.1-A.3, and (c) beat or match
+// every feasible assignment drawn at random on the *event-level*
+// simulator, not just on its own model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/optperf.h"
+#include "sim/cluster.h"
+#include "sim/cluster_factory.h"
+
+namespace cannikin::core {
+namespace {
+
+std::vector<NodeModel> models_from_truth(const sim::ClusterJob& job) {
+  std::vector<NodeModel> models;
+  for (int i = 0; i < job.size(); ++i) {
+    const auto& t = job.truth(i);
+    NodeModel m;
+    m.q = t.q;
+    m.s = t.s;
+    m.k = t.k;
+    m.m = t.m;
+    m.max_batch = t.max_local_batch;
+    models.push_back(m);
+  }
+  return models;
+}
+
+CommTimes comm_from_truth(const sim::ClusterJob& job) {
+  return {job.gamma(), job.comm().t_other, job.comm().t_last};
+}
+
+sim::JobProfile medium_job() {
+  sim::JobProfile job;
+  job.name = "medium";
+  job.per_sample_forward = 1.2e-3;
+  job.fixed_forward = 8e-3;
+  job.per_sample_backward = 2.4e-3;
+  job.fixed_backward = 2e-3;
+  job.gradient_bytes = 100e6;
+  job.gamma = 0.18;
+  job.mem_bytes_per_sample = 2e7;
+  return job;
+}
+
+// ------------------------------------------------- predicted_batch_time
+
+TEST(PredictedBatchTime, MatchesSimulatorTruth) {
+  sim::ClusterJob job(sim::cluster_a(), medium_job(),
+                      sim::NoiseConfig::none(), 1);
+  const auto models = models_from_truth(job);
+  const auto comm = comm_from_truth(job);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> batches;
+    for (int i = 0; i < job.size(); ++i) {
+      batches.push_back(rng.uniform(1.0, 200.0));
+    }
+    EXPECT_NEAR(predicted_batch_time(models, comm, batches),
+                job.true_batch_time(batches), 1e-9);
+  }
+}
+
+// -------------------------------------------------- optimality conditions
+
+TEST(OptPerfSolver, ComputeBottleneckRegimeEqualizesComputeTimes) {
+  // Large batch: everyone is computing-bottleneck (Appendix A.1).
+  sim::ClusterJob job(sim::cluster_a(), medium_job(),
+                      sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+  const auto result = solver.solve(1500.0);
+
+  ASSERT_EQ(result.num_compute_bottleneck, 3);
+  const auto& models = solver.models();
+  const double t0 = models[0].compute(result.local_batches[0]);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_NEAR(models[static_cast<std::size_t>(i)].compute(
+                    result.local_batches[static_cast<std::size_t>(i)]),
+                t0, 1e-6);
+  }
+  EXPECT_NEAR(result.batch_time, t0 + solver.comm().t_last, 1e-9);
+  for (auto b : result.bottleneck) EXPECT_EQ(b, Bottleneck::kCompute);
+}
+
+TEST(OptPerfSolver, CommBottleneckRegimeEqualizesSyncStarts) {
+  // Tiny batch with a heavy gradient: everyone is communication-
+  // bottleneck (Appendix A.2).
+  sim::JobProfile profile = medium_job();
+  profile.gradient_bytes = 400e6;
+  sim::ClusterJob job(sim::cluster_a(), profile, sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+  const auto result = solver.solve(60.0);
+
+  ASSERT_EQ(result.num_compute_bottleneck, 0);
+  for (double b : result.local_batches) ASSERT_GT(b, 0.0);
+  const auto& models = solver.models();
+  const double gamma = solver.comm().gamma;
+  const double sync0 = models[0].a(result.local_batches[0]) +
+                       gamma * models[0].p(result.local_batches[0]);
+  for (int i = 1; i < 3; ++i) {
+    const double sync =
+        models[static_cast<std::size_t>(i)].a(
+            result.local_batches[static_cast<std::size_t>(i)]) +
+        gamma * models[static_cast<std::size_t>(i)].p(
+                    result.local_batches[static_cast<std::size_t>(i)]);
+    EXPECT_NEAR(sync, sync0, 1e-6);
+  }
+  EXPECT_NEAR(result.batch_time, sync0 + solver.comm().total(), 1e-9);
+}
+
+TEST(OptPerfSolver, MixedRegimeSatisfiesAppendixA3) {
+  // Pick a batch size between the two regimes on the very heterogeneous
+  // cluster A (A5000 vs P4000 is a 4.2x speed gap).
+  sim::ClusterJob job(sim::cluster_a(), medium_job(),
+                      sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+
+  // Find a B whose solution is genuinely mixed.
+  bool found_mixed = false;
+  for (double batch = 20.0; batch <= 1200.0 && !found_mixed; batch += 20.0) {
+    const auto result = solver.solve(batch);
+    if (result.num_compute_bottleneck == 0 ||
+        result.num_compute_bottleneck == 3) {
+      continue;
+    }
+    found_mixed = true;
+    const auto& models = solver.models();
+    const double gamma = solver.comm().gamma;
+    const double t_other = solver.comm().t_other;
+    // Compute-bottleneck nodes share t_compute = mu; communication-
+    // bottleneck nodes satisfy syncStart + T_o = mu.
+    for (int i = 0; i < 3; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const double b = result.local_batches[idx];
+      if (result.bottleneck[idx] == Bottleneck::kCompute) {
+        EXPECT_NEAR(models[idx].compute(b), result.mu, 1e-6);
+      } else {
+        EXPECT_NEAR(models[idx].a(b) + gamma * models[idx].p(b) + t_other,
+                    result.mu, 1e-6);
+      }
+    }
+    EXPECT_NEAR(result.batch_time, result.mu + solver.comm().t_last, 1e-9);
+  }
+  EXPECT_TRUE(found_mixed) << "no mixed-regime batch size found in sweep";
+}
+
+// ------------------------------------------------------ solver vs search
+
+class SolverAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreement, BinarySearchMatchesExhaustive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 10));
+    std::vector<NodeModel> models;
+    for (int i = 0; i < n; ++i) {
+      NodeModel m;
+      m.q = rng.uniform(1e-4, 5e-3);
+      m.s = rng.uniform(1e-3, 2e-2);
+      m.k = rng.uniform(1e-4, 8e-3);
+      m.m = rng.uniform(1e-3, 1e-2);
+      models.push_back(m);
+    }
+    CommTimes comm{rng.uniform(0.05, 0.5), rng.uniform(0.0, 0.2),
+                   rng.uniform(1e-3, 0.05)};
+    OptPerfSolver solver(models, comm);
+    const double total = rng.uniform(n * 2.0, n * 400.0);
+    const auto fast = solver.solve(total);
+    const auto exhaustive = solver.solve_exhaustive(total);
+    EXPECT_NEAR(fast.batch_time, exhaustive.batch_time,
+                1e-7 * exhaustive.batch_time)
+        << "n=" << n << " B=" << total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreement,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(OptPerfSolver, BeatsRandomFeasibleAssignmentsOnTrueSimulator) {
+  // OptPerf must be <= the event-simulated time of any assignment.
+  sim::ClusterJob job(sim::cluster_b(), medium_job(),
+                      sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+  Rng rng(17);
+  for (double total : {64.0, 256.0, 1024.0}) {
+    const auto result = solver.solve(total);
+    EXPECT_NEAR(result.batch_time, job.true_batch_time(result.local_batches),
+                1e-9);
+    for (int trial = 0; trial < 60; ++trial) {
+      // Random split of `total` across the 16 nodes.
+      std::vector<double> split(16);
+      double sum = 0.0;
+      for (auto& v : split) {
+        v = rng.uniform(0.05, 1.0);
+        sum += v;
+      }
+      for (auto& v : split) v *= total / sum;
+      EXPECT_LE(result.batch_time, job.true_batch_time(split) + 1e-9);
+    }
+    // ... including the even split DDP would use.
+    const std::vector<double> even(16, total / 16.0);
+    EXPECT_LE(result.batch_time, job.true_batch_time(even) + 1e-9);
+  }
+}
+
+// -------------------------------------------------------------- structure
+
+TEST(OptPerfSolver, BatchesSumToTotalAndRespectCaps) {
+  sim::ClusterJob job(sim::cluster_b(), medium_job(),
+                      sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+  for (int total : {50, 333, 1000, 3000}) {
+    const auto result = solver.solve(total);
+    double continuous_sum = 0.0;
+    int int_sum = 0;
+    for (int i = 0; i < job.size(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      continuous_sum += result.local_batches[idx];
+      int_sum += result.local_batches_int[idx];
+      EXPECT_GE(result.local_batches[idx], 0.0);
+      EXPECT_LE(result.local_batches_int[idx], job.max_local_batch(i));
+    }
+    EXPECT_NEAR(continuous_sum, total, 1e-6);
+    EXPECT_EQ(int_sum, total);
+  }
+}
+
+TEST(OptPerfSolver, FasterNodesGetLargerBatches) {
+  sim::ClusterJob job(sim::cluster_a(), medium_job(),
+                      sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+  const auto result = solver.solve(600.0);
+  // Cluster A speeds: a5000 (1.9) > a4000 (1.2) > p4000 (0.45).
+  EXPECT_GT(result.local_batches[0], result.local_batches[1]);
+  EXPECT_GT(result.local_batches[1], result.local_batches[2]);
+}
+
+TEST(OptPerfSolver, OptPerfMonotoneInTotalBatch) {
+  sim::ClusterJob job(sim::cluster_b(), medium_job(),
+                      sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+  double previous = 0.0;
+  for (double total = 32.0; total <= 4096.0; total *= 2.0) {
+    const double t = solver.solve(total).batch_time;
+    EXPECT_GE(t, previous - 1e-9);
+    previous = t;
+  }
+}
+
+TEST(OptPerfSolver, MoreComputeBottleneckNodesAsBatchGrows) {
+  sim::ClusterJob job(sim::cluster_b(), medium_job(),
+                      sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+  int previous = 0;
+  for (double total = 16.0; total <= 8192.0; total *= 2.0) {
+    const int boundary = solver.solve(total).num_compute_bottleneck;
+    EXPECT_GE(boundary, previous);
+    previous = boundary;
+  }
+}
+
+TEST(OptPerfSolver, WarmStartMatchesColdAndSavesSolves) {
+  sim::ClusterJob job(sim::cluster_b(), medium_job(),
+                      sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+  const auto cold = solver.solve(700.0);
+  const auto warm =
+      solver.solve_with_hint(700.0, cold.num_compute_bottleneck);
+  EXPECT_NEAR(warm.batch_time, cold.batch_time, 1e-12);
+  EXPECT_LE(warm.linear_solves, cold.linear_solves);
+}
+
+TEST(OptPerfSolver, InfeasibleTotalBatchFlagsResult) {
+  sim::JobProfile profile = medium_job();
+  profile.mem_bytes_per_sample = 4e9;  // tiny caps
+  sim::ClusterJob job(sim::cluster_a(), profile, sim::NoiseConfig::none(), 1);
+  OptPerfSolver solver(models_from_truth(job), comm_from_truth(job));
+  const auto result = solver.solve(1e6);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(OptPerfSolver, SingleNodeCluster) {
+  std::vector<NodeModel> models(1);
+  models[0].q = 1e-3;
+  models[0].s = 5e-3;
+  models[0].k = 2e-3;
+  models[0].m = 1e-3;
+  OptPerfSolver solver(models, CommTimes{0.2, 0.0, 0.0});
+  const auto result = solver.solve(100.0);
+  EXPECT_NEAR(result.local_batches[0], 100.0, 1e-9);
+  EXPECT_NEAR(result.batch_time, models[0].compute(100.0), 1e-9);
+}
+
+TEST(OptPerfSolver, InvalidArgumentsThrow) {
+  EXPECT_THROW(OptPerfSolver({}, CommTimes{}), std::invalid_argument);
+  std::vector<NodeModel> models(2);
+  models[0].q = models[1].q = 1e-3;
+  models[0].k = models[1].k = 1e-3;
+  EXPECT_THROW(OptPerfSolver(models, CommTimes{1.5, 0.1, 0.1}),
+               std::invalid_argument);
+  OptPerfSolver solver(models, CommTimes{0.2, 0.1, 0.1});
+  EXPECT_THROW(solver.solve(0.0), std::invalid_argument);
+  EXPECT_THROW(solver.solve(-5.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- Eq. 8 + round
+
+TEST(BootstrapAssignment, InverseProportionalToPerSampleTime) {
+  // Eq. (8): node twice as fast gets twice the batch.
+  const auto batches =
+      bootstrap_assignment({1.0, 2.0, 4.0}, 70, {1e9, 1e9, 1e9});
+  EXPECT_EQ(batches[0], 40);
+  EXPECT_EQ(batches[1], 20);
+  EXPECT_EQ(batches[2], 10);
+}
+
+TEST(BootstrapAssignment, RespectsCapsAndValidates) {
+  const auto batches = bootstrap_assignment({1.0, 1.0}, 100, {30.0, 1e9});
+  EXPECT_EQ(batches[0], 30);
+  EXPECT_EQ(batches[1], 70);
+  EXPECT_THROW(bootstrap_assignment({1.0, 0.0}, 10, {1e9, 1e9}),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrap_assignment({1.0}, 0, {1e9}), std::invalid_argument);
+}
+
+TEST(RoundBatches, PreservesSumAndOrdering) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    const int total = static_cast<int>(rng.uniform_int(n, 500));
+    std::vector<double> continuous(static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (auto& v : continuous) {
+      v = rng.uniform(0.0, 1.0);
+      sum += v;
+    }
+    for (auto& v : continuous) v *= total / sum;
+    const auto rounded =
+        round_batches(continuous, total,
+                      std::vector<double>(static_cast<std::size_t>(n), 1e9));
+    int rounded_sum = 0;
+    for (std::size_t i = 0; i < rounded.size(); ++i) {
+      rounded_sum += rounded[i];
+      // Largest-remainder rounding moves each entry by less than 1.
+      EXPECT_NEAR(rounded[i], continuous[i], 1.0 + 1e-9);
+    }
+    EXPECT_EQ(rounded_sum, total);
+  }
+}
+
+TEST(RoundBatches, CapsClampTarget) {
+  const auto rounded = round_batches({5.0, 5.0}, 10, {3.0, 3.0});
+  EXPECT_EQ(rounded[0] + rounded[1], 6);  // capped below the target
+}
+
+}  // namespace
+}  // namespace cannikin::core

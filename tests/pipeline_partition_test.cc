@@ -1,0 +1,121 @@
+// Tests for the HetPipe stage partitioner: DP optimality vs brute
+// force, structural properties, and the synthetic layer-cost profile.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "baselines/pipeline_partition.h"
+#include "common/rng.h"
+
+namespace cannikin::baselines {
+namespace {
+
+// Exhaustive min-max partition for small instances.
+double brute_force(const std::vector<double>& costs,
+                   const std::vector<double>& speeds) {
+  const int layers = static_cast<int>(costs.size());
+  const int stages = static_cast<int>(speeds.size());
+  double best = std::numeric_limits<double>::infinity();
+
+  std::function<void(int, int, double)> recurse = [&](int stage, int begin,
+                                                      double worst) {
+    if (stage == stages - 1) {
+      double sum = 0.0;
+      for (int layer = begin; layer < layers; ++layer) sum += costs[layer];
+      best = std::min(best,
+                      std::max(worst, sum / speeds[static_cast<std::size_t>(
+                                                stage)]));
+      return;
+    }
+    double sum = 0.0;
+    for (int end = begin + 1; end <= layers - (stages - stage - 1); ++end) {
+      sum += costs[static_cast<std::size_t>(end - 1)];
+      recurse(stage + 1, end,
+              std::max(worst, sum / speeds[static_cast<std::size_t>(stage)]));
+    }
+  };
+  recurse(0, 0, 0.0);
+  return best;
+}
+
+TEST(PipelinePartition, MatchesBruteForceOnRandomInstances) {
+  Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int stages = static_cast<int>(rng.uniform_int(1, 4));
+    const int layers = static_cast<int>(rng.uniform_int(stages, 9));
+    std::vector<double> costs(static_cast<std::size_t>(layers));
+    for (auto& c : costs) c = rng.uniform(0.1, 2.0);
+    std::vector<double> speeds(static_cast<std::size_t>(stages));
+    for (auto& s : speeds) s = rng.uniform(0.3, 3.0);
+
+    const auto dp = partition_pipeline(costs, speeds);
+    EXPECT_NEAR(dp.max_stage_time, brute_force(costs, speeds), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(PipelinePartition, BoundariesAreValidAndReproduceCost) {
+  Rng rng(9);
+  std::vector<double> costs(20);
+  for (auto& c : costs) c = rng.uniform(0.1, 2.0);
+  const std::vector<double> speeds{1.0, 2.5, 0.7, 1.4};
+  const auto partition = partition_pipeline(costs, speeds);
+
+  ASSERT_EQ(partition.boundaries.size(), speeds.size());
+  EXPECT_EQ(partition.boundaries.front(), 0);
+  double worst = 0.0;
+  for (std::size_t stage = 0; stage < speeds.size(); ++stage) {
+    const int begin = partition.boundaries[stage];
+    const int end = stage + 1 < speeds.size()
+                        ? partition.boundaries[stage + 1]
+                        : static_cast<int>(costs.size());
+    EXPECT_LT(begin, end);  // every stage owns at least one layer
+    double sum = 0.0;
+    for (int layer = begin; layer < end; ++layer) {
+      sum += costs[static_cast<std::size_t>(layer)];
+    }
+    worst = std::max(worst, sum / speeds[stage]);
+  }
+  EXPECT_NEAR(worst, partition.max_stage_time, 1e-12);
+}
+
+TEST(PipelinePartition, FasterNodeGetsMoreWork) {
+  // Uniform layers, one node 3x faster: its stage must hold more layers.
+  const std::vector<double> costs(12, 1.0);
+  const auto partition = partition_pipeline(costs, {3.0, 1.0});
+  const int first_stage_layers = partition.boundaries[1];
+  EXPECT_GT(first_stage_layers, 12 - first_stage_layers);
+}
+
+TEST(PipelinePartition, SingleStageTakesEverything) {
+  const std::vector<double> costs{1.0, 2.0, 3.0};
+  const auto partition = partition_pipeline(costs, {2.0});
+  EXPECT_EQ(partition.boundaries, std::vector<int>{0});
+  EXPECT_NEAR(partition.max_stage_time, 3.0, 1e-12);
+}
+
+TEST(PipelinePartition, Validation) {
+  EXPECT_THROW(partition_pipeline({1.0}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(partition_pipeline({1.0, 2.0}, {}), std::invalid_argument);
+  EXPECT_THROW(partition_pipeline({1.0, -2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(partition_pipeline({1.0, 2.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(SyntheticLayerCosts, SumsToTotalWithBellShape) {
+  const auto costs = synthetic_layer_costs(50, 2.0);
+  ASSERT_EQ(costs.size(), 50u);
+  double sum = 0.0;
+  for (double c : costs) {
+    EXPECT_GT(c, 0.0);
+    sum += c;
+  }
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+  // Middle layers heavier than the ends.
+  EXPECT_GT(costs[25], costs[0]);
+  EXPECT_GT(costs[25], costs[49]);
+  EXPECT_THROW(synthetic_layer_costs(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cannikin::baselines

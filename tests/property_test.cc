@@ -1,0 +1,199 @@
+// Cross-cutting property sweeps: for every (workload x cluster)
+// combination the OptPerf solver agrees with exhaustive search on real
+// profiles, dominates practical assignments on the true simulator, and
+// the controller's plans stay structurally valid across a whole
+// adaptive run. Also stress tests for the in-process collectives.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/collectives.h"
+#include "comm/process_group.h"
+#include "common/rng.h"
+#include "core/optperf.h"
+#include "experiments/cannikin_system.h"
+#include "experiments/harness.h"
+#include "experiments/table.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+namespace cannikin {
+namespace {
+
+sim::ClusterSpec cluster_by_name(const std::string& name) {
+  if (name == "a") return sim::cluster_a();
+  if (name == "b") return sim::cluster_b();
+  if (name == "bg") return sim::cluster_b_grouped();
+  return sim::cluster_c();
+}
+
+class WorkloadClusterSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+ protected:
+  sim::ClusterJob make_job() const {
+    const auto [workload, cluster] = GetParam();
+    return sim::ClusterJob(cluster_by_name(cluster),
+                           workloads::by_name(workload).profile,
+                           sim::NoiseConfig::none(), 17);
+  }
+  const workloads::Workload& workload() const {
+    return workloads::by_name(std::get<0>(GetParam()));
+  }
+};
+
+TEST_P(WorkloadClusterSweep, SolverMatchesExhaustiveOnRealProfiles) {
+  auto job = make_job();
+  std::vector<core::NodeModel> models;
+  for (int i = 0; i < job.size(); ++i) {
+    const auto& t = job.truth(i);
+    models.push_back(
+        {t.q, t.s, t.k, t.m, static_cast<double>(t.max_local_batch)});
+  }
+  core::OptPerfSolver solver(models, {job.gamma(), job.comm().t_other,
+                                      job.comm().t_last});
+  const int b_lo = std::max(workload().b0, 2 * job.size());
+  for (int step = 0; step <= 5; ++step) {
+    const int total =
+        b_lo + (workload().max_total_batch - b_lo) * step / 5;
+    const auto fast = solver.solve(total);
+    const auto exhaustive = solver.solve_exhaustive(total);
+    EXPECT_NEAR(fast.batch_time, exhaustive.batch_time,
+                1e-7 * exhaustive.batch_time)
+        << "B=" << total;
+    // Warm start agrees with itself.
+    const auto warm =
+        solver.solve_with_hint(total, fast.num_compute_bottleneck);
+    EXPECT_NEAR(warm.batch_time, fast.batch_time, 1e-12);
+  }
+}
+
+TEST_P(WorkloadClusterSweep, OptPerfDominatesPracticalAssignments) {
+  auto job = make_job();
+  std::vector<core::NodeModel> models;
+  for (int i = 0; i < job.size(); ++i) {
+    const auto& t = job.truth(i);
+    models.push_back(
+        {t.q, t.s, t.k, t.m, static_cast<double>(t.max_local_batch)});
+  }
+  core::OptPerfSolver solver(models, {job.gamma(), job.comm().t_other,
+                                      job.comm().t_last});
+
+  const int total = std::max(workload().b0, 4 * job.size());
+  const auto result = solver.solve(total);
+  const double optperf = job.true_batch_time(result.local_batches);
+
+  // Even split.
+  const std::vector<double> even(static_cast<std::size_t>(job.size()),
+                                 static_cast<double>(total) / job.size());
+  EXPECT_LE(optperf, job.true_batch_time(even) * (1 + 1e-9));
+
+  // Speed-proportional split.
+  double speed_sum = 0.0;
+  for (int i = 0; i < job.size(); ++i) speed_sum += job.speed(i);
+  std::vector<double> proportional;
+  for (int i = 0; i < job.size(); ++i) {
+    proportional.push_back(total * job.speed(i) / speed_sum);
+  }
+  EXPECT_LE(optperf, job.true_batch_time(proportional) * (1 + 1e-9));
+}
+
+TEST_P(WorkloadClusterSweep, AdaptiveRunProducesStructurallyValidPlans) {
+  auto job = make_job();
+  std::vector<double> caps;
+  for (int i = 0; i < job.size(); ++i) caps.push_back(job.max_local_batch(i));
+  experiments::CannikinSystem system(job.size(), caps, workload().b0,
+                                     workload().max_total_batch);
+
+  int last_total = 0;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    system.observe_gns(workload().gns_at(epoch / 12.0));
+    const auto plan = system.plan_epoch();
+    ASSERT_EQ(plan.local_batches.size(), static_cast<std::size_t>(job.size()));
+    ASSERT_GE(plan.accumulation_steps, 1);
+    int sum = 0;
+    for (int i = 0; i < job.size(); ++i) {
+      const int b = plan.local_batches[static_cast<std::size_t>(i)];
+      EXPECT_GE(b, 0);
+      EXPECT_LE(b, job.max_local_batch(i));
+      sum += b;
+    }
+    // Micro-batch sum times the accumulation factor is the trained batch.
+    EXPECT_EQ(sum * plan.accumulation_steps, plan.total_batch);
+    EXPECT_GE(plan.total_batch, 2 * job.size());
+    EXPECT_LE(plan.total_batch,
+              std::max(workload().max_total_batch,
+                       2 * job.size() * plan.accumulation_steps));
+    last_total = plan.total_batch;
+    system.observe_epoch(job.run_epoch(plan.local_batches, 8));
+  }
+  // GNS swept to its final value: the chosen batch should have grown
+  // beyond the floor for every workload whose range allows it.
+  if (workload().max_total_batch > 4 * workload().b0) {
+    EXPECT_GT(last_total, std::max(workload().b0, 2 * job.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, WorkloadClusterSweep,
+    ::testing::Combine(::testing::Values("imagenet", "cifar10", "librispeech",
+                                         "squad", "movielens"),
+                       ::testing::Values("a", "b", "bg", "c")));
+
+// ------------------------------------------------------- comm stress
+
+TEST(CommStress, InterleavedCollectivesOnDistinctTags) {
+  // Two "bucket streams" of all-reduces interleaved per rank, plus a
+  // scalar reduce, all in flight across 6 threads.
+  const int n = 6;
+  comm::ProcessGroup group(n);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      comm::Communicator comm = group.communicator(rank);
+      for (int round = 0; round < 50; ++round) {
+        std::vector<double> a(17, rank + round);
+        std::vector<double> b(5, 2.0 * rank);
+        comm::ring_all_reduce(comm, std::span<double>(a),
+                              1000 + 2 * round);
+        comm::ring_all_reduce(comm, std::span<double>(b),
+                              5000 + 2 * round);
+        const double expected_a = n * round + n * (n - 1) / 2.0;
+        const double expected_b = 2.0 * (n * (n - 1) / 2.0);
+        if (std::abs(a[0] - expected_a) > 1e-9 ||
+            std::abs(b[4] - expected_b) > 1e-9) {
+          ++failures;
+        }
+        const double total = comm::all_reduce_scalar(
+            comm, 1.0, 9000 + static_cast<std::uint64_t>(round));
+        if (std::abs(total - n) > 1e-9) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TablePrinter, FormatsAndValidates) {
+  std::ostringstream out;
+  experiments::TablePrinter table({"a", "bb"}, out);
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  table.print();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("333"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(experiments::TablePrinter({}), std::invalid_argument);
+  EXPECT_EQ(experiments::TablePrinter::fmt(1.23456, 2), "1.23");
+
+  std::ostringstream series;
+  EXPECT_THROW(experiments::print_series("s", {1.0}, {}, series),
+               std::invalid_argument);
+  experiments::print_series("s", {1.0}, {2.0}, series);
+  EXPECT_EQ(series.str(), "s: x=1 y=2\n");
+}
+
+}  // namespace
+}  // namespace cannikin

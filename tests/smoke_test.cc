@@ -1,0 +1,34 @@
+// Cross-module smoke test: every library links and the primary flow
+// (simulate -> learn -> solve -> plan) runs end to end.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "experiments/cannikin_system.h"
+#include "experiments/harness.h"
+#include "sim/cluster_factory.h"
+#include "workloads/registry.h"
+
+namespace cannikin {
+namespace {
+
+TEST(Smoke, CannikinReachesTargetOnClusterA) {
+  const auto& workload = workloads::by_name("cifar10");
+  sim::ClusterJob job(sim::cluster_a(), workload.profile,
+                      sim::NoiseConfig{}, 1);
+
+  std::vector<double> caps;
+  for (int i = 0; i < job.size(); ++i) {
+    caps.push_back(job.max_local_batch(i));
+  }
+  experiments::CannikinSystem system(job.size(), caps, workload.b0,
+                                     workload.max_total_batch);
+  experiments::HarnessOptions options;
+  options.max_epochs = 200;
+  const auto trace =
+      experiments::run_to_target(job, workload, system, options);
+  EXPECT_TRUE(trace.reached_target);
+  EXPECT_GT(trace.total_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace cannikin

@@ -1,0 +1,104 @@
+// Tests for the Table 5 workload registry and its convergence model.
+#include <gtest/gtest.h>
+
+#include "workloads/registry.h"
+
+namespace cannikin::workloads {
+namespace {
+
+TEST(Registry, ContainsAllFiveTable5Workloads) {
+  const auto& all = registry();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(by_name("imagenet").model, "ResNet-50");
+  EXPECT_EQ(by_name("cifar10").model, "ResNet-18");
+  EXPECT_EQ(by_name("librispeech").model, "DeepSpeech2");
+  EXPECT_EQ(by_name("squad").model, "BERT");
+  EXPECT_EQ(by_name("movielens").model, "NeuMF");
+  EXPECT_THROW(by_name("mnist"), std::invalid_argument);
+}
+
+TEST(Registry, InitialBatchSizesMatchTable5) {
+  EXPECT_EQ(by_name("imagenet").b0, 100);
+  EXPECT_EQ(by_name("cifar10").b0, 64);
+  EXPECT_EQ(by_name("librispeech").b0, 12);
+  EXPECT_EQ(by_name("squad").b0, 9);
+  EXPECT_EQ(by_name("movielens").b0, 64);
+}
+
+TEST(Registry, ModelSizesMatchTable5) {
+  EXPECT_DOUBLE_EQ(by_name("imagenet").model_params, 25.6e6);
+  EXPECT_DOUBLE_EQ(by_name("cifar10").model_params, 11e6);
+  EXPECT_DOUBLE_EQ(by_name("librispeech").model_params, 52e6);
+  EXPECT_DOUBLE_EQ(by_name("squad").model_params, 110e6);
+  EXPECT_DOUBLE_EQ(by_name("movielens").model_params, 5.2e6);
+  // Gradient bytes = fp32 parameters.
+  for (const auto& w : registry()) {
+    EXPECT_DOUBLE_EQ(w.profile.gradient_bytes, w.model_params * 4);
+  }
+}
+
+TEST(Registry, OptimizersMatchTable5) {
+  EXPECT_EQ(by_name("imagenet").optimizer, OptimizerKind::kSgd);
+  EXPECT_EQ(by_name("squad").optimizer, OptimizerKind::kAdamW);
+  EXPECT_EQ(by_name("movielens").optimizer, OptimizerKind::kAdam);
+  EXPECT_EQ(by_name("cifar10").lr_scaler, LrScalerKind::kAdaScale);
+  EXPECT_EQ(by_name("movielens").lr_scaler, LrScalerKind::kSquareRoot);
+}
+
+TEST(Workload, GnsTrajectoryIsMonotoneGeometric) {
+  const auto& w = by_name("cifar10");
+  EXPECT_DOUBLE_EQ(w.gns_at(0.0), w.gns_initial);
+  EXPECT_DOUBLE_EQ(w.gns_at(1.0), w.gns_final);
+  double previous = 0.0;
+  for (double f = 0.0; f <= 1.0; f += 0.1) {
+    const double phi = w.gns_at(f);
+    EXPECT_GT(phi, previous);
+    previous = phi;
+  }
+  // Clamped outside [0, 1].
+  EXPECT_DOUBLE_EQ(w.gns_at(-1.0), w.gns_initial);
+  EXPECT_DOUBLE_EQ(w.gns_at(2.0), w.gns_final);
+}
+
+TEST(Workload, EfficiencyAnchorsAtB0) {
+  for (const auto& w : registry()) {
+    EXPECT_DOUBLE_EQ(w.efficiency(w.b0, 0.0), 1.0);
+    EXPECT_LT(w.efficiency(w.max_total_batch, 0.0), 1.0);
+    // Efficiency at a large batch improves as training progresses
+    // (GNS grows), which is what makes batch growth worthwhile.
+    EXPECT_GT(w.efficiency(w.max_total_batch, 1.0),
+              w.efficiency(w.max_total_batch, 0.0));
+  }
+}
+
+TEST(Workload, TargetProgressIsEpochsTimesDataset) {
+  const auto& w = by_name("squad");
+  EXPECT_DOUBLE_EQ(w.target_progress(), 3.0 * 88568.0);
+}
+
+TEST(Workload, MetricCurveHitsTargetAtFullProgress) {
+  for (const auto& w : registry()) {
+    EXPECT_DOUBLE_EQ(w.metric_at(0.0), w.metric_floor);
+    EXPECT_NEAR(w.metric_at(1.0), w.metric_target, 1e-9);
+  }
+  // WER falls: metric target below floor still works monotonically.
+  const auto& speech = by_name("librispeech");
+  EXPECT_GT(speech.metric_at(0.2), speech.metric_at(0.8));
+}
+
+TEST(Workload, BatchRangesFitClusterBMemory) {
+  // Every workload's max total batch must be feasible on cluster B
+  // (sum of memory caps), otherwise the adaptive range is fiction.
+  for (const auto& w : registry()) {
+    double total_mem_cap = 0.0;
+    const double memories[] = {40, 40, 40, 40, 32, 32, 32, 32,
+                               24, 24, 24, 24, 24, 24, 24, 24};
+    for (double gb : memories) {
+      total_mem_cap += gb * 0.8 * 1e9 / w.profile.mem_bytes_per_sample;
+    }
+    EXPECT_GE(total_mem_cap, w.max_total_batch) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace cannikin::workloads
