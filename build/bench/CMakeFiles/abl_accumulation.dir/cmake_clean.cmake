@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_accumulation.dir/abl_accumulation.cc.o"
+  "CMakeFiles/abl_accumulation.dir/abl_accumulation.cc.o.d"
+  "abl_accumulation"
+  "abl_accumulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gns_weighting.dir/abl_gns_weighting.cc.o"
+  "CMakeFiles/abl_gns_weighting.dir/abl_gns_weighting.cc.o.d"
+  "abl_gns_weighting"
+  "abl_gns_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gns_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

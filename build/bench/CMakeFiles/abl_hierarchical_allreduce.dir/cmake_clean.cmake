@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hierarchical_allreduce.dir/abl_hierarchical_allreduce.cc.o"
+  "CMakeFiles/abl_hierarchical_allreduce.dir/abl_hierarchical_allreduce.cc.o.d"
+  "abl_hierarchical_allreduce"
+  "abl_hierarchical_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hierarchical_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

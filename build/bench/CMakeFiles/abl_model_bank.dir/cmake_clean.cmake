@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_model_bank.dir/abl_model_bank.cc.o"
+  "CMakeFiles/abl_model_bank.dir/abl_model_bank.cc.o.d"
+  "abl_model_bank"
+  "abl_model_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_cluster_c_sharing.dir/disc_cluster_c_sharing.cc.o"
+  "CMakeFiles/disc_cluster_c_sharing.dir/disc_cluster_c_sharing.cc.o.d"
+  "disc_cluster_c_sharing"
+  "disc_cluster_c_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_cluster_c_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

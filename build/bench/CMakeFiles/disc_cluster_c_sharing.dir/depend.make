@@ -1,0 +1,2 @@
+# Empty dependencies file for disc_cluster_c_sharing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_dynamic_contention.dir/disc_dynamic_contention.cc.o"
+  "CMakeFiles/disc_dynamic_contention.dir/disc_dynamic_contention.cc.o.d"
+  "disc_dynamic_contention"
+  "disc_dynamic_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_dynamic_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

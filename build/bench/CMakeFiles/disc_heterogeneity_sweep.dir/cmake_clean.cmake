@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_heterogeneity_sweep.dir/disc_heterogeneity_sweep.cc.o"
+  "CMakeFiles/disc_heterogeneity_sweep.dir/disc_heterogeneity_sweep.cc.o.d"
+  "disc_heterogeneity_sweep"
+  "disc_heterogeneity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_heterogeneity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

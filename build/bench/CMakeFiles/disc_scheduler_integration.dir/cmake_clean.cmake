@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_scheduler_integration.dir/disc_scheduler_integration.cc.o"
+  "CMakeFiles/disc_scheduler_integration.dir/disc_scheduler_integration.cc.o.d"
+  "disc_scheduler_integration"
+  "disc_scheduler_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_scheduler_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_batch_evolution.dir/fig05_batch_evolution.cc.o"
+  "CMakeFiles/fig05_batch_evolution.dir/fig05_batch_evolution.cc.o.d"
+  "fig05_batch_evolution"
+  "fig05_batch_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_batch_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

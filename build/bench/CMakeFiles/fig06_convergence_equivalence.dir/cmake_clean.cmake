@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_convergence_equivalence.dir/fig06_convergence_equivalence.cc.o"
+  "CMakeFiles/fig06_convergence_equivalence.dir/fig06_convergence_equivalence.cc.o.d"
+  "fig06_convergence_equivalence"
+  "fig06_convergence_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_convergence_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_convergence_process.dir/fig07_convergence_process.cc.o"
+  "CMakeFiles/fig07_convergence_process.dir/fig07_convergence_process.cc.o.d"
+  "fig07_convergence_process"
+  "fig07_convergence_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_convergence_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

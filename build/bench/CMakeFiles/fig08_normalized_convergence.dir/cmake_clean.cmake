@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_normalized_convergence.dir/fig08_normalized_convergence.cc.o"
+  "CMakeFiles/fig08_normalized_convergence.dir/fig08_normalized_convergence.cc.o.d"
+  "fig08_normalized_convergence"
+  "fig08_normalized_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_normalized_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fixed_batch_approach.dir/fig09_fixed_batch_approach.cc.o"
+  "CMakeFiles/fig09_fixed_batch_approach.dir/fig09_fixed_batch_approach.cc.o.d"
+  "fig09_fixed_batch_approach"
+  "fig09_fixed_batch_approach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fixed_batch_approach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

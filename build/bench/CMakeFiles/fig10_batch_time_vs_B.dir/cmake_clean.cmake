@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_batch_time_vs_B.dir/fig10_batch_time_vs_B.cc.o"
+  "CMakeFiles/fig10_batch_time_vs_B.dir/fig10_batch_time_vs_B.cc.o.d"
+  "fig10_batch_time_vs_B"
+  "fig10_batch_time_vs_B.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_batch_time_vs_B.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_optperf_prediction.dir/sec53_optperf_prediction.cc.o"
+  "CMakeFiles/sec53_optperf_prediction.dir/sec53_optperf_prediction.cc.o.d"
+  "sec53_optperf_prediction"
+  "sec53_optperf_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_optperf_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_overhead.dir/table6_overhead.cc.o"
+  "CMakeFiles/table6_overhead.dir/table6_overhead.cc.o.d"
+  "table6_overhead"
+  "table6_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_real_training.dir/adaptive_real_training.cpp.o"
+  "CMakeFiles/adaptive_real_training.dir/adaptive_real_training.cpp.o.d"
+  "adaptive_real_training"
+  "adaptive_real_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_real_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_cli.dir/cannikin_cli.cpp.o"
+  "CMakeFiles/cannikin_cli.dir/cannikin_cli.cpp.o.d"
+  "cannikin_cli"
+  "cannikin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

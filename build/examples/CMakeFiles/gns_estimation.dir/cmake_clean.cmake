@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gns_estimation.dir/gns_estimation.cpp.o"
+  "CMakeFiles/gns_estimation.dir/gns_estimation.cpp.o.d"
+  "gns_estimation"
+  "gns_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gns_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_cluster_training.dir/hetero_cluster_training.cpp.o"
+  "CMakeFiles/hetero_cluster_training.dir/hetero_cluster_training.cpp.o.d"
+  "hetero_cluster_training"
+  "hetero_cluster_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_cluster_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

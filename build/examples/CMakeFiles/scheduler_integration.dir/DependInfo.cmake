@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/scheduler_integration.cpp" "examples/CMakeFiles/scheduler_integration.dir/scheduler_integration.cpp.o" "gcc" "examples/CMakeFiles/scheduler_integration.dir/scheduler_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cannikin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cannikin_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cannikin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/cannikin_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cannikin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cannikin_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cannikin_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/cannikin_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cannikin_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adaptdl.cc" "src/baselines/CMakeFiles/cannikin_baselines.dir/adaptdl.cc.o" "gcc" "src/baselines/CMakeFiles/cannikin_baselines.dir/adaptdl.cc.o.d"
+  "/root/repo/src/baselines/ddp.cc" "src/baselines/CMakeFiles/cannikin_baselines.dir/ddp.cc.o" "gcc" "src/baselines/CMakeFiles/cannikin_baselines.dir/ddp.cc.o.d"
+  "/root/repo/src/baselines/hetpipe.cc" "src/baselines/CMakeFiles/cannikin_baselines.dir/hetpipe.cc.o" "gcc" "src/baselines/CMakeFiles/cannikin_baselines.dir/hetpipe.cc.o.d"
+  "/root/repo/src/baselines/lbbsp.cc" "src/baselines/CMakeFiles/cannikin_baselines.dir/lbbsp.cc.o" "gcc" "src/baselines/CMakeFiles/cannikin_baselines.dir/lbbsp.cc.o.d"
+  "/root/repo/src/baselines/pipeline_partition.cc" "src/baselines/CMakeFiles/cannikin_baselines.dir/pipeline_partition.cc.o" "gcc" "src/baselines/CMakeFiles/cannikin_baselines.dir/pipeline_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/cannikin_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cannikin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cannikin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cannikin_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cannikin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

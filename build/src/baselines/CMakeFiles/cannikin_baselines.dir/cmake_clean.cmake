@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_baselines.dir/adaptdl.cc.o"
+  "CMakeFiles/cannikin_baselines.dir/adaptdl.cc.o.d"
+  "CMakeFiles/cannikin_baselines.dir/ddp.cc.o"
+  "CMakeFiles/cannikin_baselines.dir/ddp.cc.o.d"
+  "CMakeFiles/cannikin_baselines.dir/hetpipe.cc.o"
+  "CMakeFiles/cannikin_baselines.dir/hetpipe.cc.o.d"
+  "CMakeFiles/cannikin_baselines.dir/lbbsp.cc.o"
+  "CMakeFiles/cannikin_baselines.dir/lbbsp.cc.o.d"
+  "CMakeFiles/cannikin_baselines.dir/pipeline_partition.cc.o"
+  "CMakeFiles/cannikin_baselines.dir/pipeline_partition.cc.o.d"
+  "libcannikin_baselines.a"
+  "libcannikin_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcannikin_baselines.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/bucket.cc" "src/comm/CMakeFiles/cannikin_comm.dir/bucket.cc.o" "gcc" "src/comm/CMakeFiles/cannikin_comm.dir/bucket.cc.o.d"
+  "/root/repo/src/comm/collectives.cc" "src/comm/CMakeFiles/cannikin_comm.dir/collectives.cc.o" "gcc" "src/comm/CMakeFiles/cannikin_comm.dir/collectives.cc.o.d"
+  "/root/repo/src/comm/process_group.cc" "src/comm/CMakeFiles/cannikin_comm.dir/process_group.cc.o" "gcc" "src/comm/CMakeFiles/cannikin_comm.dir/process_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cannikin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_comm.dir/bucket.cc.o"
+  "CMakeFiles/cannikin_comm.dir/bucket.cc.o.d"
+  "CMakeFiles/cannikin_comm.dir/collectives.cc.o"
+  "CMakeFiles/cannikin_comm.dir/collectives.cc.o.d"
+  "CMakeFiles/cannikin_comm.dir/process_group.cc.o"
+  "CMakeFiles/cannikin_comm.dir/process_group.cc.o.d"
+  "libcannikin_comm.a"
+  "libcannikin_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

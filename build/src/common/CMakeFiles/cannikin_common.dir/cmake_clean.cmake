@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_common.dir/flags.cc.o"
+  "CMakeFiles/cannikin_common.dir/flags.cc.o.d"
+  "CMakeFiles/cannikin_common.dir/linalg.cc.o"
+  "CMakeFiles/cannikin_common.dir/linalg.cc.o.d"
+  "CMakeFiles/cannikin_common.dir/logging.cc.o"
+  "CMakeFiles/cannikin_common.dir/logging.cc.o.d"
+  "CMakeFiles/cannikin_common.dir/stats.cc.o"
+  "CMakeFiles/cannikin_common.dir/stats.cc.o.d"
+  "libcannikin_common.a"
+  "libcannikin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

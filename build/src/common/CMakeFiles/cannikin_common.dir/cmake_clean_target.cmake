@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcannikin_common.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/cannikin_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/cannikin_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/gns.cc" "src/core/CMakeFiles/cannikin_core.dir/gns.cc.o" "gcc" "src/core/CMakeFiles/cannikin_core.dir/gns.cc.o.d"
+  "/root/repo/src/core/goodput.cc" "src/core/CMakeFiles/cannikin_core.dir/goodput.cc.o" "gcc" "src/core/CMakeFiles/cannikin_core.dir/goodput.cc.o.d"
+  "/root/repo/src/core/hetero_dataloader.cc" "src/core/CMakeFiles/cannikin_core.dir/hetero_dataloader.cc.o" "gcc" "src/core/CMakeFiles/cannikin_core.dir/hetero_dataloader.cc.o.d"
+  "/root/repo/src/core/optperf.cc" "src/core/CMakeFiles/cannikin_core.dir/optperf.cc.o" "gcc" "src/core/CMakeFiles/cannikin_core.dir/optperf.cc.o.d"
+  "/root/repo/src/core/perf_model.cc" "src/core/CMakeFiles/cannikin_core.dir/perf_model.cc.o" "gcc" "src/core/CMakeFiles/cannikin_core.dir/perf_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cannikin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cannikin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_core.dir/controller.cc.o"
+  "CMakeFiles/cannikin_core.dir/controller.cc.o.d"
+  "CMakeFiles/cannikin_core.dir/gns.cc.o"
+  "CMakeFiles/cannikin_core.dir/gns.cc.o.d"
+  "CMakeFiles/cannikin_core.dir/goodput.cc.o"
+  "CMakeFiles/cannikin_core.dir/goodput.cc.o.d"
+  "CMakeFiles/cannikin_core.dir/hetero_dataloader.cc.o"
+  "CMakeFiles/cannikin_core.dir/hetero_dataloader.cc.o.d"
+  "CMakeFiles/cannikin_core.dir/optperf.cc.o"
+  "CMakeFiles/cannikin_core.dir/optperf.cc.o.d"
+  "CMakeFiles/cannikin_core.dir/perf_model.cc.o"
+  "CMakeFiles/cannikin_core.dir/perf_model.cc.o.d"
+  "libcannikin_core.a"
+  "libcannikin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

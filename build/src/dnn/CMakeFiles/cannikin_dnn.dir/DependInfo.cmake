@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/adaptive_trainer.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/adaptive_trainer.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/adaptive_trainer.cc.o.d"
+  "/root/repo/src/dnn/data.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/data.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/data.cc.o.d"
+  "/root/repo/src/dnn/layers.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/layers.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/layers.cc.o.d"
+  "/root/repo/src/dnn/layers_extra.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/layers_extra.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/layers_extra.cc.o.d"
+  "/root/repo/src/dnn/loss.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/loss.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/loss.cc.o.d"
+  "/root/repo/src/dnn/model.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/model.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/model.cc.o.d"
+  "/root/repo/src/dnn/optimizer.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/optimizer.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/optimizer.cc.o.d"
+  "/root/repo/src/dnn/parallel_trainer.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/parallel_trainer.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/parallel_trainer.cc.o.d"
+  "/root/repo/src/dnn/tensor.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/tensor.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/tensor.cc.o.d"
+  "/root/repo/src/dnn/zoo.cc" "src/dnn/CMakeFiles/cannikin_dnn.dir/zoo.cc.o" "gcc" "src/dnn/CMakeFiles/cannikin_dnn.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cannikin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cannikin_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cannikin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cannikin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

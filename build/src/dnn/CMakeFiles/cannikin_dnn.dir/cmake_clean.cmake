@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_dnn.dir/adaptive_trainer.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/adaptive_trainer.cc.o.d"
+  "CMakeFiles/cannikin_dnn.dir/data.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/data.cc.o.d"
+  "CMakeFiles/cannikin_dnn.dir/layers.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/layers.cc.o.d"
+  "CMakeFiles/cannikin_dnn.dir/layers_extra.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/layers_extra.cc.o.d"
+  "CMakeFiles/cannikin_dnn.dir/loss.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/loss.cc.o.d"
+  "CMakeFiles/cannikin_dnn.dir/model.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/model.cc.o.d"
+  "CMakeFiles/cannikin_dnn.dir/optimizer.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/optimizer.cc.o.d"
+  "CMakeFiles/cannikin_dnn.dir/parallel_trainer.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/parallel_trainer.cc.o.d"
+  "CMakeFiles/cannikin_dnn.dir/tensor.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/tensor.cc.o.d"
+  "CMakeFiles/cannikin_dnn.dir/zoo.cc.o"
+  "CMakeFiles/cannikin_dnn.dir/zoo.cc.o.d"
+  "libcannikin_dnn.a"
+  "libcannikin_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

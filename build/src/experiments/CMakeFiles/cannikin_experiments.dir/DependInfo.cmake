@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/cannikin_system.cc" "src/experiments/CMakeFiles/cannikin_experiments.dir/cannikin_system.cc.o" "gcc" "src/experiments/CMakeFiles/cannikin_experiments.dir/cannikin_system.cc.o.d"
+  "/root/repo/src/experiments/harness.cc" "src/experiments/CMakeFiles/cannikin_experiments.dir/harness.cc.o" "gcc" "src/experiments/CMakeFiles/cannikin_experiments.dir/harness.cc.o.d"
+  "/root/repo/src/experiments/table.cc" "src/experiments/CMakeFiles/cannikin_experiments.dir/table.cc.o" "gcc" "src/experiments/CMakeFiles/cannikin_experiments.dir/table.cc.o.d"
+  "/root/repo/src/experiments/trace_io.cc" "src/experiments/CMakeFiles/cannikin_experiments.dir/trace_io.cc.o" "gcc" "src/experiments/CMakeFiles/cannikin_experiments.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cannikin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cannikin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cannikin_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cannikin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_experiments.dir/cannikin_system.cc.o"
+  "CMakeFiles/cannikin_experiments.dir/cannikin_system.cc.o.d"
+  "CMakeFiles/cannikin_experiments.dir/harness.cc.o"
+  "CMakeFiles/cannikin_experiments.dir/harness.cc.o.d"
+  "CMakeFiles/cannikin_experiments.dir/table.cc.o"
+  "CMakeFiles/cannikin_experiments.dir/table.cc.o.d"
+  "CMakeFiles/cannikin_experiments.dir/trace_io.cc.o"
+  "CMakeFiles/cannikin_experiments.dir/trace_io.cc.o.d"
+  "libcannikin_experiments.a"
+  "libcannikin_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

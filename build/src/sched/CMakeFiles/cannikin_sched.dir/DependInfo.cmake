@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/elastic_job.cc" "src/sched/CMakeFiles/cannikin_sched.dir/elastic_job.cc.o" "gcc" "src/sched/CMakeFiles/cannikin_sched.dir/elastic_job.cc.o.d"
+  "/root/repo/src/sched/model_bank.cc" "src/sched/CMakeFiles/cannikin_sched.dir/model_bank.cc.o" "gcc" "src/sched/CMakeFiles/cannikin_sched.dir/model_bank.cc.o.d"
+  "/root/repo/src/sched/multi_job_sim.cc" "src/sched/CMakeFiles/cannikin_sched.dir/multi_job_sim.cc.o" "gcc" "src/sched/CMakeFiles/cannikin_sched.dir/multi_job_sim.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/cannikin_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/cannikin_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cannikin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cannikin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cannikin_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/cannikin_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cannikin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

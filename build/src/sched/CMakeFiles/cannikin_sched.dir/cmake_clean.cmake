@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_sched.dir/elastic_job.cc.o"
+  "CMakeFiles/cannikin_sched.dir/elastic_job.cc.o.d"
+  "CMakeFiles/cannikin_sched.dir/model_bank.cc.o"
+  "CMakeFiles/cannikin_sched.dir/model_bank.cc.o.d"
+  "CMakeFiles/cannikin_sched.dir/multi_job_sim.cc.o"
+  "CMakeFiles/cannikin_sched.dir/multi_job_sim.cc.o.d"
+  "CMakeFiles/cannikin_sched.dir/scheduler.cc.o"
+  "CMakeFiles/cannikin_sched.dir/scheduler.cc.o.d"
+  "libcannikin_sched.a"
+  "libcannikin_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

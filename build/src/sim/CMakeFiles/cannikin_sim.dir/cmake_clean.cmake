@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_sim.dir/cluster.cc.o"
+  "CMakeFiles/cannikin_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/cannikin_sim.dir/cluster_factory.cc.o"
+  "CMakeFiles/cannikin_sim.dir/cluster_factory.cc.o.d"
+  "CMakeFiles/cannikin_sim.dir/gpu.cc.o"
+  "CMakeFiles/cannikin_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/cannikin_sim.dir/network.cc.o"
+  "CMakeFiles/cannikin_sim.dir/network.cc.o.d"
+  "CMakeFiles/cannikin_sim.dir/timeline.cc.o"
+  "CMakeFiles/cannikin_sim.dir/timeline.cc.o.d"
+  "libcannikin_sim.a"
+  "libcannikin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

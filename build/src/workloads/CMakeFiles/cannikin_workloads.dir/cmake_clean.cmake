@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cannikin_workloads.dir/registry.cc.o"
+  "CMakeFiles/cannikin_workloads.dir/registry.cc.o.d"
+  "libcannikin_workloads.a"
+  "libcannikin_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cannikin_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

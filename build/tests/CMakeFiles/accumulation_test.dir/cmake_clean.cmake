@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accumulation_test.dir/accumulation_test.cc.o"
+  "CMakeFiles/accumulation_test.dir/accumulation_test.cc.o.d"
+  "accumulation_test"
+  "accumulation_test.pdb"
+  "accumulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accumulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_trainer_test.dir/adaptive_trainer_test.cc.o"
+  "CMakeFiles/adaptive_trainer_test.dir/adaptive_trainer_test.cc.o.d"
+  "adaptive_trainer_test"
+  "adaptive_trainer_test.pdb"
+  "adaptive_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataloader_test.dir/dataloader_test.cc.o"
+  "CMakeFiles/dataloader_test.dir/dataloader_test.cc.o.d"
+  "dataloader_test"
+  "dataloader_test.pdb"
+  "dataloader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataloader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flags_trace_test.dir/flags_trace_test.cc.o"
+  "CMakeFiles/flags_trace_test.dir/flags_trace_test.cc.o.d"
+  "flags_trace_test"
+  "flags_trace_test.pdb"
+  "flags_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flags_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

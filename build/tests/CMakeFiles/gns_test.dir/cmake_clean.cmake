@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gns_test.dir/gns_test.cc.o"
+  "CMakeFiles/gns_test.dir/gns_test.cc.o.d"
+  "gns_test"
+  "gns_test.pdb"
+  "gns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goodput_test.dir/goodput_test.cc.o"
+  "CMakeFiles/goodput_test.dir/goodput_test.cc.o.d"
+  "goodput_test"
+  "goodput_test.pdb"
+  "goodput_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goodput_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_hier_test.dir/network_hier_test.cc.o"
+  "CMakeFiles/network_hier_test.dir/network_hier_test.cc.o.d"
+  "network_hier_test"
+  "network_hier_test.pdb"
+  "network_hier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_hier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optperf_test.dir/optperf_test.cc.o"
+  "CMakeFiles/optperf_test.dir/optperf_test.cc.o.d"
+  "optperf_test"
+  "optperf_test.pdb"
+  "optperf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optperf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_partition_test.dir/pipeline_partition_test.cc.o"
+  "CMakeFiles/pipeline_partition_test.dir/pipeline_partition_test.cc.o.d"
+  "pipeline_partition_test"
+  "pipeline_partition_test.pdb"
+  "pipeline_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

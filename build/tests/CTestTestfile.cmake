@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/optperf_test[1]_include.cmake")
+include("/root/repo/build/tests/gns_test[1]_include.cmake")
+include("/root/repo/build/tests/goodput_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_model_test[1]_include.cmake")
+include("/root/repo/build/tests/dataloader_test[1]_include.cmake")
+include("/root/repo/build/tests/dnn_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/layers_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/drift_test[1]_include.cmake")
+include("/root/repo/build/tests/network_hier_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/accumulation_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_trainer_test[1]_include.cmake")
