@@ -32,6 +32,12 @@ void bucketized_weighted_all_reduce(Communicator& comm,
     if (bucket.offset + bucket.length > gradient.size()) {
       throw std::out_of_range("bucketized all-reduce: bucket out of range");
     }
+    // Fail fast between buckets once a peer has aborted the group,
+    // instead of burning a full timeout on every remaining bucket.
+    if (comm.aborted()) {
+      throw CommAbortedError(
+          "bucketized all-reduce: process group aborted");
+    }
     weighted_ring_all_reduce(
         comm, gradient.subspan(bucket.offset, bucket.length), weight,
         base_tag + i);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <string>
 
 namespace cannikin::comm {
 
@@ -11,6 +12,15 @@ struct Segment {
   std::size_t offset;
   std::size_t length;
 };
+
+// Aborted groups must fail uniformly, even on paths that would not
+// touch the fabric (single-rank groups, empty ring segments): a poisoned
+// collective that silently "succeeds" on some ranks hides the failure.
+void check_not_aborted(const Communicator& comm, const char* op) {
+  if (comm.aborted()) {
+    throw CommAbortedError(std::string(op) + ": process group aborted");
+  }
+}
 
 // Splits [0, total) into n contiguous segments whose sizes differ by at
 // most one, matching the chunking of the ring algorithm.
@@ -33,6 +43,7 @@ void ring_all_reduce(Communicator& comm, std::span<double> data,
                      std::uint64_t tag) {
   const int n = comm.size();
   const int rank = comm.rank();
+  check_not_aborted(comm, "ring_all_reduce");
   if (n == 1) return;
 
   const auto segments = make_segments(data.size(), n);
@@ -82,6 +93,7 @@ void weighted_ring_all_reduce(Communicator& comm, std::span<double> data,
 
 void broadcast(Communicator& comm, std::vector<double>& data, int root,
                std::uint64_t tag) {
+  check_not_aborted(comm, "broadcast");
   if (comm.size() == 1) return;
   if (comm.rank() == root) {
     for (int dst = 0; dst < comm.size(); ++dst) {
@@ -97,6 +109,7 @@ std::vector<double> all_gather(Communicator& comm,
                                const std::vector<double>& data,
                                std::uint64_t tag) {
   const int n = comm.size();
+  check_not_aborted(comm, "all_gather");
   std::vector<std::vector<double>> parts(static_cast<std::size_t>(n));
   parts[static_cast<std::size_t>(comm.rank())] = data;
   // Simple ring circulation of each rank's contribution.

@@ -1,5 +1,7 @@
 #include "comm/process_group.h"
 
+#include <chrono>
+#include <string>
 #include <utility>
 
 namespace cannikin::comm {
@@ -14,27 +16,66 @@ void Mailbox::put(int src, std::uint64_t tag, Payload payload) {
   cv_.notify_all();
 }
 
-Payload Mailbox::take(int src, std::uint64_t tag) {
+Payload Mailbox::take(int src, std::uint64_t tag, double timeout_seconds) {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto key = std::make_pair(src, tag);
-  cv_.wait(lock, [&] {
+  const auto ready = [&] {
+    if (aborted_) return true;
     auto it = queues_.find(key);
     return it != queues_.end() && !it->second.empty();
-  });
+  };
+  if (timeout_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    if (!cv_.wait_until(lock, deadline, ready)) {
+      throw CommTimeoutError(
+          "recv: timed out after " + std::to_string(timeout_seconds) +
+          "s waiting for message (src=" + std::to_string(src) +
+          ", tag=" + std::to_string(tag) + "); peer dead or hung");
+    }
+  } else {
+    cv_.wait(lock, ready);
+  }
+  if (aborted_) {
+    throw CommAbortedError("recv: process group aborted (src=" +
+                           std::to_string(src) +
+                           ", tag=" + std::to_string(tag) + ")");
+  }
   auto& queue = queues_[key];
   Payload payload = std::move(queue.front());
   queue.pop_front();
   return payload;
 }
 
+void Mailbox::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
 }  // namespace detail
 
-ProcessGroup::ProcessGroup(int size) : size_(size) {
+ProcessGroup::ProcessGroup(int size, double timeout_seconds)
+    : size_(size), timeout_seconds_(timeout_seconds) {
   if (size <= 0) throw CommError("ProcessGroup: size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<detail::Mailbox>());
   }
+}
+
+void ProcessGroup::abort() {
+  aborted_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_aborted_ = true;
+  }
+  barrier_cv_.notify_all();
+  for (auto& mailbox : mailboxes_) mailbox->abort();
 }
 
 Communicator ProcessGroup::communicator(int rank) {
@@ -44,12 +85,14 @@ Communicator ProcessGroup::communicator(int rank) {
 
 void ProcessGroup::send(int src, int dst, std::uint64_t tag, Payload payload) {
   if (dst < 0 || dst >= size_) throw CommError("send: bad destination rank");
+  if (aborted()) throw CommAbortedError("send: process group aborted");
   mailboxes_[static_cast<std::size_t>(dst)]->put(src, tag, std::move(payload));
 }
 
 Payload ProcessGroup::recv(int dst, int src, std::uint64_t tag) {
   if (src < 0 || src >= size_) throw CommError("recv: bad source rank");
-  return mailboxes_[static_cast<std::size_t>(dst)]->take(src, tag);
+  return mailboxes_[static_cast<std::size_t>(dst)]->take(src, tag,
+                                                         timeout_seconds_);
 }
 
 void Communicator::send(int dst, std::uint64_t tag, Payload payload) {
@@ -62,14 +105,41 @@ Payload Communicator::recv(int src, std::uint64_t tag) {
 
 void Communicator::barrier() {
   std::unique_lock<std::mutex> lock(group_->barrier_mutex_);
+  if (group_->barrier_aborted_) {
+    throw CommAbortedError("barrier: process group aborted");
+  }
   const std::uint64_t generation = group_->barrier_generation_;
   if (++group_->barrier_waiting_ == group_->size_) {
     group_->barrier_waiting_ = 0;
     ++group_->barrier_generation_;
     group_->barrier_cv_.notify_all();
+    return;
+  }
+  const auto released = [&] {
+    return group_->barrier_generation_ != generation ||
+           group_->barrier_aborted_;
+  };
+  const double timeout_seconds = group_->timeout_seconds_;
+  bool completed = true;
+  if (timeout_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    completed = group_->barrier_cv_.wait_until(lock, deadline, released);
   } else {
-    group_->barrier_cv_.wait(
-        lock, [&] { return group_->barrier_generation_ != generation; });
+    group_->barrier_cv_.wait(lock, released);
+  }
+  if (group_->barrier_aborted_) {
+    throw CommAbortedError("barrier: process group aborted");
+  }
+  if (!completed) {
+    // Withdraw from the unfinished generation so the count stays
+    // consistent if the missing rank ever arrives.
+    --group_->barrier_waiting_;
+    throw CommTimeoutError(
+        "barrier: rank " + std::to_string(rank_) + " timed out after " +
+        std::to_string(timeout_seconds) + "s; some rank never arrived");
   }
 }
 

@@ -6,8 +6,18 @@
 // point-to-point sends/receives and collectives against it. Messages are
 // tagged so that concurrent collectives (e.g. per-bucket all-reduce)
 // cannot interleave payloads.
+//
+// Fault tolerance (mirroring the NCCL watchdog / comm-abort protocol
+// real DDP relies on): the group carries an optional timeout applied to
+// every blocking receive and barrier, and an abort() that wakes every
+// blocked rank and poisons all subsequent calls. A worker that dies
+// mid-collective therefore converts a would-be deadlock into a
+// CommTimeoutError on its peers within the configured deadline; the
+// first peer to notice calls abort() and the whole group unwinds with
+// CommAbortedError instead of hanging.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -28,18 +38,39 @@ class CommError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A blocking receive or barrier exceeded the group's timeout: some
+/// peer rank is dead, hung, or has left the collective.
+class CommTimeoutError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// The group was abort()ed (by this rank or a peer); the operation did
+/// not and will never complete. All further calls on the group fail.
+class CommAbortedError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
 namespace detail {
 
 /// Per-rank inbox. Messages are keyed by (source rank, tag); receive
-/// blocks until a matching message arrives.
+/// blocks until a matching message arrives, the timeout expires, or the
+/// mailbox is aborted.
 class Mailbox {
  public:
   void put(int src, std::uint64_t tag, Payload payload);
-  Payload take(int src, std::uint64_t tag);
+  /// `timeout_seconds` <= 0 waits forever. Throws CommTimeoutError on
+  /// deadline expiry and CommAbortedError after abort().
+  Payload take(int src, std::uint64_t tag, double timeout_seconds);
+  /// Wakes every blocked take() with CommAbortedError and makes all
+  /// future takes fail immediately.
+  void abort();
 
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
+  bool aborted_ = false;
   std::map<std::pair<int, std::uint64_t>, std::deque<Payload>> queues_;
 };
 
@@ -51,9 +82,24 @@ class Communicator;
 /// Thread-safe: each rank's Communicator may be driven by its own thread.
 class ProcessGroup {
  public:
-  explicit ProcessGroup(int size);
+  /// `timeout_seconds` <= 0 disables the deadline (legacy blocking
+  /// behaviour); a positive value bounds every recv()/barrier().
+  explicit ProcessGroup(int size, double timeout_seconds = 0.0);
 
   int size() const { return size_; }
+
+  /// Deadline applied to blocking operations; set before spawning the
+  /// worker threads that drive the communicators.
+  void set_timeout(double timeout_seconds) { timeout_seconds_ = timeout_seconds; }
+  double timeout() const { return timeout_seconds_; }
+
+  /// Irreversibly poisons the group: every rank blocked in recv() or
+  /// barrier() wakes with CommAbortedError, and every subsequent
+  /// send/recv/barrier fails immediately. Safe to call from any thread
+  /// and idempotent -- this is the comm-abort path a watchdog takes
+  /// when one worker is known dead.
+  void abort();
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
   /// Returns the communicator handle for `rank`; the handle borrows the
   /// group, which must outlive it.
@@ -66,6 +112,8 @@ class ProcessGroup {
   Payload recv(int dst, int src, std::uint64_t tag);
 
   int size_;
+  double timeout_seconds_ = 0.0;
+  std::atomic<bool> aborted_{false};
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
 
   // Barrier state (central counter barrier, generation-counted).
@@ -73,6 +121,7 @@ class ProcessGroup {
   std::condition_variable barrier_cv_;
   int barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
+  bool barrier_aborted_ = false;
 };
 
 /// Rank-local handle used to communicate within a ProcessGroup.
@@ -80,14 +129,18 @@ class Communicator {
  public:
   int rank() const { return rank_; }
   int size() const { return group_->size(); }
+  bool aborted() const { return group_->aborted(); }
 
   /// Point-to-point send (copies the payload into the fabric).
   void send(int dst, std::uint64_t tag, Payload payload);
 
   /// Blocking point-to-point receive of a message with matching tag.
+  /// Bounded by the group timeout: throws CommTimeoutError when the
+  /// deadline passes and CommAbortedError once the group is aborted.
   Payload recv(int src, std::uint64_t tag);
 
-  /// Blocks until every rank in the group has entered the barrier.
+  /// Blocks until every rank in the group has entered the barrier,
+  /// subject to the same timeout/abort semantics as recv().
   void barrier();
 
  private:

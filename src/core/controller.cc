@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace cannikin::core {
 
@@ -298,6 +299,21 @@ void CannikinController::observe_epoch(
     const std::vector<double>& p_obs, const std::vector<double>& gamma_obs,
     const std::vector<double>& t_other_obs,
     const std::vector<double>& t_last_obs) {
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  const auto check = [n](const char* name, std::size_t got) {
+    if (got != n) {
+      throw std::invalid_argument(
+          "observe_epoch: " + std::string(name) + " has " +
+          std::to_string(got) + " entries, expected one per node (" +
+          std::to_string(n) + ")");
+    }
+  };
+  check("local_batches", local_batches.size());
+  check("a_obs", a_obs.size());
+  check("p_obs", p_obs.size());
+  check("gamma_obs", gamma_obs.size());
+  check("t_other_obs", t_other_obs.size());
+  check("t_last_obs", t_last_obs.size());
   perf_model_.observe_epoch(local_batches, a_obs, p_obs, gamma_obs,
                             t_other_obs, t_last_obs);
   last_local_batches_ = local_batches;
@@ -321,6 +337,12 @@ void CannikinController::observe_epoch(
 void CannikinController::update_gns(const std::vector<double>& batches,
                                     const std::vector<double>& local_norm_sq,
                                     double global_norm_sq) {
+  if (batches.empty() || batches.size() != local_norm_sq.size()) {
+    throw std::invalid_argument(
+        "update_gns: got " + std::to_string(batches.size()) +
+        " batch sizes and " + std::to_string(local_norm_sq.size()) +
+        " local norms; need one non-empty entry per contributing node");
+  }
   gns_.update(batches, local_norm_sq, global_norm_sq);
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "comm/bucket.h"
@@ -70,21 +71,27 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
       scaled_lr(options_.lr_scaling, options_.base_lr, total_batch,
                 options_.initial_total_batch, gns_.gns());
 
-  comm::ProcessGroup group(options_.num_nodes);
+  comm::ProcessGroup group(options_.num_nodes, options_.comm_timeout_seconds);
   const auto buckets =
       comm::make_buckets(params_.size(), options_.bucket_capacity);
 
   EpochResult result;
   std::mutex result_mutex;
   std::vector<double> final_params;
+  std::string comm_failure;  // first comm error, attributed to its rank
 
-  auto worker = [&](int rank) {
-    comm::Communicator comm = group.communicator(rank);
+  auto worker_body = [&](int rank, comm::Communicator& comm) {
     Model model = factory_();
     model.set_flat_params(params_);
     Optimizer& optimizer = *optimizers_[static_cast<std::size_t>(rank)];
 
     for (int batch = 0; batch < num_batches; ++batch) {
+      if (rank == options_.inject_failure_rank &&
+          batch >= options_.inject_failure_step) {
+        // Simulated worker death: stop participating without notice.
+        // Peers block on this rank's contribution until their deadline.
+        return;
+      }
       const auto indices = loader.batch_for_node(batch, rank);
       const int local_b = static_cast<int>(indices.size());
 
@@ -176,12 +183,40 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
     }
   };
 
+  // NCCL-watchdog protocol: the first rank whose comm op times out (or
+  // observes an abort) aborts the whole group, so every other rank
+  // unwinds in bounded time instead of deadlocking on the dead peer.
+  auto worker = [&](int rank) {
+    comm::Communicator comm = group.communicator(rank);
+    try {
+      worker_body(rank, comm);
+    } catch (const comm::CommError& error) {
+      {
+        std::lock_guard<std::mutex> lock(result_mutex);
+        if (comm_failure.empty()) {
+          comm_failure =
+              "rank " + std::to_string(rank) + ": " + error.what();
+        }
+      }
+      group.abort();
+    }
+  };
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(options_.num_nodes));
   for (int rank = 0; rank < options_.num_nodes; ++rank) {
     threads.emplace_back(worker, rank);
   }
   for (auto& thread : threads) thread.join();
+
+  if (!comm_failure.empty() || group.aborted()) {
+    // The epoch is discarded: params_ keeps the last consistent
+    // pre-epoch snapshot every surviving replica can restart from.
+    throw comm::CommAbortedError("run_epoch aborted: " +
+                                 (comm_failure.empty()
+                                      ? std::string("process group aborted")
+                                      : comm_failure));
+  }
 
   params_ = std::move(final_params);
   for (const auto& sample : result.gns_samples) gns_.update_sample(sample);

@@ -32,6 +32,17 @@ struct TrainerOptions {
   double momentum = 0.9;
   bool use_adam = false;
   std::uint64_t seed = 1;
+  /// Deadline on every blocking comm operation (NCCL-watchdog style);
+  /// <= 0 waits forever. With a deadline set, a dead or hung worker
+  /// surfaces as comm::CommAbortedError from run_epoch() instead of a
+  /// permanent hang.
+  double comm_timeout_seconds = 0.0;
+  /// Fault injection: this rank silently stops participating at the
+  /// start of step `inject_failure_step` (as if its process were
+  /// killed mid-epoch). -1 disables. Requires comm_timeout_seconds > 0
+  /// for the surviving ranks to unwind.
+  int inject_failure_rank = -1;
+  int inject_failure_step = 0;
 };
 
 struct EpochResult {

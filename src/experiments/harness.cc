@@ -8,10 +8,11 @@
 
 namespace cannikin::experiments {
 
-RunTrace run_to_target(sim::ClusterJob& job,
-                       const workloads::Workload& workload,
-                       TrainingSystem& system,
-                       const HarnessOptions& options) {
+namespace {
+
+RunTrace run_loop(sim::ClusterJob& job, const workloads::Workload& workload,
+                  TrainingSystem& system, const sim::FaultInjector* injector,
+                  const HarnessOptions& options) {
   RunTrace trace;
   trace.system = system.name();
   trace.workload = workload.name;
@@ -21,6 +22,19 @@ RunTrace run_to_target(sim::ClusterJob& job,
   double clock = 0.0;
 
   for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    std::string fault_note;
+    if (injector != nullptr) {
+      const auto crashes = injector->apply_due(epoch, job);
+      for (const auto& event : injector->due(epoch)) {
+        if (event.kind == sim::FaultKind::kNodeCrash) continue;
+        if (!fault_note.empty()) fault_note += "; ";
+        fault_note += event.describe();
+      }
+      for (const auto& crash : crashes) {
+        LOG_WARN << "run_to_target_with_faults: ignoring " << crash.describe()
+                 << " (fixed allocation; use sched::run_with_faults)";
+      }
+    }
     system.observe_gns(workload.gns_at(progress / target));
 
     const SystemPlan plan = system.plan_epoch();
@@ -68,6 +82,7 @@ RunTrace run_to_target(sim::ClusterJob& job,
     row.progress_fraction = std::min(progress / target, 1.0);
     row.gns = workload.gns_at(row.progress_fraction);
     row.metric = workload.metric_at(row.progress_fraction);
+    row.fault_note = std::move(fault_note);
     trace.epochs.push_back(std::move(row));
 
     if (progress >= target) {
@@ -83,6 +98,22 @@ RunTrace run_to_target(sim::ClusterJob& job,
              << " epochs";
   }
   return trace;
+}
+
+}  // namespace
+
+RunTrace run_to_target(sim::ClusterJob& job,
+                       const workloads::Workload& workload,
+                       TrainingSystem& system, const HarnessOptions& options) {
+  return run_loop(job, workload, system, nullptr, options);
+}
+
+RunTrace run_to_target_with_faults(sim::ClusterJob& job,
+                                   const workloads::Workload& workload,
+                                   TrainingSystem& system,
+                                   const sim::FaultInjector& injector,
+                                   const HarnessOptions& options) {
+  return run_loop(job, workload, system, &injector, options);
 }
 
 }  // namespace cannikin::experiments

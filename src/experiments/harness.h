@@ -16,6 +16,7 @@
 
 #include "experiments/training_system.h"
 #include "sim/cluster.h"
+#include "sim/faults.h"
 #include "workloads/registry.h"
 
 namespace cannikin::experiments {
@@ -31,6 +32,7 @@ struct EpochRow {
   double progress_fraction = 0.0;   ///< after this epoch
   double gns = 0.0;
   double metric = 0.0;
+  std::string fault_note;  ///< fault events injected before this epoch
 };
 
 struct RunTrace {
@@ -65,5 +67,16 @@ RunTrace run_to_target(sim::ClusterJob& job,
                        const workloads::Workload& workload,
                        TrainingSystem& system,
                        const HarnessOptions& options = {});
+
+/// Same loop, but applies `injector`'s contention/network fault events
+/// to `job` at the start of each epoch (recorded in the trace's
+/// fault_note column). Crash events cannot be honoured on a fixed
+/// allocation -- this harness logs and skips them; use
+/// sched::run_with_faults for failure-driven elastic recovery.
+RunTrace run_to_target_with_faults(sim::ClusterJob& job,
+                                   const workloads::Workload& workload,
+                                   TrainingSystem& system,
+                                   const sim::FaultInjector& injector,
+                                   const HarnessOptions& options = {});
 
 }  // namespace cannikin::experiments

@@ -5,6 +5,16 @@
 
 namespace cannikin::sched {
 
+namespace {
+
+// Modeled cost of surviving a node crash: checkpoint reload plus
+// process-group re-initialization, on top of the per-node
+// reconfiguration round trip Table 6 accounts for ordinary replans.
+constexpr double kCrashRestartSeconds = 2.0;
+constexpr double kCrashPerNodeSeconds = 0.05;
+
+}  // namespace
+
 ElasticCannikinJob::ElasticCannikinJob(const workloads::Workload* workload,
                                        sim::ClusterSpec full_cluster,
                                        sim::NoiseConfig noise,
@@ -53,6 +63,9 @@ void ElasticCannikinJob::set_allocation(const std::vector<int>& node_ids) {
   }
   job_ = std::make_unique<sim::ClusterJob>(subset, workload_->profile, noise_,
                                            seed_);
+  // Runtime network degradation outlives reallocations: the new ring
+  // runs over the same damaged interconnect.
+  if (network_scale_ != 1.0) job_->set_network_scale(network_scale_);
 
   std::vector<double> caps;
   for (int i = 0; i < job_->size(); ++i) {
@@ -106,7 +119,78 @@ double ElasticCannikinJob::run_epoch() {
       plan.planning_seconds +
       20e-9 * static_cast<double>(workload_->dataset_size) +
       5e-3 * job_->size();
-  return obs.avg_batch_time * num_batches + config_overhead;
+  const double recovery_overhead = pending_recovery_overhead_;
+  pending_recovery_overhead_ = 0.0;
+  return obs.avg_batch_time * num_batches + config_overhead +
+         recovery_overhead;
+}
+
+int ElasticCannikinJob::local_index(int node_id) const {
+  const auto it = std::find(allocation_.begin(), allocation_.end(), node_id);
+  return it == allocation_.end()
+             ? -1
+             : static_cast<int>(it - allocation_.begin());
+}
+
+const RecoveryReport& ElasticCannikinJob::apply_fault(
+    const sim::FaultEvent& event) {
+  RecoveryReport report;
+  report.epoch = epochs_;
+  report.event = event;
+
+  switch (event.kind) {
+    case sim::FaultKind::kTransientStraggler:
+    case sim::FaultKind::kPermanentSlowdown: {
+      // The fault sticks to the physical node: record it on the full
+      // cluster so any future allocation of this node inherits it, and
+      // on the live job when the node is currently training.
+      if (event.node < 0 ||
+          event.node >= static_cast<int>(full_cluster_.nodes.size())) {
+        throw std::invalid_argument("apply_fault: bad node id");
+      }
+      full_cluster_.nodes[static_cast<std::size_t>(event.node)].contention =
+          event.severity;
+      const int local = local_index(event.node);
+      if (local >= 0 && job_) job_->set_contention(local, event.severity);
+      break;
+    }
+    case sim::FaultKind::kNetworkDegrade: {
+      network_scale_ = event.severity;
+      if (job_) job_->set_network_scale(event.severity);
+      break;
+    }
+    case sim::FaultKind::kNodeCrash: {
+      const int local = local_index(event.node);
+      if (local < 0) break;  // a spare died; the scheduler's problem
+      if (allocation_.size() == 1) {
+        throw std::runtime_error(
+            "apply_fault: last node crashed; job cannot continue");
+      }
+      std::vector<int> survivors;
+      for (int id : allocation_) {
+        if (id != event.node) survivors.push_back(id);
+      }
+      const int warm_before = warm_reallocations_;
+      // set_allocation banks the current models first, so everything
+      // the dead node taught us about its hardware type survives it.
+      set_allocation(survivors);
+      report.warm = warm_reallocations_ > warm_before;
+      report.overhead_seconds =
+          kCrashRestartSeconds +
+          kCrashPerNodeSeconds * static_cast<double>(survivors.size());
+      pending_recovery_overhead_ += report.overhead_seconds;
+      recovery_overhead_ += report.overhead_seconds;
+      ++crash_recoveries_;
+      break;
+    }
+  }
+
+  recoveries_.push_back(std::move(report));
+  return recoveries_.back();
+}
+
+int ElasticCannikinJob::drift_resets() const {
+  return system_ ? system_->controller().perf_model().drift_resets() : 0;
 }
 
 double ElasticCannikinJob::progress_fraction() const {

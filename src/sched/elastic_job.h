@@ -16,9 +16,18 @@
 #include "experiments/cannikin_system.h"
 #include "sched/model_bank.h"
 #include "sim/cluster.h"
+#include "sim/faults.h"
 #include "workloads/registry.h"
 
 namespace cannikin::sched {
+
+/// Record of one handled fault event (observability for benches/tests).
+struct RecoveryReport {
+  int epoch = 0;  ///< epochs_run() when the fault was handled
+  sim::FaultEvent event;
+  bool warm = false;  ///< crash only: survivors fully covered by the bank
+  double overhead_seconds = 0.0;  ///< modeled restart/reconfig cost
+};
 
 class ElasticCannikinJob {
  public:
@@ -48,8 +57,33 @@ class ElasticCannikinJob {
   /// models (no bootstrap needed) -- observability for tests/benches.
   int warm_reallocations() const { return warm_reallocations_; }
 
+  /// Failure-driven recovery: applies one fault event to the live job.
+  ///  - node crash: banks the survivors' learned models, shrinks the
+  ///    allocation to the remaining nodes and warm-starts the
+  ///    controller on them (nodes of already-seen types skip the
+  ///    bootstrap epochs); throws std::runtime_error if the last node
+  ///    dies. The modeled restart cost is charged to the next
+  ///    run_epoch().
+  ///  - straggler / slowdown: the node's contention changes in place
+  ///    (and persists across future reallocations); drift detection in
+  ///    the perf model triggers re-learning without a restart.
+  ///  - network degrade: the interconnect's bandwidth scale changes
+  ///    (and persists across future reallocations).
+  /// `event.node` is an index into the *full* cluster; events for
+  /// nodes outside the current allocation only update the full-cluster
+  /// spec. Returns the recovery report recorded for the event.
+  const RecoveryReport& apply_fault(const sim::FaultEvent& event);
+
+  int crash_recoveries() const { return crash_recoveries_; }
+  const std::vector<RecoveryReport>& recoveries() const { return recoveries_; }
+  /// Total modeled fault-recovery overhead charged so far (seconds).
+  double recovery_overhead_seconds() const { return recovery_overhead_; }
+  /// Drift resets fired by the current controller (stragglers).
+  int drift_resets() const;
+
  private:
   void bank_current_models();
+  int local_index(int node_id) const;  ///< -1 if not in the allocation
 
   const workloads::Workload* workload_;
   sim::ClusterSpec full_cluster_;
@@ -65,6 +99,12 @@ class ElasticCannikinJob {
   double progress_ = 0.0;
   int epochs_ = 0;
   int warm_reallocations_ = 0;
+
+  double network_scale_ = 1.0;  ///< persists across reallocations
+  int crash_recoveries_ = 0;
+  double recovery_overhead_ = 0.0;
+  double pending_recovery_overhead_ = 0.0;  ///< charged to next run_epoch
+  std::vector<RecoveryReport> recoveries_;
 };
 
 }  // namespace cannikin::sched

@@ -1,0 +1,111 @@
+#include "sched/fault_recovery.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cannikin::sched {
+
+FaultRecoveryTrace run_with_faults(ElasticCannikinJob& job,
+                                   const sim::FaultInjector& injector,
+                                   int max_epochs) {
+  if (!job.has_allocation()) {
+    throw std::logic_error("run_with_faults: job has no allocation");
+  }
+  FaultRecoveryTrace trace;
+  const double target = job.workload().target_progress();
+
+  for (int epoch = 0; epoch < max_epochs; ++epoch) {
+    std::string events;
+    for (const auto& event : injector.due(epoch)) {
+      job.apply_fault(event);
+      if (!events.empty()) events += "; ";
+      events += event.describe();
+    }
+
+    const double progress_before = job.progress_fraction();
+    const double epoch_seconds = job.run_epoch();
+
+    FaultEpochRow row;
+    row.epoch = epoch;
+    row.num_nodes = static_cast<int>(job.allocation().size());
+    row.epoch_seconds = epoch_seconds;
+    row.progress = job.progress_fraction();
+    row.throughput = epoch_seconds > 0.0
+                         ? (row.progress - progress_before) * target /
+                               epoch_seconds
+                         : 0.0;
+    row.events = std::move(events);
+    trace.total_seconds += epoch_seconds;
+    trace.rows.push_back(std::move(row));
+
+    if (job.done()) {
+      trace.reached_target = true;
+      break;
+    }
+  }
+
+  trace.recoveries = job.recoveries();
+  trace.crash_recoveries = job.crash_recoveries();
+  for (const auto& report : trace.recoveries) {
+    if (report.event.kind == sim::FaultKind::kNodeCrash && report.warm) {
+      ++trace.warm_crash_recoveries;
+    }
+  }
+  trace.drift_resets = job.drift_resets();
+  trace.recovery_overhead_seconds = job.recovery_overhead_seconds();
+  return trace;
+}
+
+std::vector<RecoveryMetric> recovery_metrics(const FaultRecoveryTrace& trace,
+                                             double threshold, int horizon) {
+  std::vector<RecoveryMetric> metrics;
+  const auto& rows = trace.rows;
+  const int n = static_cast<int>(rows.size());
+
+  for (const auto& report : trace.recoveries) {
+    const bool onset = report.event.kind == sim::FaultKind::kNodeCrash ||
+                       report.event.severity < 1.0;
+    if (!onset) continue;
+    const int e = report.epoch;
+    if (e < 0 || e >= n) continue;
+
+    // The regime holds until the next fault/recovery event changes the
+    // cluster again: steady state is measured inside that window only.
+    int window_end = std::min(n, e + std::max(horizon, 1));
+    for (int k = e + 1; k < window_end; ++k) {
+      if (!rows[static_cast<std::size_t>(k)].events.empty()) {
+        window_end = k;
+        break;
+      }
+    }
+
+    RecoveryMetric metric;
+    metric.fault_epoch = e;
+    metric.event = report.event.describe();
+    metric.pre_throughput =
+        rows[static_cast<std::size_t>(std::max(e - 1, 0))].throughput;
+    metric.dip_throughput = rows[static_cast<std::size_t>(e)].throughput;
+    for (int k = e; k < window_end; ++k) {
+      metric.dip_throughput = std::min(
+          metric.dip_throughput, rows[static_cast<std::size_t>(k)].throughput);
+    }
+    const int tail = std::min(3, window_end - e);
+    double steady = 0.0;
+    for (int k = window_end - tail; k < window_end; ++k) {
+      steady += rows[static_cast<std::size_t>(k)].throughput;
+    }
+    metric.steady_throughput = tail > 0 ? steady / tail : 0.0;
+    for (int k = e; k < window_end; ++k) {
+      if (rows[static_cast<std::size_t>(k)].throughput >=
+          threshold * metric.steady_throughput) {
+        metric.epochs_to_recover = k - e;
+        metric.recovered = true;
+        break;
+      }
+    }
+    metrics.push_back(std::move(metric));
+  }
+  return metrics;
+}
+
+}  // namespace cannikin::sched

@@ -1,0 +1,69 @@
+// Fault-recovery harness: drives an ElasticCannikinJob against a
+// FaultInjector schedule and records the recovery-time trace the
+// disc_fault_recovery bench and the robustness tests analyze.
+//
+// Per epoch it applies every due fault event (crashes shrink the
+// allocation and warm-start the survivors; stragglers and network
+// degradation mutate the live cluster and leave recovery to drift
+// detection), runs the epoch, and records effective throughput --
+// progress per wall-clock second, the quantity whose dip-and-rebound
+// shape is the observable cost of a fault.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/elastic_job.h"
+#include "sim/faults.h"
+
+namespace cannikin::sched {
+
+struct FaultEpochRow {
+  int epoch = 0;
+  int num_nodes = 0;  ///< allocation size after this epoch's events
+  double epoch_seconds = 0.0;
+  double throughput = 0.0;  ///< effective samples per second this epoch
+  double progress = 0.0;    ///< cumulative progress fraction
+  std::string events;       ///< fault events applied before this epoch
+};
+
+struct FaultRecoveryTrace {
+  std::vector<FaultEpochRow> rows;
+  std::vector<RecoveryReport> recoveries;
+  double total_seconds = 0.0;
+  bool reached_target = false;
+  int crash_recoveries = 0;
+  int warm_crash_recoveries = 0;  ///< crashes recovered via banked models
+  int drift_resets = 0;
+  double recovery_overhead_seconds = 0.0;
+};
+
+/// Per-fault recovery summary extracted from a trace.
+struct RecoveryMetric {
+  int fault_epoch = 0;
+  std::string event;
+  double pre_throughput = 0.0;     ///< throughput the epoch before
+  double dip_throughput = 0.0;     ///< worst throughput after the fault
+  double steady_throughput = 0.0;  ///< post-recovery steady state
+  int epochs_to_recover = -1;      ///< epochs until back at steady state
+  bool recovered = false;
+};
+
+/// Runs `job` for up to `max_epochs` (or until done), applying
+/// `injector`'s schedule. The job must already have an allocation.
+FaultRecoveryTrace run_with_faults(ElasticCannikinJob& job,
+                                   const sim::FaultInjector& injector,
+                                   int max_epochs);
+
+/// For each fault onset (severity < 1 or crash) finds the throughput
+/// dip and the number of epochs until throughput first reaches
+/// `threshold` x the post-fault steady state: the mean of the last
+/// rows of the window [fault, fault + horizon), truncated at the next
+/// fault event. The horizon keeps slow GNS-driven batch growth late in
+/// training from inflating the "steady state" the fault is judged
+/// against. epochs_to_recover = -1 when the trace ends before recovery.
+std::vector<RecoveryMetric> recovery_metrics(const FaultRecoveryTrace& trace,
+                                             double threshold = 0.9,
+                                             int horizon = 10);
+
+}  // namespace cannikin::sched

@@ -195,6 +195,25 @@ void ClusterJob::set_contention(int node, double contention) {
   truths_[static_cast<std::size_t>(node)] = derive_node_truth(spec, job_);
 }
 
+double ClusterJob::contention(int node) const {
+  return cluster_.nodes.at(static_cast<std::size_t>(node)).contention;
+}
+
+void ClusterJob::set_network_scale(double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("set_network_scale: must be positive");
+  }
+  network_scale_ = factor;
+  NetworkModel net = cluster_.network;
+  net.bandwidth_bytes_per_s *= factor;
+  net.intra_bandwidth_bytes_per_s *= factor;
+  comm_ = cluster_.comm_groups.empty()
+              ? make_comm_schedule(net, job_.gradient_bytes, job_.bucket_bytes,
+                                   size())
+              : make_comm_schedule(net, job_.gradient_bytes, job_.bucket_bytes,
+                                   cluster_.comm_groups);
+}
+
 int ClusterJob::max_total_batch() const {
   long total = 0;
   for (int i = 0; i < size(); ++i) total += max_local_batch(i);

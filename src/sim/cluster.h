@@ -173,6 +173,16 @@ class ClusterJob {
   /// new speed. Cannikin must notice and re-learn.
   void set_contention(int node, double contention);
 
+  /// Current contention of a node (1.0 = unshared).
+  double contention(int node) const;
+
+  /// Scales the interconnect's bandwidths (inter- and intra-node) by
+  /// `factor` relative to the cluster spec and rebuilds the ground-truth
+  /// communication schedule. Models runtime network degradation
+  /// (congestion, a flapping link); factor 1.0 restores the spec.
+  void set_network_scale(double factor);
+  double network_scale() const { return network_scale_; }
+
  private:
   std::vector<NodeBatchTiming> timings(
       const std::vector<double>& local_batches) const;
@@ -181,6 +191,7 @@ class ClusterJob {
   JobProfile job_;
   NoiseConfig noise_;
   CommSchedule comm_;
+  double network_scale_ = 1.0;
   std::vector<NodeTruth> truths_;
   std::vector<double> node_meas_sigma_;
   std::vector<double> node_comm_sigma_;

@@ -1,0 +1,152 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cannikin::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientStraggler:
+      return "transient-straggler";
+    case FaultKind::kPermanentSlowdown:
+      return "permanent-slowdown";
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kNetworkDegrade:
+      return "network-degrade";
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  char buf[128];
+  if (kind == FaultKind::kNodeCrash) {
+    std::snprintf(buf, sizeof(buf), "epoch %d: node %d crash", epoch, node);
+  } else if (kind == FaultKind::kNetworkDegrade) {
+    std::snprintf(buf, sizeof(buf), "epoch %d: network %s x%.2f", epoch,
+                  severity >= 1.0 ? "recovers" : "degrades", severity);
+  } else {
+    std::snprintf(buf, sizeof(buf), "epoch %d: node %d %s contention=%.2f",
+                  epoch, node,
+                  severity >= 1.0 ? "recovers" : fault_kind_name(kind),
+                  severity);
+  }
+  return buf;
+}
+
+void FaultInjector::schedule(const FaultEvent& event) {
+  if (event.epoch < 0) {
+    throw std::invalid_argument("FaultInjector: event epoch must be >= 0");
+  }
+  if (event.kind != FaultKind::kNetworkDegrade && event.node < 0) {
+    throw std::invalid_argument("FaultInjector: node faults need a node id");
+  }
+  if (event.kind != FaultKind::kNodeCrash && event.severity <= 0.0) {
+    throw std::invalid_argument("FaultInjector: severity must be positive");
+  }
+  const bool transient = event.kind == FaultKind::kTransientStraggler ||
+                         event.kind == FaultKind::kNetworkDegrade;
+  if (event.duration_epochs > 0 && !transient) {
+    throw std::invalid_argument(
+        "FaultInjector: only transient kinds take a duration");
+  }
+
+  const auto insert_sorted = [this](FaultEvent e) {
+    const auto pos = std::upper_bound(
+        events_.begin(), events_.end(), e,
+        [](const FaultEvent& a, const FaultEvent& b) {
+          return a.epoch < b.epoch;
+        });
+    events_.insert(pos, std::move(e));
+  };
+
+  insert_sorted(event);
+  if (transient && event.duration_epochs > 0 && event.severity < 1.0) {
+    FaultEvent recovery = event;
+    recovery.epoch = event.epoch + event.duration_epochs;
+    recovery.severity = 1.0;
+    recovery.duration_epochs = 0;
+    insert_sorted(recovery);
+  }
+}
+
+FaultInjector FaultInjector::random_scenario(std::uint64_t seed, int num_nodes,
+                                             int horizon_epochs,
+                                             int num_events) {
+  if (num_nodes <= 0 || horizon_epochs <= 1) {
+    throw std::invalid_argument("random_scenario: empty cluster or horizon");
+  }
+  FaultInjector injector;
+  Rng rng(seed);
+  for (int i = 0; i < num_events; ++i) {
+    FaultEvent event;
+    event.epoch = static_cast<int>(rng.uniform_int(1, horizon_epochs - 1));
+    event.node = static_cast<int>(rng.uniform_int(0, num_nodes - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        event.kind = FaultKind::kTransientStraggler;
+        event.severity = rng.uniform(0.3, 0.7);
+        event.duration_epochs = static_cast<int>(rng.uniform_int(2, 5));
+        break;
+      case 1:
+        event.kind = FaultKind::kPermanentSlowdown;
+        event.severity = rng.uniform(0.4, 0.8);
+        break;
+      case 2:
+        event.kind = FaultKind::kNodeCrash;
+        break;
+      default:
+        event.kind = FaultKind::kNetworkDegrade;
+        event.node = -1;
+        event.severity = rng.uniform(0.2, 0.6);
+        event.duration_epochs = static_cast<int>(rng.uniform_int(2, 5));
+        break;
+    }
+    injector.schedule(event);
+  }
+  return injector;
+}
+
+std::vector<FaultEvent> FaultInjector::due(int epoch) const {
+  std::vector<FaultEvent> out;
+  for (const auto& event : events_) {
+    if (event.epoch == epoch) out.push_back(event);
+    if (event.epoch > epoch) break;
+  }
+  return out;
+}
+
+std::vector<FaultEvent> FaultInjector::apply_due(int epoch,
+                                                 ClusterJob& job) const {
+  std::vector<FaultEvent> crashes;
+  for (const auto& event : due(epoch)) {
+    if (event.kind == FaultKind::kNodeCrash) {
+      crashes.push_back(event);
+    } else {
+      apply(event, job);
+    }
+  }
+  return crashes;
+}
+
+void FaultInjector::apply(const FaultEvent& event, ClusterJob& job) {
+  switch (event.kind) {
+    case FaultKind::kTransientStraggler:
+    case FaultKind::kPermanentSlowdown:
+      job.set_contention(event.node, event.severity);
+      return;
+    case FaultKind::kNetworkDegrade:
+      job.set_network_scale(event.severity);
+      return;
+    case FaultKind::kNodeCrash:
+      throw std::logic_error(
+          "FaultInjector: crash events need an elastic runtime "
+          "(ElasticCannikinJob::apply_fault)");
+  }
+}
+
+}  // namespace cannikin::sim

@@ -1,0 +1,93 @@
+// Deterministic fault injection for simulated clusters.
+//
+// The paper's core claim is adaptivity: Cannikin "manages sudden
+// changes of resources" (Section 1). The benign half of that claim --
+// scheduler reallocations, manual contention changes -- was already
+// exercised; this module supplies the hostile half. A FaultInjector
+// holds a seeded, replayable schedule of fault events against a
+// ClusterJob, driven per epoch by the harness, so recovery behaviour
+// (drift resets, elastic shrink + warm start, throughput dips) becomes
+// measurable rather than assumed. Related simulators (Proteus; LLM
+// workload simulators) treat failure/straggler events as first-class
+// timeline inputs for the same reason.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace cannikin::sim {
+
+enum class FaultKind {
+  /// A co-located tenant spikes a node's contention; the node recovers
+  /// after `duration_epochs`. Cannikin should drift-reset and re-plan
+  /// twice (onset and recovery) without restarting the job.
+  kTransientStraggler,
+  /// A node permanently slows down (thermal throttling, degraded VM).
+  kPermanentSlowdown,
+  /// A node dies: it leaves the job for good. The elastic runtime must
+  /// shrink the allocation and warm-start the survivors.
+  kNodeCrash,
+  /// The cluster interconnect degrades: inter- and intra-node
+  /// bandwidths are scaled by `severity`; recovers after
+  /// `duration_epochs` when positive.
+  kNetworkDegrade,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault. `severity` is the absolute contention to set on
+/// the target node (straggler/slowdown) or the bandwidth scale factor
+/// (network degrade); 1.0 means healthy, so auto-generated recovery
+/// events are the same kind with severity 1.0.
+struct FaultEvent {
+  int epoch = 0;            ///< epoch index at which the event strikes
+  FaultKind kind = FaultKind::kTransientStraggler;
+  int node = -1;            ///< target node; ignored for network events
+  double severity = 0.5;
+  int duration_epochs = 0;  ///< > 0 on transient kinds: auto-recovery
+
+  /// Human-readable one-liner for traces ("epoch 5: node 2 crash").
+  std::string describe() const;
+};
+
+/// A replayable per-epoch fault schedule. Transient events expand into
+/// an onset plus a severity-1.0 recovery event at epoch + duration, so
+/// callers only ever apply point events.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Validates and inserts `event` (plus its recovery event when the
+  /// kind is transient and duration_epochs > 0).
+  void schedule(const FaultEvent& event);
+
+  /// Seeded random scenario: `num_events` faults of mixed kinds drawn
+  /// over epochs [1, horizon_epochs) and nodes [0, num_nodes). The same
+  /// seed always yields the same schedule.
+  static FaultInjector random_scenario(std::uint64_t seed, int num_nodes,
+                                       int horizon_epochs, int num_events);
+
+  /// Events striking exactly at `epoch`, in schedule order.
+  std::vector<FaultEvent> due(int epoch) const;
+
+  /// Applies every contention/network event due at `epoch` directly to
+  /// `job` (node ids are job-local) and returns the crash events, which
+  /// only an elastic runtime can honour. This is the hook the plain
+  /// experiment harness drives.
+  std::vector<FaultEvent> apply_due(int epoch, ClusterJob& job) const;
+
+  /// Applies one non-crash event to `job`; throws std::logic_error for
+  /// kNodeCrash, which requires reallocation above the simulator.
+  static void apply(const FaultEvent& event, ClusterJob& job);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;  // kept sorted by epoch
+};
+
+}  // namespace cannikin::sim

@@ -178,5 +178,40 @@ TEST(Controller, Validation) {
   EXPECT_THROW(CannikinController(2, {10.0}, good), std::invalid_argument);
 }
 
+TEST(Controller, ObserveEpochRejectsMismatchedVectors) {
+  auto job = make_job();
+  CannikinController controller(3, caps_of(job), options_for(job, true));
+  const std::vector<int> b{20, 20, 20};
+  const std::vector<double> ok{0.1, 0.1, 0.1};
+  const std::vector<double> shorter{0.1, 0.1};
+  // Every per-node vector must have exactly num_nodes entries; a length
+  // mismatch is a caller bug (e.g. feeding a shrunken allocation's
+  // observations to a stale controller) and must fail loudly instead of
+  // silently corrupting the learners.
+  EXPECT_THROW(controller.observe_epoch({20, 20}, ok, ok, ok, ok, ok),
+               std::invalid_argument);
+  EXPECT_THROW(controller.observe_epoch(b, shorter, ok, ok, ok, ok),
+               std::invalid_argument);
+  EXPECT_THROW(controller.observe_epoch(b, ok, shorter, ok, ok, ok),
+               std::invalid_argument);
+  EXPECT_THROW(controller.observe_epoch(b, ok, ok, shorter, ok, ok),
+               std::invalid_argument);
+  EXPECT_THROW(controller.observe_epoch(b, ok, ok, ok, shorter, ok),
+               std::invalid_argument);
+  EXPECT_THROW(controller.observe_epoch(b, ok, ok, ok, ok, shorter),
+               std::invalid_argument);
+  // A valid observation still goes through afterwards.
+  controller.observe_epoch(b, ok, ok, ok, ok, ok);
+}
+
+TEST(Controller, UpdateGnsRejectsBadNormVectors) {
+  auto job = make_job();
+  CannikinController controller(3, caps_of(job), options_for(job, true));
+  EXPECT_THROW(controller.update_gns({}, {}, 1.0), std::invalid_argument);
+  EXPECT_THROW(controller.update_gns({32.0, 32.0}, {1.0}, 1.0),
+               std::invalid_argument);
+  controller.update_gns({32.0, 32.0}, {1.0, 1.2}, 0.9);
+}
+
 }  // namespace
 }  // namespace cannikin::core

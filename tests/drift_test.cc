@@ -108,5 +108,54 @@ TEST(DriftDetection, CannikinReadaptsAfterContentionChange) {
   EXPECT_LT(last, 1.10 * new_optperf);
 }
 
+TEST(DriftDetection, CannikinRecoversAfterTransientContention) {
+  // Transient straggler: contention spikes mid-training and later
+  // clears. Cannikin must re-learn twice -- once at onset, once at
+  // recovery -- and end up back near the *original* optimum.
+  const auto& workload = workloads::by_name("imagenet");
+  sim::ClusterJob job(sim::cluster_a(), workload.profile, sim::NoiseConfig{},
+                      4);
+  std::vector<double> caps;
+  for (int i = 0; i < job.size(); ++i) caps.push_back(job.max_local_batch(i));
+  experiments::CannikinSystem system(job.size(), caps, 128, 128,
+                                     /*adaptive=*/false);
+
+  auto epoch = [&] {
+    const auto plan = system.plan_epoch();
+    const auto obs = job.run_epoch(plan.local_batches, 128);
+    system.observe_epoch(obs);
+    return obs.avg_batch_time;
+  };
+
+  // Healthy ground-truth optimum: the target to return to.
+  std::vector<core::NodeModel> models;
+  for (int i = 0; i < job.size(); ++i) {
+    const auto& t = job.truth(i);
+    models.push_back(
+        {t.q, t.s, t.k, t.m, static_cast<double>(t.max_local_batch)});
+  }
+  core::OptPerfSolver solver(models, {job.gamma(), job.comm().t_other,
+                                      job.comm().t_last});
+  const double healthy_optperf = solver.solve(128).batch_time;
+
+  for (int e = 0; e < 5; ++e) epoch();
+
+  job.set_contention(0, 0.45);  // a co-located tenant arrives...
+  for (int e = 0; e < 8; ++e) epoch();
+  const int resets_during_fault =
+      system.controller().perf_model().drift_resets();
+  EXPECT_GT(resets_during_fault, 0);
+
+  job.set_contention(0, 1.0);  // ...and leaves again
+  double last = 0.0;
+  for (int e = 0; e < 10; ++e) last = epoch();
+
+  // Recovery is a second regime change: drift fires again and the plan
+  // converges back towards the healthy optimum.
+  EXPECT_GT(system.controller().perf_model().drift_resets(),
+            resets_during_fault);
+  EXPECT_LT(last, 1.10 * healthy_optperf);
+}
+
 }  // namespace
 }  // namespace cannikin

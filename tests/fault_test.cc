@@ -1,0 +1,397 @@
+// Fault-tolerance tests: comm timeouts and abort (the NCCL-watchdog
+// protocol of the in-process process group), the deterministic
+// FaultInjector, and failure-driven elastic recovery. The headline
+// property: a rank that dies mid-collective converts a would-be
+// deadlock into an attributable error on every surviving rank within
+// the configured deadline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "comm/bucket.h"
+#include "comm/collectives.h"
+#include "comm/process_group.h"
+#include "dnn/data.h"
+#include "dnn/model.h"
+#include "dnn/parallel_trainer.h"
+#include "experiments/harness.h"
+#include "sched/elastic_job.h"
+#include "sched/fault_recovery.h"
+#include "sim/cluster_factory.h"
+#include "sim/faults.h"
+#include "workloads/registry.h"
+
+namespace cannikin {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ------------------------------------------------ comm timeouts / abort
+
+TEST(CommFault, DeadRankMidAllReduceTimesOutEveryPeer) {
+  // The acceptance property: rank 2 of 4 exits before the collective;
+  // every other rank must raise CommTimeoutError within the deadline
+  // instead of hanging forever in the ring.
+  const int n = 4;
+  const double timeout = 0.2;
+  comm::ProcessGroup group(n, timeout);
+
+  std::atomic<int> timed_out{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      if (rank == 2) return;  // dies before entering the collective
+      comm::Communicator comm = group.communicator(rank);
+      std::vector<double> data(16, 1.0);
+      try {
+        comm::ring_all_reduce(comm, std::span<double>(data), 5);
+      } catch (const comm::CommTimeoutError&) {
+        ++timed_out;
+      } catch (const comm::CommAbortedError&) {
+        ++timed_out;  // a peer noticed first and aborted under us
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(timed_out.load(), n - 1);
+  // Bounded unwind: one timeout (plus scheduling slack), not a hang.
+  EXPECT_LT(seconds_since(start), 10 * timeout);
+}
+
+TEST(CommFault, RecvTimesOutWithDescriptiveError) {
+  comm::ProcessGroup group(2, 0.05);
+  comm::Communicator comm = group.communicator(0);
+  try {
+    comm.recv(1, 42);
+    FAIL() << "recv should have timed out";
+  } catch (const comm::CommTimeoutError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("tag=42"), std::string::npos);
+  }
+}
+
+TEST(CommFault, BarrierTimesOutWhenARankNeverArrives) {
+  comm::ProcessGroup group(2, 0.05);
+  comm::Communicator comm = group.communicator(0);
+  const auto start = Clock::now();
+  EXPECT_THROW(comm.barrier(), comm::CommTimeoutError);
+  EXPECT_LT(seconds_since(start), 1.0);
+}
+
+TEST(CommFault, AbortWakesBlockedRecvAndBarrier) {
+  // No timeout configured: only abort() can release the blocked ranks.
+  comm::ProcessGroup group(3);
+  std::atomic<int> aborted{0};
+  std::thread blocked_recv([&] {
+    comm::Communicator comm = group.communicator(0);
+    try {
+      comm.recv(1, 7);
+    } catch (const comm::CommAbortedError&) {
+      ++aborted;
+    }
+  });
+  std::thread blocked_barrier([&] {
+    comm::Communicator comm = group.communicator(1);
+    try {
+      comm.barrier();
+    } catch (const comm::CommAbortedError&) {
+      ++aborted;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  group.abort();
+  blocked_recv.join();
+  blocked_barrier.join();
+  EXPECT_EQ(aborted.load(), 2);
+}
+
+TEST(CommFault, AbortPoisonsSubsequentCalls) {
+  comm::ProcessGroup group(2);
+  group.abort();
+  EXPECT_TRUE(group.aborted());
+  comm::Communicator comm = group.communicator(0);
+  EXPECT_THROW(comm.send(1, 1, {1.0}), comm::CommAbortedError);
+  EXPECT_THROW(comm.recv(1, 1), comm::CommAbortedError);
+  EXPECT_THROW(comm.barrier(), comm::CommAbortedError);
+
+  // Collectives fail uniformly, even on paths that move no data.
+  comm::ProcessGroup solo(1);
+  solo.abort();
+  comm::Communicator alone = solo.communicator(0);
+  std::vector<double> data(4, 1.0);
+  EXPECT_THROW(comm::ring_all_reduce(alone, std::span<double>(data), 1),
+               comm::CommAbortedError);
+  EXPECT_THROW(comm::broadcast(alone, data, 0, 2), comm::CommAbortedError);
+  EXPECT_THROW(comm::all_gather(alone, data, 3), comm::CommAbortedError);
+  const auto buckets = comm::make_buckets(data.size(), 2);
+  EXPECT_THROW(comm::bucketized_weighted_all_reduce(
+                   alone, std::span<double>(data), 1.0, buckets, 4),
+               comm::CommAbortedError);
+}
+
+TEST(CommFault, TimeoutDoesNotFireOnHealthyTraffic) {
+  const int n = 4;
+  comm::ProcessGroup group(n, 5.0);
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      comm::Communicator comm = group.communicator(rank);
+      std::vector<double> data{static_cast<double>(rank)};
+      try {
+        comm::ring_all_reduce(comm, std::span<double>(data), 9);
+        comm.barrier();
+        if (data[0] != 6.0) failed = true;
+      } catch (const comm::CommError&) {
+        failed = true;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+// ----------------------------------------------- trainer watchdog path
+
+TEST(ParallelTrainerFault, InjectedWorkerDeathAbortsInsteadOfHanging) {
+  const auto dataset = dnn::make_gaussian_mixture(600, 10, 3, 3.5, 42);
+  dnn::TrainerOptions options;
+  options.num_nodes = 3;
+  options.lr_scaling = dnn::LrScaling::kNone;
+  options.initial_total_batch = 60;
+  options.seed = 7;
+  options.comm_timeout_seconds = 0.2;
+  options.inject_failure_rank = 1;
+  options.inject_failure_step = 2;
+  dnn::ParallelTrainer trainer(&dataset,
+                               dnn::ParallelTrainer::Task::kClassification,
+                               [] { return dnn::make_mlp(10, 16, 1, 3); },
+                               options);
+
+  const auto params_before = trainer.params();
+  const auto start = Clock::now();
+  EXPECT_THROW(trainer.run_epoch({30, 20, 10}), comm::CommAbortedError);
+  EXPECT_LT(seconds_since(start), 5.0);
+  // The aborted epoch is discarded: parameters stay at the last
+  // consistent snapshot every surviving replica could restart from.
+  EXPECT_EQ(trainer.params(), params_before);
+}
+
+// -------------------------------------------------------- FaultInjector
+
+TEST(FaultInjector, ValidatesEvents) {
+  sim::FaultInjector injector;
+  EXPECT_THROW(injector.schedule({-1, sim::FaultKind::kNodeCrash, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(injector.schedule({0, sim::FaultKind::kNodeCrash, -1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      injector.schedule({0, sim::FaultKind::kTransientStraggler, 0, 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      injector.schedule(
+          {0, sim::FaultKind::kPermanentSlowdown, 0, 0.5, /*duration=*/3}),
+      std::invalid_argument);
+  EXPECT_TRUE(injector.empty());
+}
+
+TEST(FaultInjector, TransientEventsExpandIntoOnsetAndRecovery) {
+  sim::FaultInjector injector;
+  injector.schedule({3, sim::FaultKind::kTransientStraggler, 1, 0.5, 4});
+
+  ASSERT_EQ(injector.events().size(), 2u);
+  const auto onset = injector.due(3);
+  ASSERT_EQ(onset.size(), 1u);
+  EXPECT_DOUBLE_EQ(onset[0].severity, 0.5);
+  const auto recovery = injector.due(7);
+  ASSERT_EQ(recovery.size(), 1u);
+  EXPECT_DOUBLE_EQ(recovery[0].severity, 1.0);
+  EXPECT_TRUE(injector.due(5).empty());
+}
+
+TEST(FaultInjector, AppliesContentionAndNetworkEventsToClusterJob) {
+  sim::ClusterJob job(sim::cluster_a(), workloads::by_name("cifar10").profile,
+                      sim::NoiseConfig::none(), 1);
+  const double t_last_before = job.comm().t_last;
+
+  sim::FaultInjector injector;
+  injector.schedule({2, sim::FaultKind::kPermanentSlowdown, 0, 0.5});
+  injector.schedule({2, sim::FaultKind::kNetworkDegrade, -1, 0.25, 3});
+  injector.schedule({4, sim::FaultKind::kNodeCrash, 1});
+
+  EXPECT_TRUE(injector.apply_due(0, job).empty());
+  EXPECT_DOUBLE_EQ(job.contention(0), 1.0);
+
+  EXPECT_TRUE(injector.apply_due(2, job).empty());
+  EXPECT_DOUBLE_EQ(job.contention(0), 0.5);
+  EXPECT_DOUBLE_EQ(job.network_scale(), 0.25);
+  EXPECT_GT(job.comm().t_last, t_last_before);  // slower network
+
+  const auto crashes = injector.apply_due(4, job);
+  ASSERT_EQ(crashes.size(), 1u);  // crash returned, not applied
+  EXPECT_EQ(crashes[0].node, 1);
+
+  EXPECT_TRUE(injector.apply_due(5, job).empty());
+  EXPECT_DOUBLE_EQ(job.network_scale(), 1.0);  // auto-recovery at 2+3
+  EXPECT_NEAR(job.comm().t_last, t_last_before, 1e-12);
+}
+
+TEST(FaultInjector, RandomScenarioIsDeterministicInTheSeed) {
+  const auto a = sim::FaultInjector::random_scenario(11, 8, 40, 6);
+  const auto b = sim::FaultInjector::random_scenario(11, 8, 40, 6);
+  const auto c = sim::FaultInjector::random_scenario(12, 8, 40, 6);
+
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].epoch, b.events()[i].epoch);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_DOUBLE_EQ(a.events()[i].severity, b.events()[i].severity);
+  }
+  EXPECT_GE(a.events().size(), 6u);
+  // Different seed, different schedule (holds for these seeds).
+  bool differs = a.events().size() != c.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = a.events()[i].epoch != c.events()[i].epoch ||
+              a.events()[i].node != c.events()[i].node;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ClusterJobNetwork, SetNetworkScaleRescalesCommSchedule) {
+  sim::ClusterJob job(sim::cluster_b(), workloads::by_name("cifar10").profile,
+                      sim::NoiseConfig::none(), 1);
+  const double total_before = job.comm().total();
+  job.set_network_scale(0.5);
+  EXPECT_GT(job.comm().total(), total_before);
+  job.set_network_scale(1.0);
+  EXPECT_NEAR(job.comm().total(), total_before, 1e-12);
+  EXPECT_THROW(job.set_network_scale(0.0), std::invalid_argument);
+}
+
+// -------------------------------------- elastic failure-driven recovery
+
+TEST(ElasticRecovery, CrashShrinksAllocationAndWarmStarts) {
+  const auto& workload = workloads::by_name("cifar10");
+  sched::ElasticCannikinJob job(&workload, sim::cluster_b(),
+                                sim::NoiseConfig{}, 3);
+  job.set_allocation({0, 4, 8, 9});
+  for (int epoch = 0; epoch < 6; ++epoch) job.run_epoch();
+
+  const double progress_before = job.progress_fraction();
+  const auto& report = job.apply_fault(
+      {/*epoch=*/6, sim::FaultKind::kNodeCrash, /*node=*/4});
+
+  EXPECT_EQ(job.allocation(), (std::vector<int>{0, 8, 9}));
+  EXPECT_EQ(job.crash_recoveries(), 1);
+  // Survivor types (a100, rtx) were learned before the crash: the
+  // controller warm-starts instead of re-paying bootstrap epochs.
+  EXPECT_TRUE(report.warm);
+  EXPECT_GT(report.overhead_seconds, 0.0);
+
+  const double with_recovery = job.run_epoch();
+  EXPECT_GE(with_recovery, report.overhead_seconds);
+  EXPECT_GT(job.progress_fraction(), progress_before);
+  // The overhead is charged exactly once.
+  EXPECT_LT(job.run_epoch(), with_recovery);
+}
+
+TEST(ElasticRecovery, LastNodeCrashThrows) {
+  const auto& workload = workloads::by_name("cifar10");
+  sched::ElasticCannikinJob job(&workload, sim::cluster_b(),
+                                sim::NoiseConfig{}, 3);
+  job.set_allocation({0});
+  EXPECT_THROW(job.apply_fault({0, sim::FaultKind::kNodeCrash, 0}),
+               std::runtime_error);
+}
+
+TEST(ElasticRecovery, CrashOfUnallocatedNodeIsIgnored) {
+  const auto& workload = workloads::by_name("cifar10");
+  sched::ElasticCannikinJob job(&workload, sim::cluster_b(),
+                                sim::NoiseConfig{}, 3);
+  job.set_allocation({0, 4});
+  job.apply_fault({0, sim::FaultKind::kNodeCrash, 9});
+  EXPECT_EQ(job.crash_recoveries(), 0);
+  EXPECT_EQ(job.allocation(), (std::vector<int>{0, 4}));
+}
+
+TEST(ElasticRecovery, SlowdownPersistsAcrossReallocation) {
+  const auto& workload = workloads::by_name("cifar10");
+  sched::ElasticCannikinJob job(&workload, sim::cluster_b(),
+                                sim::NoiseConfig{}, 3);
+  job.set_allocation({0, 4});
+  job.apply_fault({0, sim::FaultKind::kPermanentSlowdown, 4, 0.5});
+  job.apply_fault({0, sim::FaultKind::kNetworkDegrade, -1, 0.5});
+  // Node 4 leaves and comes back: it is still slow, and the network is
+  // still degraded -- faults stick to the hardware, not the allocation.
+  job.set_allocation({0, 8});
+  job.set_allocation({0, 4, 8});
+  EXPECT_EQ(job.crash_recoveries(), 0);
+  for (int epoch = 0; epoch < 2; ++epoch) job.run_epoch();
+  EXPECT_GT(job.progress_fraction(), 0.0);
+}
+
+TEST(ElasticRecovery, RunWithFaultsEmitsRecoveryTrace) {
+  const auto& workload = workloads::by_name("cifar10");
+  sched::ElasticCannikinJob job(&workload, sim::cluster_b(),
+                                sim::NoiseConfig{}, 3);
+  job.set_allocation({0, 4, 8, 9});
+
+  sim::FaultInjector injector;
+  injector.schedule({4, sim::FaultKind::kNodeCrash, 4});
+  injector.schedule({8, sim::FaultKind::kTransientStraggler, 0, 0.5, 4});
+
+  const auto trace = sched::run_with_faults(job, injector, 300);
+  EXPECT_TRUE(trace.reached_target);
+  EXPECT_EQ(trace.crash_recoveries, 1);
+  EXPECT_EQ(trace.warm_crash_recoveries, 1);
+  EXPECT_GT(trace.drift_resets, 0);
+  EXPECT_GT(trace.recovery_overhead_seconds, 0.0);
+
+  ASSERT_GE(trace.rows.size(), 9u);
+  EXPECT_EQ(trace.rows[3].num_nodes, 4);
+  EXPECT_EQ(trace.rows[4].num_nodes, 3);
+  EXPECT_FALSE(trace.rows[4].events.empty());
+
+  const auto metrics = sched::recovery_metrics(trace);
+  ASSERT_EQ(metrics.size(), 2u);  // crash + straggler onset
+  EXPECT_TRUE(metrics[0].recovered);
+  EXPECT_GE(metrics[0].epochs_to_recover, 0);
+}
+
+// ------------------------------------------------ harness fault support
+
+TEST(HarnessFaults, StragglerEventsFlowThroughRunToTarget) {
+  const auto& workload = workloads::by_name("cifar10");
+  sim::ClusterJob job(sim::cluster_a(), workload.profile, sim::NoiseConfig{},
+                      5);
+  experiments::CannikinSystem system(
+      job.size(), {128, 128, 128}, workload.b0, workload.max_total_batch);
+
+  sim::FaultInjector injector;
+  injector.schedule({3, sim::FaultKind::kTransientStraggler, 0, 0.5, 3});
+
+  experiments::HarnessOptions options;
+  options.max_epochs = 12;
+  const auto trace = experiments::run_to_target_with_faults(
+      job, workload, system, injector, options);
+
+  ASSERT_GE(trace.epochs.size(), 7u);
+  EXPECT_TRUE(trace.epochs[2].fault_note.empty());
+  EXPECT_FALSE(trace.epochs[3].fault_note.empty());
+  EXPECT_FALSE(trace.epochs[6].fault_note.empty());  // recovery note
+  // The straggler epoch really ran slower than its neighbours.
+  EXPECT_GT(trace.epochs[3].avg_batch_time,
+            1.2 * trace.epochs[2].avg_batch_time);
+}
+
+}  // namespace
+}  // namespace cannikin
