@@ -5,6 +5,7 @@
 // batch timeline.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <thread>
 
 #include "comm/bucket.h"
@@ -80,6 +81,91 @@ void BM_BatchTimeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BatchTimeline);
+
+// --------------------------------------------------------------------
+// Compute/communication overlap: the measured wall-clock difference
+// between reducing after backward finishes (sync) and streaming each
+// bucket into the async engine the moment it is ready. "Backward
+// compute" is a sleep (the host-CPU analogue of a GPU kernel: it takes
+// time without occupying this core) and the link carries a per-message
+// latency, so the async engine can genuinely hide transmission time --
+// even on a single-core machine.
+constexpr int kOverlapRanks = 4;
+constexpr std::size_t kOverlapBuckets = 6;
+constexpr std::size_t kOverlapElems = 2048;  // per bucket
+constexpr double kOverlapLinkLatency = 0.8e-3;
+constexpr auto kOverlapComputePerBucket = std::chrono::microseconds(4000);
+
+void BM_OverlapSyncBackwardThenReduce(benchmark::State& state) {
+  const auto buckets =
+      comm::make_buckets(kOverlapBuckets * kOverlapElems, kOverlapElems);
+  for (auto _ : state) {
+    comm::ProcessGroup group(kOverlapRanks);
+    group.set_link_latency(kOverlapLinkLatency);
+    std::vector<std::thread> threads;
+    for (int rank = 0; rank < kOverlapRanks; ++rank) {
+      threads.emplace_back([&, rank] {
+        comm::Communicator comm = group.communicator(rank);
+        std::vector<double> grad(kOverlapBuckets * kOverlapElems,
+                                 rank + 1.0);
+        const std::uint64_t tag = comm.tags().block(
+            comm::CollectiveKind::kBucketAllReduce, buckets.size());
+        // Full backward first...
+        for (std::size_t b = 0; b < kOverlapBuckets; ++b) {
+          std::this_thread::sleep_for(kOverlapComputePerBucket);
+        }
+        // ...then every bucket's reduce, fully exposed.
+        comm::bucketized_weighted_all_reduce(
+            comm, std::span<double>(grad), 0.25, buckets, tag);
+        benchmark::DoNotOptimize(grad.data());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetLabel("buckets=" + std::to_string(kOverlapBuckets) +
+                 " latency=" + std::to_string(kOverlapLinkLatency * 1e3) +
+                 "ms");
+}
+BENCHMARK(BM_OverlapSyncBackwardThenReduce)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OverlapAsyncBucketReducer(benchmark::State& state) {
+  const auto buckets =
+      comm::make_buckets(kOverlapBuckets * kOverlapElems, kOverlapElems);
+  for (auto _ : state) {
+    comm::ProcessGroup group(kOverlapRanks);
+    group.set_link_latency(kOverlapLinkLatency);
+    std::vector<std::thread> threads;
+    for (int rank = 0; rank < kOverlapRanks; ++rank) {
+      threads.emplace_back([&, rank] {
+        comm::Communicator comm = group.communicator(rank);
+        std::vector<double> grad(kOverlapBuckets * kOverlapElems,
+                                 rank + 1.0);
+        const std::uint64_t tag = comm.tags().block(
+            comm::CollectiveKind::kBucketAllReduce, buckets.size());
+        comm::BucketReducer reducer(comm, std::span<double>(grad), 0.25,
+                                    buckets, tag);
+        // Each bucket's reduce launches while later buckets are still
+        // "computing" -- the DDP overlap pipeline.
+        for (const comm::Bucket& bucket : buckets) {
+          std::this_thread::sleep_for(kOverlapComputePerBucket);
+          reducer.mark_ready(bucket.offset, bucket.length);
+        }
+        const auto stats = reducer.finish();
+        benchmark::DoNotOptimize(stats.exposed_wait_seconds);
+        benchmark::DoNotOptimize(grad.data());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetLabel("buckets=" + std::to_string(kOverlapBuckets) +
+                 " latency=" + std::to_string(kOverlapLinkLatency * 1e3) +
+                 "ms");
+}
+BENCHMARK(BM_OverlapAsyncBucketReducer)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RingAllReduce(benchmark::State& state) {
   const int n = 4;

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# ThreadSanitizer job for the concurrency-heavy surface: configures,
+# builds and runs the tsan preset (comm engine, async Works, trainer
+# threads). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan -j "$(nproc)"

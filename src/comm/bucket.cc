@@ -1,8 +1,19 @@
 #include "comm/bucket.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cannikin::comm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace
 
 std::vector<Bucket> make_buckets(std::size_t total_elements,
                                  std::size_t bucket_capacity) {
@@ -23,25 +34,130 @@ std::vector<Bucket> make_buckets(std::size_t total_elements,
   return buckets;
 }
 
+BucketReducer::BucketReducer(Communicator comm, std::span<double> gradient,
+                             double weight,
+                             const std::vector<Bucket>& buckets,
+                             std::uint64_t base_tag)
+    : comm_(comm),
+      gradient_(gradient),
+      weight_(weight),
+      buckets_(buckets),
+      base_tag_(base_tag) {
+  remaining_.reserve(buckets_.size());
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.offset + bucket.length > gradient_.size()) {
+      throw std::out_of_range("BucketReducer: bucket out of range");
+    }
+    remaining_.push_back(bucket.length);
+  }
+  works_.resize(buckets_.size());
+  timings_.resize(buckets_.size());
+}
+
+BucketReducer::~BucketReducer() {
+  // Error-path safety: the progress thread may still be reducing into
+  // the gradient buffer; never let it outlive the buffer. The trainer
+  // aborts the group before unwinding, so these waits are bounded.
+  for (auto& work : works_) {
+    if (work) {
+      try {
+        work->wait();
+      } catch (...) {
+        // The first failure was already reported by finish().
+      }
+    }
+  }
+}
+
+void BucketReducer::launch(std::size_t index) {
+  const Bucket& bucket = buckets_[index];
+  auto timing = std::make_shared<Timing>();
+  timings_[index] = timing;
+  const auto sub = gradient_.subspan(bucket.offset, bucket.length);
+  const double weight = weight_;
+  const std::uint64_t tag = base_tag_ + index;
+  Communicator comm = comm_;
+  works_[index] = comm_.submit([comm, sub, weight, tag, timing]() mutable {
+    timing->begin = Clock::now();
+    for (double& v : sub) v *= weight;
+    detail::ring_all_reduce_blocking(comm, sub, tag);
+    timing->end = Clock::now();
+  });
+  ++launched_;
+}
+
+void BucketReducer::mark_ready(std::size_t offset, std::size_t length) {
+  if (finished_) {
+    throw std::logic_error("BucketReducer: mark_ready after finish");
+  }
+  if (offset + length > gradient_.size()) {
+    throw std::out_of_range("BucketReducer: ready range out of range");
+  }
+  const std::size_t end = offset + length;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& bucket = buckets_[i];
+    const std::size_t lo = std::max(offset, bucket.offset);
+    const std::size_t hi = std::min(end, bucket.offset + bucket.length);
+    if (lo >= hi) continue;
+    const std::size_t covered = hi - lo;
+    if (covered > remaining_[i]) {
+      throw std::invalid_argument(
+          "BucketReducer: gradient range marked ready twice");
+    }
+    remaining_[i] -= covered;
+    if (remaining_[i] == 0 && !works_[i]) launch(i);
+  }
+}
+
+BucketReducer::Stats BucketReducer::finish() {
+  if (finished_) throw std::logic_error("BucketReducer: finish called twice");
+  finished_ = true;
+
+  Stats stats;
+  stats.num_buckets = buckets_.size();
+  stats.buckets_overlapped = launched_;
+
+  // Ranks that produced no gradients (empty local batch) still owe the
+  // collective their zero contribution: launch whatever never filled.
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (!works_[i]) launch(i);
+  }
+
+  const auto wait_begin = Clock::now();
+  std::exception_ptr first_error;
+  for (auto& work : works_) {
+    try {
+      work->wait();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+        // Watchdog behaviour: one failed bucket means the collective is
+        // broken group-wide. Abort now so the remaining Works (and our
+        // peers) fail fast instead of each riding out its own timeout.
+        comm_.abort();
+      }
+    }
+  }
+  stats.exposed_wait_seconds = seconds_between(wait_begin, Clock::now());
+  if (first_error) std::rethrow_exception(first_error);
+
+  Clock::time_point latest{};
+  for (const auto& timing : timings_) {
+    stats.total_comm_seconds += seconds_between(timing->begin, timing->end);
+    if (timing->end >= latest) {
+      latest = timing->end;
+      stats.last_bucket_seconds = seconds_between(timing->begin, timing->end);
+    }
+  }
+  return stats;
+}
+
 void bucketized_weighted_all_reduce(Communicator& comm,
                                     std::span<double> gradient, double weight,
                                     const std::vector<Bucket>& buckets,
                                     std::uint64_t base_tag) {
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    const Bucket& bucket = buckets[i];
-    if (bucket.offset + bucket.length > gradient.size()) {
-      throw std::out_of_range("bucketized all-reduce: bucket out of range");
-    }
-    // Fail fast between buckets once a peer has aborted the group,
-    // instead of burning a full timeout on every remaining bucket.
-    if (comm.aborted()) {
-      throw CommAbortedError(
-          "bucketized all-reduce: process group aborted");
-    }
-    weighted_ring_all_reduce(
-        comm, gradient.subspan(bucket.offset, bucket.length), weight,
-        base_tag + i);
-  }
+  BucketReducer reducer(comm, gradient, weight, buckets, base_tag);
+  reducer.finish();
 }
 
 }  // namespace cannikin::comm

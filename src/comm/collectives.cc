@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <string>
+#include <utility>
 
 namespace cannikin::comm {
 
@@ -39,8 +40,10 @@ std::vector<Segment> make_segments(std::size_t total, int n) {
 
 }  // namespace
 
-void ring_all_reduce(Communicator& comm, std::span<double> data,
-                     std::uint64_t tag) {
+namespace detail {
+
+void ring_all_reduce_blocking(Communicator& comm, std::span<double> data,
+                              std::uint64_t tag) {
   const int n = comm.size();
   const int rank = comm.rank();
   check_not_aborted(comm, "ring_all_reduce");
@@ -85,29 +88,40 @@ void ring_all_reduce(Communicator& comm, std::span<double> data,
   }
 }
 
-void weighted_ring_all_reduce(Communicator& comm, std::span<double> data,
-                              double weight, std::uint64_t tag) {
-  for (double& v : data) v *= weight;
-  ring_all_reduce(comm, data, tag);
-}
-
-void broadcast(Communicator& comm, std::vector<double>& data, int root,
-               std::uint64_t tag) {
+void broadcast_blocking(Communicator& comm, std::vector<double>& data,
+                        int root, std::uint64_t tag) {
+  const int n = comm.size();
   check_not_aborted(comm, "broadcast");
-  if (comm.size() == 1) return;
-  if (comm.rank() == root) {
-    for (int dst = 0; dst < comm.size(); ++dst) {
-      if (dst == root) continue;
+  if (root < 0 || root >= n) throw CommError("broadcast: bad root");
+  if (n == 1) return;
+
+  // Binomial tree rooted (virtually) at rank `root`: round k halves the
+  // uninformed set, so the broadcast finishes in ceil(log2 n) rounds
+  // instead of the root serially sending n-1 copies.
+  const int rank = comm.rank();
+  const int relative = (rank - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (relative & mask) {
+      const int src = (relative - mask + root) % n;
+      data = comm.recv(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < n) {
+      const int dst = (relative + mask + root) % n;
       comm.send(dst, tag, data);
     }
-  } else {
-    data = comm.recv(root, tag);
+    mask >>= 1;
   }
 }
 
-std::vector<double> all_gather(Communicator& comm,
-                               const std::vector<double>& data,
-                               std::uint64_t tag) {
+std::vector<double> all_gather_blocking(Communicator& comm,
+                                        const std::vector<double>& data,
+                                        std::uint64_t tag) {
   const int n = comm.size();
   check_not_aborted(comm, "all_gather");
   std::vector<std::vector<double>> parts(static_cast<std::size_t>(n));
@@ -129,10 +143,72 @@ std::vector<double> all_gather(Communicator& comm,
   return out;
 }
 
+}  // namespace detail
+
+WorkPtr async_ring_all_reduce(Communicator comm, std::span<double> data,
+                              std::uint64_t tag) {
+  return comm.submit([comm, data, tag]() mutable {
+    detail::ring_all_reduce_blocking(comm, data, tag);
+  });
+}
+
+WorkPtr async_weighted_ring_all_reduce(Communicator comm,
+                                       std::span<double> data, double weight,
+                                       std::uint64_t tag) {
+  return comm.submit([comm, data, weight, tag]() mutable {
+    for (double& v : data) v *= weight;
+    detail::ring_all_reduce_blocking(comm, data, tag);
+  });
+}
+
+WorkPtr async_broadcast(Communicator comm, std::vector<double>* data,
+                        int root, std::uint64_t tag) {
+  return comm.submit([comm, data, root, tag]() mutable {
+    detail::broadcast_blocking(comm, *data, root, tag);
+  });
+}
+
+WorkPtr async_all_gather(Communicator comm, const std::vector<double>* data,
+                         std::vector<double>* out, std::uint64_t tag) {
+  return comm.submit([comm, data, out, tag]() mutable {
+    *out = detail::all_gather_blocking(comm, *data, tag);
+  });
+}
+
+WorkPtr async_all_reduce_scalar(Communicator comm, double* value,
+                                std::uint64_t tag) {
+  return comm.submit([comm, value, tag]() mutable {
+    std::span<double> buf(value, 1);
+    detail::ring_all_reduce_blocking(comm, buf, tag);
+  });
+}
+
+void ring_all_reduce(Communicator& comm, std::span<double> data,
+                     std::uint64_t tag) {
+  async_ring_all_reduce(comm, data, tag)->wait();
+}
+
+void weighted_ring_all_reduce(Communicator& comm, std::span<double> data,
+                              double weight, std::uint64_t tag) {
+  async_weighted_ring_all_reduce(comm, data, weight, tag)->wait();
+}
+
+void broadcast(Communicator& comm, std::vector<double>& data, int root,
+               std::uint64_t tag) {
+  async_broadcast(comm, &data, root, tag)->wait();
+}
+
+std::vector<double> all_gather(Communicator& comm,
+                               const std::vector<double>& data,
+                               std::uint64_t tag) {
+  std::vector<double> out;
+  async_all_gather(comm, &data, &out, tag)->wait();
+  return out;
+}
+
 double all_reduce_scalar(Communicator& comm, double value, std::uint64_t tag) {
-  std::vector<double> buf{value};
-  ring_all_reduce(comm, std::span<double>(buf), tag);
-  return buf[0];
+  async_all_reduce_scalar(comm, &value, tag)->wait();
+  return value;
 }
 
 }  // namespace cannikin::comm

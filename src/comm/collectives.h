@@ -5,9 +5,19 @@
 // a reduce-scatter phase of (n-1) steps followed by an all-gather phase
 // of (n-1) steps, each moving 1/n of the buffer per step.
 //
-// All collectives are synchronized: every rank must call the same
-// collective with the same `tag`. Tags keep concurrent collectives (the
-// per-bucket gradient all-reduces) from interleaving.
+// Every collective comes in two forms:
+//   * async_* returns immediately with a Work handle; the operation's
+//     state machine runs on the rank's comm progress thread
+//     (ProcessGroup::engine). Buffers passed by span/pointer must stay
+//     alive and untouched until the Work completes.
+//   * the blocking form is a thin wrapper, `async_*(...)->wait()`, kept
+//     so call sites can migrate incrementally.
+//
+// Async operations on one rank execute in submission order; every rank
+// must submit the same collective sequence (matching tags keep
+// concurrent collectives, e.g. the per-bucket gradient all-reduces,
+// from interleaving payloads). Never call a blocking collective from
+// inside a submitted op -- it would wait on its own progress thread.
 #pragma once
 
 #include <cstdint>
@@ -15,28 +25,51 @@
 #include <vector>
 
 #include "comm/process_group.h"
+#include "comm/work.h"
 
 namespace cannikin::comm {
 
-/// In-place sum-all-reduce over all ranks using the ring algorithm.
+/// Nonblocking in-place sum-all-reduce over all ranks (ring algorithm).
 /// Every rank must pass a buffer of identical size.
+WorkPtr async_ring_all_reduce(Communicator comm, std::span<double> data,
+                              std::uint64_t tag);
+
+/// Nonblocking weighted all-reduce: computes sum_i weight_i * data_i on
+/// every rank. Used by Cannikin's proportional gradient aggregation
+/// (Eq. 9): pass weight = b_i / B. Implemented by pre-scaling (on the
+/// progress thread) then ring-all-reducing.
+WorkPtr async_weighted_ring_all_reduce(Communicator comm,
+                                       std::span<double> data, double weight,
+                                       std::uint64_t tag);
+
+/// Nonblocking broadcast of `*data` from `root` along a binomial tree
+/// (O(log n) rounds instead of root-sends-to-all). Non-root ranks'
+/// vectors are resized to the root's payload.
+WorkPtr async_broadcast(Communicator comm, std::vector<double>* data,
+                        int root, std::uint64_t tag);
+
+/// Nonblocking gather of each rank's vector on every rank, concatenated
+/// in rank order into `*out`. Per-rank contributions may differ in size.
+WorkPtr async_all_gather(Communicator comm, const std::vector<double>* data,
+                         std::vector<double>* out, std::uint64_t tag);
+
+/// Nonblocking sum-all-reduce of the scalar at `*value`.
+WorkPtr async_all_reduce_scalar(Communicator comm, double* value,
+                                std::uint64_t tag);
+
+/// In-place sum-all-reduce over all ranks using the ring algorithm.
 void ring_all_reduce(Communicator& comm, std::span<double> data,
                      std::uint64_t tag);
 
-/// In-place weighted all-reduce: computes sum_i weight_i * data_i on
-/// every rank. Used by Cannikin's proportional gradient aggregation
-/// (Eq. 9): pass weight = b_i / B. Implemented by pre-scaling then
-/// ring-all-reducing.
+/// In-place weighted all-reduce (see async form).
 void weighted_ring_all_reduce(Communicator& comm, std::span<double> data,
                               double weight, std::uint64_t tag);
 
-/// Broadcast `data` from `root` to all ranks (binomial-free simple
-/// implementation: root sends to every other rank).
+/// Broadcast `data` from `root` to all ranks (binomial tree).
 void broadcast(Communicator& comm, std::vector<double>& data, int root,
                std::uint64_t tag);
 
 /// Gathers each rank's vector on every rank, concatenated in rank order.
-/// Per-rank contributions may have different sizes.
 std::vector<double> all_gather(Communicator& comm,
                                const std::vector<double>& data,
                                std::uint64_t tag);
@@ -44,5 +77,20 @@ std::vector<double> all_gather(Communicator& comm,
 /// All-reduce of a single scalar (sum); convenience for aggregating
 /// per-node statistics such as |g_i|^2 terms.
 double all_reduce_scalar(Communicator& comm, double value, std::uint64_t tag);
+
+namespace detail {
+
+// Blocking collective bodies, safe to call from a progress-thread op
+// (they never re-enter the engine). The async_* entry points submit
+// these; BucketReducer composes them with its own timing capture.
+void ring_all_reduce_blocking(Communicator& comm, std::span<double> data,
+                              std::uint64_t tag);
+void broadcast_blocking(Communicator& comm, std::vector<double>& data,
+                        int root, std::uint64_t tag);
+std::vector<double> all_gather_blocking(Communicator& comm,
+                                        const std::vector<double>& data,
+                                        std::uint64_t tag);
+
+}  // namespace detail
 
 }  // namespace cannikin::comm

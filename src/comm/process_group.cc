@@ -1,6 +1,6 @@
 #include "comm/process_group.h"
 
-#include <chrono>
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -8,10 +8,13 @@ namespace cannikin::comm {
 
 namespace detail {
 
-void Mailbox::put(int src, std::uint64_t tag, Payload payload) {
+using Clock = std::chrono::steady_clock;
+
+void Mailbox::put(int src, std::uint64_t tag, Payload payload,
+                  Clock::time_point ready_at) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queues_[{src, tag}].push_back(std::move(payload));
+    queues_[{src, tag}].push_back({std::move(payload), ready_at});
   }
   cv_.notify_all();
 }
@@ -19,34 +22,48 @@ void Mailbox::put(int src, std::uint64_t tag, Payload payload) {
 Payload Mailbox::take(int src, std::uint64_t tag, double timeout_seconds) {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto key = std::make_pair(src, tag);
-  const auto ready = [&] {
-    if (aborted_) return true;
-    auto it = queues_.find(key);
-    return it != queues_.end() && !it->second.empty();
-  };
-  if (timeout_seconds > 0.0) {
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(timeout_seconds));
-    if (!cv_.wait_until(lock, deadline, ready)) {
-      throw CommTimeoutError(
-          "recv: timed out after " + std::to_string(timeout_seconds) +
-          "s waiting for message (src=" + std::to_string(src) +
-          ", tag=" + std::to_string(tag) + "); peer dead or hung");
+  const bool bounded = timeout_seconds > 0.0;
+  const auto deadline =
+      bounded ? Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(timeout_seconds))
+              : Clock::time_point{};
+  for (;;) {
+    if (aborted_) {
+      throw CommAbortedError("recv: process group aborted (src=" +
+                             std::to_string(src) +
+                             ", tag=" + std::to_string(tag) + ")");
     }
-  } else {
-    cv_.wait(lock, ready);
+    const auto it = queues_.find(key);
+    if (it != queues_.end() && !it->second.empty()) {
+      Message& front = it->second.front();
+      const auto now = Clock::now();
+      if (front.ready_at <= now) {
+        Payload payload = std::move(front.payload);
+        it->second.pop_front();
+        return payload;
+      }
+      // Message in flight on the simulated link: sleep until delivery
+      // (or the deadline, whichever is first) without burning CPU.
+      if (bounded) {
+        if (now >= deadline) break;
+        cv_.wait_until(lock, std::min(deadline, front.ready_at));
+      } else {
+        cv_.wait_until(lock, front.ready_at);
+      }
+      continue;
+    }
+    if (bounded) {
+      if (Clock::now() >= deadline) break;
+      cv_.wait_until(lock, deadline);
+    } else {
+      cv_.wait(lock);
+    }
   }
-  if (aborted_) {
-    throw CommAbortedError("recv: process group aborted (src=" +
-                           std::to_string(src) +
-                           ", tag=" + std::to_string(tag) + ")");
-  }
-  auto& queue = queues_[key];
-  Payload payload = std::move(queue.front());
-  queue.pop_front();
-  return payload;
+  throw CommTimeoutError(
+      "recv: timed out after " + std::to_string(timeout_seconds) +
+      "s waiting for message (src=" + std::to_string(src) +
+      ", tag=" + std::to_string(tag) + "); peer dead or hung");
 }
 
 void Mailbox::abort() {
@@ -66,10 +83,32 @@ ProcessGroup::ProcessGroup(int size, double timeout_seconds)
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<detail::Mailbox>());
   }
+  tag_allocators_.resize(static_cast<std::size_t>(size));
+  engines_.resize(static_cast<std::size_t>(size));
+}
+
+ProcessGroup::~ProcessGroup() {
+  // Safety net for error paths: fail any Work still queued and unblock
+  // an op stuck in recv, so joining the progress threads cannot hang.
+  // On the success path every engine is idle and this is a flag flip.
+  abort();
+  engines_.clear();  // joins the progress threads
 }
 
 void ProcessGroup::abort() {
   aborted_.store(true, std::memory_order_release);
+  // Order matters: cancel the engine queues *before* waking blocked
+  // ops. The other way round, a progress thread released from recv()
+  // could drain (and "successfully" run) queued Works in the window
+  // before their cancellation.
+  {
+    std::lock_guard<std::mutex> lock(engines_mutex_);
+    const auto error = std::make_exception_ptr(
+        CommAbortedError("pending work cancelled: process group aborted"));
+    for (auto& engine : engines_) {
+      if (engine) engine->cancel_pending(error);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(barrier_mutex_);
     barrier_aborted_ = true;
@@ -83,10 +122,36 @@ Communicator ProcessGroup::communicator(int rank) {
   return Communicator(this, rank);
 }
 
+ProgressEngine& ProcessGroup::engine(int rank) {
+  if (rank < 0 || rank >= size_) throw CommError("engine: bad rank");
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  auto& slot = engines_[static_cast<std::size_t>(rank)];
+  if (!slot) {
+    std::exception_ptr poison;
+    if (aborted()) {
+      poison = std::make_exception_ptr(
+          CommAbortedError("submit: process group aborted"));
+    }
+    slot = std::make_unique<ProgressEngine>(std::move(poison));
+  }
+  return *slot;
+}
+
+TagAllocator& ProcessGroup::tags(int rank) {
+  if (rank < 0 || rank >= size_) throw CommError("tags: bad rank");
+  return tag_allocators_[static_cast<std::size_t>(rank)];
+}
+
 void ProcessGroup::send(int src, int dst, std::uint64_t tag, Payload payload) {
   if (dst < 0 || dst >= size_) throw CommError("send: bad destination rank");
   if (aborted()) throw CommAbortedError("send: process group aborted");
-  mailboxes_[static_cast<std::size_t>(dst)]->put(src, tag, std::move(payload));
+  auto ready_at = detail::Clock::now();
+  if (link_latency_seconds_ > 0.0) {
+    ready_at += std::chrono::duration_cast<detail::Clock::duration>(
+        std::chrono::duration<double>(link_latency_seconds_));
+  }
+  mailboxes_[static_cast<std::size_t>(dst)]->put(src, tag, std::move(payload),
+                                                 ready_at);
 }
 
 Payload ProcessGroup::recv(int dst, int src, std::uint64_t tag) {
@@ -101,6 +166,10 @@ void Communicator::send(int dst, std::uint64_t tag, Payload payload) {
 
 Payload Communicator::recv(int src, std::uint64_t tag) {
   return group_->recv(rank_, src, tag);
+}
+
+WorkPtr Communicator::submit(std::function<void()> op) {
+  return group_->engine(rank_).submit(std::move(op));
 }
 
 void Communicator::barrier() {

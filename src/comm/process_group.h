@@ -5,28 +5,46 @@
 // simulated GPU) obtain a Communicator handle for their rank and perform
 // point-to-point sends/receives and collectives against it. Messages are
 // tagged so that concurrent collectives (e.g. per-bucket all-reduce)
-// cannot interleave payloads.
+// cannot interleave payloads; tags come from the per-rank TagAllocator
+// (Communicator::tags()) which gives each collective kind a disjoint
+// range.
+//
+// Async engine: every rank also owns a comm progress thread
+// (ProgressEngine). The async_* collectives return immediately with a
+// Work handle and execute on that thread in submission order, so bucket
+// all-reduces overlap with the remaining backward compute. The blocking
+// collectives are thin wrappers (`async_*(...)->wait()`).
+//
+// An optional per-message link latency models network transmission
+// without consuming CPU: a message becomes visible to recv() only
+// `link_latency_seconds` after send() returns. This is what makes
+// compute/communication overlap measurable even on a single core.
 //
 // Fault tolerance (mirroring the NCCL watchdog / comm-abort protocol
 // real DDP relies on): the group carries an optional timeout applied to
 // every blocking receive and barrier, and an abort() that wakes every
-// blocked rank and poisons all subsequent calls. A worker that dies
-// mid-collective therefore converts a would-be deadlock into a
-// CommTimeoutError on its peers within the configured deadline; the
-// first peer to notice calls abort() and the whole group unwinds with
-// CommAbortedError instead of hanging.
+// blocked rank, fails every pending Work and poisons all subsequent
+// calls. A worker that dies mid-collective therefore converts a
+// would-be deadlock into a CommTimeoutError on its peers within the
+// configured deadline; the first peer to notice calls abort() and the
+// whole group unwinds with CommAbortedError instead of hanging.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "comm/tag_allocator.h"
+#include "comm/work.h"
 
 namespace cannikin::comm {
 
@@ -55,11 +73,12 @@ class CommAbortedError : public CommError {
 namespace detail {
 
 /// Per-rank inbox. Messages are keyed by (source rank, tag); receive
-/// blocks until a matching message arrives, the timeout expires, or the
-/// mailbox is aborted.
+/// blocks until a matching message arrives *and* its delivery time has
+/// passed, the timeout expires, or the mailbox is aborted.
 class Mailbox {
  public:
-  void put(int src, std::uint64_t tag, Payload payload);
+  void put(int src, std::uint64_t tag, Payload payload,
+           std::chrono::steady_clock::time_point ready_at);
   /// `timeout_seconds` <= 0 waits forever. Throws CommTimeoutError on
   /// deadline expiry and CommAbortedError after abort().
   Payload take(int src, std::uint64_t tag, double timeout_seconds);
@@ -68,10 +87,15 @@ class Mailbox {
   void abort();
 
  private:
+  struct Message {
+    Payload payload;
+    std::chrono::steady_clock::time_point ready_at;
+  };
+
   std::mutex mutex_;
   std::condition_variable cv_;
   bool aborted_ = false;
-  std::map<std::pair<int, std::uint64_t>, std::deque<Payload>> queues_;
+  std::map<std::pair<int, std::uint64_t>, std::deque<Message>> queues_;
 };
 
 }  // namespace detail
@@ -86,6 +110,14 @@ class ProcessGroup {
   /// behaviour); a positive value bounds every recv()/barrier().
   explicit ProcessGroup(int size, double timeout_seconds = 0.0);
 
+  /// Aborts (failing any still-pending Works) and joins every progress
+  /// thread. All outstanding Works should be waited before destruction;
+  /// the abort is a safety net, not a substitute.
+  ~ProcessGroup();
+
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
   int size() const { return size_; }
 
   /// Deadline applied to blocking operations; set before spawning the
@@ -93,17 +125,31 @@ class ProcessGroup {
   void set_timeout(double timeout_seconds) { timeout_seconds_ = timeout_seconds; }
   double timeout() const { return timeout_seconds_; }
 
+  /// Per-message delivery latency (seconds); models network
+  /// transmission time without burning CPU. Set before spawning the
+  /// worker threads. <= 0 (default) delivers immediately.
+  void set_link_latency(double seconds) { link_latency_seconds_ = seconds; }
+  double link_latency() const { return link_latency_seconds_; }
+
   /// Irreversibly poisons the group: every rank blocked in recv() or
-  /// barrier() wakes with CommAbortedError, and every subsequent
-  /// send/recv/barrier fails immediately. Safe to call from any thread
-  /// and idempotent -- this is the comm-abort path a watchdog takes
-  /// when one worker is known dead.
+  /// barrier() wakes with CommAbortedError, every pending (queued)
+  /// Work fails without running, and every subsequent
+  /// send/recv/barrier/submit fails immediately. Safe to call from any
+  /// thread and idempotent -- this is the comm-abort path a watchdog
+  /// takes when one worker is known dead.
   void abort();
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
   /// Returns the communicator handle for `rank`; the handle borrows the
   /// group, which must outlive it.
   Communicator communicator(int rank);
+
+  /// The comm progress thread for `rank` (created on first use). Async
+  /// collectives submit their state machines here.
+  ProgressEngine& engine(int rank);
+
+  /// The deterministic per-rank tag allocator for `rank`.
+  TagAllocator& tags(int rank);
 
  private:
   friend class Communicator;
@@ -113,8 +159,14 @@ class ProcessGroup {
 
   int size_;
   double timeout_seconds_ = 0.0;
+  double link_latency_seconds_ = 0.0;
   std::atomic<bool> aborted_{false};
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::vector<TagAllocator> tag_allocators_;
+
+  // Per-rank progress engines, created lazily under engines_mutex_.
+  std::mutex engines_mutex_;
+  std::vector<std::unique_ptr<ProgressEngine>> engines_;
 
   // Barrier state (central counter barrier, generation-counted).
   std::mutex barrier_mutex_;
@@ -131,6 +183,10 @@ class Communicator {
   int size() const { return group_->size(); }
   bool aborted() const { return group_->aborted(); }
 
+  /// Aborts the whole owning group (ncclCommAbort analogue): wakes
+  /// blocked peers, fails pending Works, poisons future calls.
+  void abort() { group_->abort(); }
+
   /// Point-to-point send (copies the payload into the fabric).
   void send(int dst, std::uint64_t tag, Payload payload);
 
@@ -142,6 +198,15 @@ class Communicator {
   /// Blocks until every rank in the group has entered the barrier,
   /// subject to the same timeout/abort semantics as recv().
   void barrier();
+
+  /// Enqueues `op` on this rank's comm progress thread; returns its
+  /// Work handle. Ops run in submission order. Prefer the async_*
+  /// collectives over raw submission.
+  WorkPtr submit(std::function<void()> op);
+
+  /// This rank's tag allocator (deterministic across ranks executing
+  /// the same collective sequence).
+  TagAllocator& tags() { return group_->tags(rank_); }
 
  private:
   friend class ProcessGroup;

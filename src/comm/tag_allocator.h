@@ -1,0 +1,69 @@
+// Central message-tag allocation for concurrent collectives.
+//
+// Before this allocator, every call site carved tags out of the 64-bit
+// space with ad-hoc arithmetic (`batch * (buckets + 4) * 2 + 2`), which
+// silently collides the moment two concurrent collectives -- a bucket
+// all-reduce in flight next to a GNS scalar reduce -- pick overlapping
+// ranges. The allocator gives each collective kind its own disjoint
+// range and hands out sequential tags within it.
+//
+// Tags must match across ranks for the same logical collective, so the
+// allocator is *per rank* (obtained via Communicator::tags()) and
+// purely deterministic: every rank advancing its own allocator through
+// the same sequence of collectives observes identical tags. It is not
+// thread-safe -- exactly one worker thread drives each rank, which is
+// the process-group threading model throughout this repo.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace cannikin::comm {
+
+/// Collective families that may have operations in flight concurrently.
+enum class CollectiveKind : int {
+  kBucketAllReduce = 0,  ///< per-bucket gradient all-reduces
+  kAllReduce,            ///< whole-buffer all-reduces
+  kAllGather,            ///< stats gathers
+  kBroadcast,            ///< parameter broadcasts
+  kScalar,               ///< GNS / norm scalar reduces
+  kNumKinds
+};
+
+class TagAllocator {
+ public:
+  /// Tags carry this marker bit so allocated tags can never collide
+  /// with small hand-picked literals in tests or legacy call sites.
+  static constexpr std::uint64_t kAllocatedBit = std::uint64_t{1} << 61;
+  static constexpr std::uint64_t kKindShift = 56;
+  static constexpr std::uint64_t kMaxPerKind = std::uint64_t{1} << kKindShift;
+
+  /// Next tag in `kind`'s range.
+  std::uint64_t next(CollectiveKind kind) { return block(kind, 1); }
+
+  /// Reserves `count` consecutive tags in `kind`'s range and returns
+  /// the first (a bucketized all-reduce takes one per bucket).
+  std::uint64_t block(CollectiveKind kind, std::uint64_t count) {
+    if (count == 0) {
+      throw std::invalid_argument("TagAllocator: empty block");
+    }
+    auto& counter = counters_.at(static_cast<std::size_t>(kind));
+    if (counter + count > kMaxPerKind) {
+      throw std::overflow_error("TagAllocator: kind range exhausted");
+    }
+    const std::uint64_t first = counter;
+    counter += count;
+    return kAllocatedBit |
+           (static_cast<std::uint64_t>(kind) << kKindShift) | first;
+  }
+
+  void reset() { counters_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(CollectiveKind::kNumKinds)>
+      counters_{};
+};
+
+}  // namespace cannikin::comm

@@ -1,0 +1,125 @@
+#include "comm/work.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace cannikin::comm {
+
+bool Work::is_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+bool Work::wait(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto done = [&] { return done_; };
+  if (timeout_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    if (!cv_.wait_until(lock, deadline, done)) return false;
+  } else {
+    cv_.wait(lock, done);
+  }
+  if (error_) std::rethrow_exception(error_);
+  return true;
+}
+
+std::exception_ptr Work::exception() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return error_;
+}
+
+void Work::finish(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+    error_ = std::move(error);
+  }
+  cv_.notify_all();
+}
+
+ProgressEngine::ProgressEngine(std::exception_ptr poison) {
+  if (poison) {
+    cancelled_ = true;
+    cancel_error_ = std::move(poison);
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+ProgressEngine::~ProgressEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    // Orphaned queue entries (submitted after the last wait) must still
+    // complete so no Work handle outlives the engine unfinished.
+    for (auto& item : queue_) {
+      item.work->finish(std::make_exception_ptr(
+          std::runtime_error("progress engine: shut down before the "
+                            "operation ran")));
+    }
+    queue_.clear();
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+WorkPtr ProgressEngine::submit(std::function<void()> op) {
+  auto work = std::make_shared<Work>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cancelled_) {
+      work->finish(cancel_error_);
+      return work;
+    }
+    queue_.push_back({std::move(op), work});
+  }
+  cv_.notify_all();
+  return work;
+}
+
+void ProgressEngine::cancel_pending(std::exception_ptr error) {
+  std::deque<Item> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+    cancel_error_ = error;
+    cancelled.swap(queue_);
+  }
+  for (auto& item : cancelled) item.work->finish(error);
+  cv_.notify_all();
+}
+
+std::size_t ProgressEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
+void ProgressEngine::run() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    std::exception_ptr error;
+    try {
+      item.op();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    item.work->finish(std::move(error));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+  }
+}
+
+}  // namespace cannikin::comm

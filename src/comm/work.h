@@ -1,0 +1,102 @@
+// Nonblocking work handles and the per-rank comm progress engine.
+//
+// This is the shape NCCL / torch::ProcessGroup::Work give PyTorch DDP:
+// a collective call returns immediately with a Work handle, a dedicated
+// comm progress thread drives the operation to completion, and the
+// caller overlaps its remaining compute with the communication before
+// waiting on the handle. Operations submitted to one rank's engine
+// execute in submission order (NCCL stream semantics); every rank must
+// therefore submit matching collective sequences, which the trainers
+// guarantee by construction (same model, same bucket layout).
+//
+// Fault routing: ProcessGroup::abort() fails every queued Work with
+// CommAbortedError without running it and poisons future submissions,
+// while the op currently executing on the progress thread is unwound
+// through the aborted mailboxes. A dead rank therefore converts every
+// pending Work on every peer into an error within the comm deadline --
+// the progress thread itself never hangs and is joined on shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace cannikin::comm {
+
+/// Handle to one asynchronous communication operation.
+class Work {
+ public:
+  /// True once the operation finished (successfully or with an error).
+  bool is_completed() const;
+
+  /// Blocks until the operation completes, then rethrows its exception
+  /// if it failed. `timeout_seconds` <= 0 waits forever. Returns false
+  /// if the deadline passed with the operation still pending (the
+  /// operation keeps running; wait again or abort the group).
+  bool wait(double timeout_seconds = 0.0);
+
+  /// The operation's failure, or nullptr while pending / on success.
+  std::exception_ptr exception() const;
+
+ private:
+  friend class ProgressEngine;
+  void finish(std::exception_ptr error);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::exception_ptr error_;
+};
+
+using WorkPtr = std::shared_ptr<Work>;
+
+/// One rank's comm progress thread: executes submitted operations in
+/// FIFO order and completes their Work handles. Owned by ProcessGroup.
+class ProgressEngine {
+ public:
+  /// A non-null `poison` starts the engine in the cancelled state
+  /// (group already aborted): every submission fails with it
+  /// immediately.
+  explicit ProgressEngine(std::exception_ptr poison = nullptr);
+  ~ProgressEngine();
+
+  ProgressEngine(const ProgressEngine&) = delete;
+  ProgressEngine& operator=(const ProgressEngine&) = delete;
+
+  /// Enqueues `op` for the progress thread; returns its Work handle.
+  /// After cancel(), the Work is failed immediately without running.
+  WorkPtr submit(std::function<void()> op);
+
+  /// Fails every queued (not yet started) Work with `error`, and makes
+  /// every future submit() fail the same way. The in-flight operation,
+  /// if any, is expected to unwind through the aborted mailboxes. The
+  /// thread stays alive and joinable.
+  void cancel_pending(std::exception_ptr error);
+
+  /// Queued + in-flight operations (for tests / introspection).
+  std::size_t pending() const;
+
+ private:
+  struct Item {
+    std::function<void()> op;
+    WorkPtr work;
+  };
+
+  void run();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  std::size_t in_flight_ = 0;
+  bool cancelled_ = false;
+  std::exception_ptr cancel_error_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cannikin::comm

@@ -1,5 +1,6 @@
 #include "dnn/adaptive_trainer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <mutex>
@@ -108,7 +109,11 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
   // Per-worker measured phase times (seconds, summed over the epoch).
   std::vector<double> a_time(static_cast<std::size_t>(options_.num_nodes));
   std::vector<double> p_time(static_cast<std::size_t>(options_.num_nodes));
+  std::vector<double> exposed_time(
+      static_cast<std::size_t>(options_.num_nodes));
   std::vector<double> comm_time(
+      static_cast<std::size_t>(options_.num_nodes));
+  std::vector<double> last_bucket_time(
       static_cast<std::size_t>(options_.num_nodes));
 
   std::mutex result_mutex;
@@ -124,11 +129,30 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
         options_.throttles[static_cast<std::size_t>(rank)];
 
     for (int batch = 0; batch < num_batches; ++batch) {
+      // Identical allocation sequence on every rank keeps tags matched.
+      const std::uint64_t bucket_tag =
+          comm.tags().block(comm::CollectiveKind::kBucketAllReduce,
+                            buckets.size());
+      const std::uint64_t gather_tag =
+          comm.tags().next(comm::CollectiveKind::kAllGather);
+
       const auto indices = loader.batch_for_node(batch, rank);
       const int local_b = static_cast<int>(indices.size());
 
+      int actual_total = 0;
+      for (int node = 0; node < options_.num_nodes; ++node) {
+        actual_total += loader.batch_size_for_node(batch, node);
+      }
+      const double weight =
+          static_cast<double>(local_b) / static_cast<double>(actual_total);
+
+      std::vector<double> gradient(params_.size(), 0.0);
+      comm::BucketReducer reducer(comm, std::span<double>(gradient), weight,
+                                  buckets, bucket_tag);
+
       model.zero_grads();
       double local_loss = 0.0, local_correct = 0.0;
+      double local_norm_sq = 0.0;
 
       const auto a_start = std::chrono::steady_clock::now();
       Tensor outputs;
@@ -156,37 +180,40 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
       }
       a_time[static_cast<std::size_t>(rank)] += seconds_since(a_start);
 
+      // Throttle reps 0..throttle-2 are pure compute (their gradients
+      // are discarded, like DDP's no_sync); only the final rep streams
+      // gradients into the reducer so buckets overlap with the tail of
+      // the real backward pass.
       const auto p_start = std::chrono::steady_clock::now();
       if (local_b > 0) {
-        for (int rep = 0; rep < throttle; ++rep) {
+        for (int rep = 0; rep + 1 < throttle; ++rep) {
           if (rep > 0) model.zero_grads();
           model.backward(loss.grad);
         }
+        if (throttle > 1) model.zero_grads();
+        model.backward(loss.grad, gradient,
+                       [&](std::size_t offset, std::size_t length) {
+                         for (std::size_t i = offset; i < offset + length;
+                              ++i) {
+                           local_norm_sq += gradient[i] * gradient[i];
+                         }
+                         reducer.mark_ready(offset, length);
+                       });
       }
       p_time[static_cast<std::size_t>(rank)] += seconds_since(p_start);
 
-      std::vector<double> gradient = model.flat_grads();
-      const double local_norm_sq = squared_norm(gradient);
-
-      int actual_total = 0;
-      for (int node = 0; node < options_.num_nodes; ++node) {
-        actual_total += loader.batch_size_for_node(batch, node);
-      }
-      const double weight =
-          static_cast<double>(local_b) / static_cast<double>(actual_total);
-
-      const auto comm_start = std::chrono::steady_clock::now();
-      comm::bucketized_weighted_all_reduce(
-          comm, std::span<double>(gradient), weight, buckets,
-          static_cast<std::uint64_t>(batch) * (buckets.size() + 4) * 2 + 2);
-      comm_time[static_cast<std::size_t>(rank)] += seconds_since(comm_start);
+      const comm::BucketReducer::Stats comm_stats = reducer.finish();
+      exposed_time[static_cast<std::size_t>(rank)] +=
+          comm_stats.exposed_wait_seconds;
+      comm_time[static_cast<std::size_t>(rank)] +=
+          comm_stats.total_comm_seconds;
+      last_bucket_time[static_cast<std::size_t>(rank)] +=
+          comm_stats.last_bucket_seconds;
 
       const double global_norm_sq = squared_norm(gradient);
       std::vector<double> stats{static_cast<double>(local_b), local_norm_sq,
                                 local_loss * local_b, local_correct};
-      const auto all_stats = comm::all_gather(
-          comm, stats,
-          static_cast<std::uint64_t>(batch) * (buckets.size() + 4) * 2 + 1);
+      const auto all_stats = comm::all_gather(comm, stats, gather_tag);
 
       std::vector<double> new_params = model.flat_params();
       optimizer.step(new_params, gradient, lr);
@@ -233,12 +260,10 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
   params_ = std::move(final_params);
 
   // Feed the measured per-batch phase averages back as observations,
-  // exactly what the simulator's profiler produces. The gradient sync
-  // is not overlapped in-process, so gamma is approximated by the first
-  // bucket's even share.
+  // exactly what the simulator's profiler produces. With the async
+  // engine the overlap is real: gamma is the measured fraction of comm
+  // hidden behind backward, T_u the measured last-bucket duration.
   const double inv_batches = 1.0 / std::max(num_batches, 1);
-  const double gamma_obs =
-      1.0 / static_cast<double>(std::max<std::size_t>(buckets.size(), 2));
   std::vector<int> batches;
   std::vector<double> a_obs, p_obs, gamma_vec, t_other_obs, t_last_obs;
   for (int node = 0; node < options_.num_nodes; ++node) {
@@ -246,13 +271,16 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
     batches.push_back(plan.local_batches[idx]);
     a_obs.push_back(a_time[idx] * inv_batches);
     p_obs.push_back(p_time[idx] * inv_batches);
+    const double gamma_obs =
+        comm_time[idx] > 0.0
+            ? std::clamp(1.0 - exposed_time[idx] / comm_time[idx], 0.0, 1.0)
+            : 1.0 / static_cast<double>(
+                        std::max<std::size_t>(buckets.size(), 2));
     gamma_vec.push_back(gamma_obs);
-    const double total_comm = comm_time[idx] * inv_batches;
-    const double t_last =
-        total_comm / static_cast<double>(std::max<std::size_t>(
-                         buckets.size(), 1));
+    const double t_last = last_bucket_time[idx] * inv_batches;
     t_last_obs.push_back(t_last);
-    t_other_obs.push_back(total_comm - t_last);
+    t_other_obs.push_back(
+        std::max(0.0, comm_time[idx] - last_bucket_time[idx]) * inv_batches);
   }
   controller_->observe_epoch(batches, a_obs, p_obs, gamma_vec, t_other_obs,
                              t_last_obs);

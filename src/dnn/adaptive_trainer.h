@@ -20,10 +20,11 @@
 // speeds. The controller knows nothing about throttles; it must learn
 // them from the measured timings.
 //
-// Known approximation: the in-process collectives do not overlap with
-// the backward pass, so the overlap ratio gamma cannot be measured
-// here; workers report gamma = 1 / num_buckets (the first bucket's
-// share under the even-bucket assumption). See DESIGN.md.
+// Gradient synchronization streams through the async BucketReducer on
+// the final throttle rep (the earlier reps are pure compute, like
+// DDP's no_sync), so bucket all-reduces genuinely overlap with the
+// backward pass and the reported gamma / T_o / T_u are measured, not
+// approximated. See DESIGN.md, "Async comm engine".
 #pragma once
 
 #include <cstdint>

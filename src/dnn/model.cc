@@ -32,6 +32,27 @@ void Model::backward(const Tensor& loss_grad) {
   }
 }
 
+void Model::backward(const Tensor& loss_grad, std::span<double> flat_grads,
+                     const GradReadyFn& on_ready) {
+  if (flat_grads.size() != num_params()) {
+    throw std::invalid_argument("backward: flat gradient size mismatch");
+  }
+  std::vector<std::size_t> offsets(layers_.size());
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    offsets[i] = offset;
+    offset += layers_[i]->num_params();
+  }
+  Tensor current = loss_grad;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    current = layers_[i]->backward(current);
+    const std::size_t n = layers_[i]->num_params();
+    if (n == 0) continue;
+    layers_[i]->copy_grads({flat_grads.data() + offsets[i], n});
+    if (on_ready) on_ready(offsets[i], n);
+  }
+}
+
 void Model::zero_grads() {
   for (auto& layer : layers_) layer->zero_grads();
 }

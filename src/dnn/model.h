@@ -6,7 +6,9 @@
 // feeds |g_i|^2 / |g|^2 into the GNS estimators.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -14,6 +16,11 @@
 #include "dnn/tensor.h"
 
 namespace cannikin::dnn {
+
+/// Per-layer gradient-ready hook: fires with the flat-gradient range a
+/// layer just produced, enabling DDP-style overlap of the bucket
+/// all-reduce with the rest of the backward pass.
+using GradReadyFn = std::function<void(std::size_t offset, std::size_t length)>;
 
 class Model {
  public:
@@ -30,6 +37,15 @@ class Model {
   Tensor forward(const Tensor& input);
   /// Backward from the loss gradient; accumulates parameter gradients.
   void backward(const Tensor& loss_grad);
+
+  /// Backward that streams gradients out as they are produced: after
+  /// each parameterized layer's backward, its gradients are copied into
+  /// `flat_grads` at the layer's flat offset and `on_ready` fires with
+  /// that range. Layers complete in reverse order, so ranges arrive
+  /// tail-first -- exactly the order the reducer's buckets fill.
+  /// `flat_grads` must have num_params() elements.
+  void backward(const Tensor& loss_grad, std::span<double> flat_grads,
+                const GradReadyFn& on_ready);
 
   void zero_grads();
 

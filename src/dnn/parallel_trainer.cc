@@ -1,5 +1,7 @@
 #include "dnn/parallel_trainer.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
@@ -16,11 +18,28 @@ namespace cannikin::dnn {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
 double squared_norm(const std::vector<double>& v) {
   double total = 0.0;
   for (double x : v) total += x * x;
   return total;
 }
+
+/// Per-rank wall-clock accumulators; each worker thread writes only its
+/// own slot, so no locking is needed.
+struct PhaseAccum {
+  double a_seconds = 0.0;
+  double p_seconds = 0.0;
+  double exposed_seconds = 0.0;
+  double total_comm_seconds = 0.0;
+  double last_bucket_seconds = 0.0;
+  int batches = 0;
+};
 
 }  // namespace
 
@@ -79,11 +98,13 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
   std::mutex result_mutex;
   std::vector<double> final_params;
   std::string comm_failure;  // first comm error, attributed to its rank
+  std::vector<PhaseAccum> accums(static_cast<std::size_t>(options_.num_nodes));
 
   auto worker_body = [&](int rank, comm::Communicator& comm) {
     Model model = factory_();
     model.set_flat_params(params_);
     Optimizer& optimizer = *optimizers_[static_cast<std::size_t>(rank)];
+    PhaseAccum& accum = accums[static_cast<std::size_t>(rank)];
 
     for (int batch = 0; batch < num_batches; ++batch) {
       if (rank == options_.inject_failure_rank &&
@@ -92,13 +113,39 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
         // Peers block on this rank's contribution until their deadline.
         return;
       }
+      // Every rank allocates the same tag sequence, so the collectives
+      // match up without any shared coordination.
+      const std::uint64_t bucket_tag =
+          comm.tags().block(comm::CollectiveKind::kBucketAllReduce,
+                            buckets.size());
+      const std::uint64_t gather_tag =
+          comm.tags().next(comm::CollectiveKind::kAllGather);
+
       const auto indices = loader.batch_for_node(batch, rank);
       const int local_b = static_cast<int>(indices.size());
+
+      // Eq. (9): weight each local gradient by its share of the batch.
+      // Needed before backward now -- buckets launch mid-backward.
+      const int actual_total = [&] {
+        int t = 0;
+        for (int node = 0; node < options_.num_nodes; ++node) {
+          t += loader.batch_size_for_node(batch, node);
+        }
+        return t;
+      }();
+      const double weight =
+          static_cast<double>(local_b) / static_cast<double>(actual_total);
+
+      std::vector<double> gradient(params_.size(), 0.0);
+      comm::BucketReducer reducer(comm, std::span<double>(gradient), weight,
+                                  buckets, bucket_tag);
 
       model.zero_grads();
       double local_loss = 0.0;
       double local_correct = 0.0;
+      double local_norm_sq = 0.0;
       if (local_b > 0) {
+        const auto forward_begin = Clock::now();
         const Tensor inputs = train_->gather(indices);
         const Tensor outputs = model.forward(inputs);
         LossResult loss;
@@ -115,39 +162,45 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
           }
         }
         local_loss = loss.value;
-        model.backward(loss.grad);
+        accum.a_seconds += seconds_since(forward_begin);
+
+        // Streamed backward: each layer's gradient range is marked
+        // ready as soon as it exists, so a bucket's all-reduce runs on
+        // the comm thread while earlier layers are still
+        // backpropagating. The GNS local norm must be read here,
+        // before the async reduction scales the range in place.
+        const auto backward_begin = Clock::now();
+        model.backward(
+            loss.grad, gradient,
+            [&](std::size_t offset, std::size_t length) {
+              for (std::size_t i = offset; i < offset + length; ++i) {
+                local_norm_sq += gradient[i] * gradient[i];
+              }
+              reducer.mark_ready(offset, length);
+            });
+        accum.p_seconds += seconds_since(backward_begin);
       }
 
-      std::vector<double> gradient = model.flat_grads();
-      const double local_norm_sq = squared_norm(gradient);
-
-      // Eq. (9): weight each local gradient by its share of the batch.
-      const int actual_total = [&] {
-        int t = 0;
-        for (int node = 0; node < options_.num_nodes; ++node) {
-          t += loader.batch_size_for_node(batch, node);
-        }
-        return t;
-      }();
-      const double weight =
-          static_cast<double>(local_b) / static_cast<double>(actual_total);
-      comm::bucketized_weighted_all_reduce(
-          comm, std::span<double>(gradient), weight, buckets,
-          static_cast<std::uint64_t>(batch) * (buckets.size() + 4) * 2 + 2);
+      const comm::BucketReducer::Stats comm_stats = reducer.finish();
+      accum.exposed_seconds += comm_stats.exposed_wait_seconds;
+      accum.total_comm_seconds += comm_stats.total_comm_seconds;
+      accum.last_bucket_seconds += comm_stats.last_bucket_seconds;
+      ++accum.batches;
 
       const double global_norm_sq = squared_norm(gradient);
 
       // Statistics: gather per-node batch sizes, norms and losses.
       std::vector<double> stats{static_cast<double>(local_b), local_norm_sq,
                                 local_loss * local_b, local_correct};
-      const std::vector<double> all_stats = comm::all_gather(
-          comm, stats,
-          static_cast<std::uint64_t>(batch) * (buckets.size() + 4) * 2 + 1);
+      const std::vector<double> all_stats =
+          comm::all_gather(comm, stats, gather_tag);
 
       // Every rank applies the identical update; replicas stay in sync.
+      const auto update_begin = Clock::now();
       std::vector<double> new_params = model.flat_params();
       optimizer.step(new_params, gradient, lr);
       model.set_flat_params(new_params);
+      accum.a_seconds += seconds_since(update_begin);
 
       if (rank == 0) {
         std::vector<double> bs, norms;
@@ -202,12 +255,14 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
     }
   };
 
+  const auto epoch_begin = Clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(options_.num_nodes));
   for (int rank = 0; rank < options_.num_nodes; ++rank) {
     threads.emplace_back(worker, rank);
   }
   for (auto& thread : threads) thread.join();
+  result.epoch_seconds = seconds_since(epoch_begin);
 
   if (!comm_failure.empty() || group.aborted()) {
     // The epoch is discarded: params_ keeps the last consistent
@@ -216,6 +271,27 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
                                  (comm_failure.empty()
                                       ? std::string("process group aborted")
                                       : comm_failure));
+  }
+
+  // Condense each rank's clock readings into the per-batch phase
+  // profile an adaptive planner consumes (sim::NodeObservation shape).
+  result.node_timings.resize(static_cast<std::size_t>(options_.num_nodes));
+  for (int rank = 0; rank < options_.num_nodes; ++rank) {
+    const PhaseAccum& accum = accums[static_cast<std::size_t>(rank)];
+    NodePhaseTimings& timing =
+        result.node_timings[static_cast<std::size_t>(rank)];
+    if (accum.batches == 0) continue;
+    const double batches = static_cast<double>(accum.batches);
+    timing.a = accum.a_seconds / batches;
+    timing.p = accum.p_seconds / batches;
+    timing.t_last = accum.last_bucket_seconds / batches;
+    timing.t_other =
+        std::max(0.0, accum.total_comm_seconds - accum.last_bucket_seconds) /
+        batches;
+    if (accum.total_comm_seconds > 0.0) {
+      timing.gamma = std::clamp(
+          1.0 - accum.exposed_seconds / accum.total_comm_seconds, 0.0, 1.0);
+    }
   }
 
   params_ = std::move(final_params);

@@ -2,11 +2,14 @@
 //
 // This is the real-training half of the reproduction: N worker threads
 // (one per simulated GPU) each train a model replica on the uneven
-// local mini batches handed out by the HeteroDataLoader, aggregate
-// gradients with the Eq. (9) bucketized weighted ring all-reduce, feed
+// local mini batches handed out by the HeteroDataLoader, stream
+// per-layer gradients into a BucketReducer that overlaps the Eq. (9)
+// bucketized weighted ring all-reduce with the rest of backward, feed
 // the Theorem 4.1 GNS estimator from genuine gradient norms, and apply
 // identical optimizer steps so the replicas stay synchronized -- the
 // same protocol the paper's PyTorch implementation follows, minus CUDA.
+// Each epoch also reports measured per-node phase timings (a, p, gamma,
+// T_o, T_u), the executed analogue of the simulator's observations.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +48,19 @@ struct TrainerOptions {
   int inject_failure_step = 0;
 };
 
+/// Measured per-node phase profile of an epoch, averaged over its
+/// batches: the executed counterpart of sim::NodeObservation, produced
+/// by real clocks around the real forward/backward/reduce instead of
+/// the simulator's noise model.
+struct NodePhaseTimings {
+  double a = 0.0;        ///< data-load + forward + update seconds/batch
+  double p = 0.0;        ///< backward seconds/batch
+  double gamma = 0.0;    ///< overlap ratio: fraction of comm hidden
+                         ///< behind backward (1 - exposed/total)
+  double t_other = 0.0;  ///< comm seconds/batch excluding the last bucket
+  double t_last = 0.0;   ///< seconds/batch of the last-finishing bucket
+};
+
 struct EpochResult {
   double mean_loss = 0.0;
   double train_accuracy = 0.0;  ///< classification only
@@ -52,6 +68,9 @@ struct EpochResult {
   double gns_after = 0.0;  ///< smoothed GNS after the epoch
   /// Raw per-step samples, for estimator-quality studies.
   std::vector<core::GnsSample> gns_samples;
+  /// One entry per rank, from that rank's own clocks.
+  std::vector<NodePhaseTimings> node_timings;
+  double epoch_seconds = 0.0;  ///< wall clock of the worker phase
 };
 
 class ParallelTrainer {

@@ -7,6 +7,17 @@
 #include "dnn/adaptive_trainer.h"
 #include "dnn/zoo.h"
 
+// TSan instrumentation slows threads down by a large, *nonuniform*
+// factor, so assertions about learned wall-clock proportions are
+// meaningless under it (the trainer still runs for race coverage).
+#if defined(__SANITIZE_THREAD__)
+#define CANNIKIN_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CANNIKIN_TSAN_BUILD 1
+#endif
+#endif
+
 namespace cannikin::dnn {
 namespace {
 
@@ -32,6 +43,7 @@ TEST(AdaptiveTrainer, LearnsThrottlesAndSkewsLocalBatches) {
     report = trainer.run_epoch();
   }
   ASSERT_TRUE(report.planned_from_model);
+#if !defined(CANNIKIN_TSAN_BUILD)
   // Throttles 1:2:4 -> worker 0 must carry the largest local batch and
   // worker 2 the smallest, learned purely from measured wall clock.
   EXPECT_GT(report.local_batches[0], report.local_batches[1]);
@@ -45,6 +57,7 @@ TEST(AdaptiveTrainer, LearnsThrottlesAndSkewsLocalBatches) {
                      ((*models)[0].q + (*models)[0].k);
   EXPECT_NEAR(r10, 2.0, 0.9);
   EXPECT_NEAR(r20, 4.0, 1.8);
+#endif
 }
 
 TEST(AdaptiveTrainer, TrainsToGoodAccuracyWhileAdapting) {

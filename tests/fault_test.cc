@@ -159,6 +159,47 @@ TEST(CommFault, TimeoutDoesNotFireOnHealthyTraffic) {
   EXPECT_FALSE(failed.load());
 }
 
+TEST(CommFault, DeadRankMidBucketFailsPendingWorksWithinDeadline) {
+  // The async-engine acceptance property: every surviving rank has a
+  // full pipeline of bucket Works in flight when rank 2 dies. The first
+  // bucket op times out, the reducer aborts the group, and *all*
+  // pending Works -- in flight and still queued -- fail within roughly
+  // one deadline instead of each serving its own timeout.
+  const int n = 4;
+  const double timeout = 0.2;
+  const std::size_t elems = 64;
+  comm::ProcessGroup group(n, timeout);
+  const auto buckets = comm::make_buckets(elems, 8);  // 8 buckets queued
+
+  std::atomic<int> unwound{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      if (rank == 2) return;  // dies before contributing any bucket
+      comm::Communicator comm = group.communicator(rank);
+      std::vector<double> grad(elems, 1.0);
+      const std::uint64_t base = comm.tags().block(
+          comm::CollectiveKind::kBucketAllReduce, buckets.size());
+      comm::BucketReducer reducer(comm, std::span<double>(grad), 0.25,
+                                  buckets, base);
+      reducer.mark_ready(0, elems);  // all 8 Works now pending
+      try {
+        reducer.finish();
+      } catch (const comm::CommError&) {
+        ++unwound;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(unwound.load(), n - 1);
+  // One timeout + slack, NOT 8 serial timeouts: the abort propagated
+  // through the pending-Work queue.
+  EXPECT_LT(seconds_since(start), 4 * timeout);
+  EXPECT_TRUE(group.aborted());
+}
+
 // ----------------------------------------------- trainer watchdog path
 
 TEST(ParallelTrainerFault, InjectedWorkerDeathAbortsInsteadOfHanging) {
