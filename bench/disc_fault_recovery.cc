@@ -13,10 +13,25 @@
 //  2. transient straggler -- contention spike with recovery; drift
 //                      detection must re-learn twice without a restart.
 //  3. network degrade -- interconnect bandwidth drops and recovers.
+//
+// Two supervised scenarios run the same crash under a
+// TrainingSupervisor, where the crash kills the whole process:
+//
+//  4. checkpoint-restore vs discard-epoch -- the supervisor restores
+//     from the latest on-disk checkpoint (measured, not modeled,
+//     write/restore cost) vs the PR-1 in-process recovery that keeps
+//     state but models the restart constant.
+//  5. shrink-only vs re-join -- after the crash, one run stays on the
+//     survivors while the other gets the node back via kNodeRecover
+//     (allocation grows, warm start from banked models: zero
+//     bootstrap epochs).
 #include "bench_common.h"
+
+#include <filesystem>
 
 #include "sched/elastic_job.h"
 #include "sched/fault_recovery.h"
+#include "sched/supervisor.h"
 #include "sim/faults.h"
 
 namespace {
@@ -60,6 +75,34 @@ sched::FaultRecoveryTrace run_scenario(const sim::FaultInjector& injector,
                                 sim::NoiseConfig{}, 3, use_model_bank);
   job.set_allocation({0, 4, 8, 9});
   return sched::run_with_faults(job, injector, kMaxEpochs);
+}
+
+// Supervised run in a throwaway checkpoint directory; the trace carries
+// the measured checkpoint-write/restore seconds.
+sched::FaultRecoveryTrace run_supervised(const sim::FaultInjector& injector,
+                                         sched::CrashPolicy policy,
+                                         const std::string& subdir,
+                                         std::size_t* final_nodes = nullptr) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "cannikin-bench-ckpt" / subdir;
+  fs::remove_all(dir);
+
+  sched::SupervisorOptions options;
+  options.checkpoint_dir = dir.string();
+  options.checkpoint_every_epochs = 2;
+  options.crash_policy = policy;
+  const auto& workload = workloads::by_name("cifar10");
+  sched::TrainingSupervisor supervisor(&workload, sim::cluster_b(),
+                                       sim::NoiseConfig{}, 3,
+                                       std::move(options));
+  supervisor.start({0, 4, 8, 9});
+  auto trace = supervisor.run(injector, kMaxEpochs);
+  if (final_nodes != nullptr) {
+    *final_nodes =
+        supervisor.has_job() ? supervisor.job().allocation().size() : 0;
+  }
+  fs::remove_all(dir);
+  return trace;
 }
 
 }  // namespace
@@ -127,5 +170,72 @@ int main() {
 
   shape_check(network_trace.reached_target,
               "training rides out the degraded interconnect");
+
+  // -------------------- 4. supervised crash: checkpointed vs discard
+  sim::FaultInjector supervised_crash;
+  supervised_crash.schedule({/*epoch=*/7, sim::FaultKind::kNodeCrash,
+                             /*node=*/4});
+
+  const auto ckpt_trace = run_supervised(
+      supervised_crash, sched::CrashPolicy::kCheckpointRestore, "restore");
+  std::printf(
+      "\n-- scenario: supervised crash, checkpoint-restore policy --\n");
+  print_trace(ckpt_trace);
+  std::printf(
+      "checkpoints written: %d (%.4fs measured), restores: %d "
+      "(%.4fs measured), epochs lost to rollback: %d\n",
+      ckpt_trace.checkpoints_written, ckpt_trace.checkpoint_write_seconds,
+      ckpt_trace.restores, ckpt_trace.restore_seconds,
+      ckpt_trace.epochs_lost_to_rollback);
+
+  const auto discard_trace = run_supervised(
+      supervised_crash, sched::CrashPolicy::kDiscardEpoch, "discard");
+  std::printf(
+      "checkpointed restart %.1fs total (measured overhead %.4fs) vs "
+      "discard-epoch %.1fs total (modeled overhead %.2fs)\n",
+      ckpt_trace.total_seconds,
+      ckpt_trace.checkpoint_write_seconds + ckpt_trace.restore_seconds,
+      discard_trace.total_seconds, discard_trace.recovery_overhead_seconds);
+
+  shape_check(ckpt_trace.reached_target && ckpt_trace.restores == 1 &&
+                  ckpt_trace.restore_attempts == 1,
+              "the supervisor restores from the latest checkpoint on the "
+              "first attempt and still reaches the target");
+  shape_check(ckpt_trace.restore_seconds > 0.0 &&
+                  ckpt_trace.checkpoint_write_seconds > 0.0,
+              "restart overhead is measured wall clock, not a modeled "
+              "constant");
+  shape_check(ckpt_trace.epochs_lost_to_rollback > 0,
+              "state since the last checkpoint is genuinely lost (rollback)");
+  shape_check(discard_trace.reached_target && discard_trace.restores == 0,
+              "discard-epoch policy recovers in process, no restore");
+
+  // ----------------------------- 5. shrink-only vs elastic re-join
+  sim::FaultInjector crash_rejoin;
+  crash_rejoin.schedule({/*epoch=*/7, sim::FaultKind::kNodeCrash, /*node=*/4});
+  crash_rejoin.schedule({/*epoch=*/13, sim::FaultKind::kNodeRecover,
+                         /*node=*/4, /*severity=*/1.0});
+
+  std::size_t rejoin_nodes = 0;
+  const auto rejoin_trace =
+      run_supervised(crash_rejoin, sched::CrashPolicy::kCheckpointRestore,
+                     "rejoin", &rejoin_nodes);
+  std::printf("\n-- scenario: crash then node re-join at epoch 13 --\n");
+  print_trace(rejoin_trace);
+  std::printf(
+      "node rejoins: %d (warm: %d), final allocation: %zu nodes\n"
+      "shrink-only time-to-target %.1fs vs re-join %.1fs\n",
+      rejoin_trace.node_rejoins, rejoin_trace.warm_rejoins, rejoin_nodes,
+      ckpt_trace.total_seconds, rejoin_trace.total_seconds);
+
+  shape_check(rejoin_trace.reached_target && rejoin_trace.node_rejoins == 1,
+              "the recovered node is re-admitted into the allocation");
+  shape_check(rejoin_nodes == 4,
+              "the allocation grows back to all four nodes");
+  shape_check(rejoin_trace.warm_rejoins == 1,
+              "the re-joining node warm-starts from the banked per-type "
+              "models: zero bootstrap epochs");
+  shape_check(rejoin_trace.total_seconds < ckpt_trace.total_seconds,
+              "getting the node back beats finishing on the survivors");
   return 0;
 }

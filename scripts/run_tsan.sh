@@ -8,3 +8,9 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan -j "$(nproc)"
+
+# The fault/checkpoint robustness suite (crash -> restore -> re-join)
+# exercises the comm abort/timeout paths under the supervisor; run it
+# by ctest label so additions are picked up without editing the preset
+# name filter above.
+ctest --test-dir build-tsan -L fault --output-on-failure -j "$(nproc)"

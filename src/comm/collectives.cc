@@ -19,7 +19,8 @@ struct Segment {
 // collective that silently "succeeds" on some ranks hides the failure.
 void check_not_aborted(const Communicator& comm, const char* op) {
   if (comm.aborted()) {
-    throw CommAbortedError(std::string(op) + ": process group aborted");
+    throw CommAbortedError(std::string(op) + ": process group aborted (rank=" +
+                           std::to_string(comm.rank()) + ")");
   }
 }
 
@@ -64,8 +65,8 @@ void ring_all_reduce_blocking(Communicator& comm, std::span<double> data,
     Payload outgoing(data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset),
                      data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset +
                                                                 send_seg.length));
-    comm.send(next, tag * 2, std::move(outgoing));
-    Payload incoming = comm.recv(prev, tag * 2);
+    comm.send(next, tag * 2, std::move(outgoing), "ring_all_reduce");
+    Payload incoming = comm.recv(prev, tag * 2, "ring_all_reduce");
     for (std::size_t i = 0; i < recv_seg.length; ++i) {
       data[recv_seg.offset + i] += incoming[i];
     }
@@ -81,8 +82,8 @@ void ring_all_reduce_blocking(Communicator& comm, std::span<double> data,
     Payload outgoing(data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset),
                      data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset +
                                                                 send_seg.length));
-    comm.send(next, tag * 2 + 1, std::move(outgoing));
-    Payload incoming = comm.recv(prev, tag * 2 + 1);
+    comm.send(next, tag * 2 + 1, std::move(outgoing), "ring_all_reduce");
+    Payload incoming = comm.recv(prev, tag * 2 + 1, "ring_all_reduce");
     std::copy(incoming.begin(), incoming.end(),
               data.begin() + static_cast<std::ptrdiff_t>(recv_seg.offset));
   }
@@ -104,7 +105,7 @@ void broadcast_blocking(Communicator& comm, std::vector<double>& data,
   while (mask < n) {
     if (relative & mask) {
       const int src = (relative - mask + root) % n;
-      data = comm.recv(src, tag);
+      data = comm.recv(src, tag, "broadcast");
       break;
     }
     mask <<= 1;
@@ -113,7 +114,7 @@ void broadcast_blocking(Communicator& comm, std::vector<double>& data,
   while (mask > 0) {
     if (relative + mask < n) {
       const int dst = (relative + mask + root) % n;
-      comm.send(dst, tag, data);
+      comm.send(dst, tag, data, "broadcast");
     }
     mask >>= 1;
   }
@@ -131,8 +132,8 @@ std::vector<double> all_gather_blocking(Communicator& comm,
   const int prev = (comm.rank() + n - 1) % n;
   std::vector<double> current = data;
   for (int step = 0; step < n - 1; ++step) {
-    comm.send(next, tag, current);
-    current = comm.recv(prev, tag);
+    comm.send(next, tag, current, "all_gather");
+    current = comm.recv(prev, tag, "all_gather");
     const int origin = (comm.rank() - step - 1 + 2 * n) % n;
     parts[static_cast<std::size_t>(origin)] = current;
   }

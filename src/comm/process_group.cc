@@ -19,7 +19,8 @@ void Mailbox::put(int src, std::uint64_t tag, Payload payload,
   cv_.notify_all();
 }
 
-Payload Mailbox::take(int src, std::uint64_t tag, double timeout_seconds) {
+Payload Mailbox::take(int self_rank, int src, std::uint64_t tag,
+                      double timeout_seconds, const char* op) {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto key = std::make_pair(src, tag);
   const bool bounded = timeout_seconds > 0.0;
@@ -30,8 +31,9 @@ Payload Mailbox::take(int src, std::uint64_t tag, double timeout_seconds) {
               : Clock::time_point{};
   for (;;) {
     if (aborted_) {
-      throw CommAbortedError("recv: process group aborted (src=" +
-                             std::to_string(src) +
+      throw CommAbortedError(std::string(op) + ": process group aborted (rank=" +
+                             std::to_string(self_rank) +
+                             ", src=" + std::to_string(src) +
                              ", tag=" + std::to_string(tag) + ")");
     }
     const auto it = queues_.find(key);
@@ -61,7 +63,8 @@ Payload Mailbox::take(int src, std::uint64_t tag, double timeout_seconds) {
     }
   }
   throw CommTimeoutError(
-      "recv: timed out after " + std::to_string(timeout_seconds) +
+      std::string(op) + ": rank " + std::to_string(self_rank) +
+      " timed out after " + std::to_string(timeout_seconds) +
       "s waiting for message (src=" + std::to_string(src) +
       ", tag=" + std::to_string(tag) + "); peer dead or hung");
 }
@@ -142,9 +145,18 @@ TagAllocator& ProcessGroup::tags(int rank) {
   return tag_allocators_[static_cast<std::size_t>(rank)];
 }
 
-void ProcessGroup::send(int src, int dst, std::uint64_t tag, Payload payload) {
-  if (dst < 0 || dst >= size_) throw CommError("send: bad destination rank");
-  if (aborted()) throw CommAbortedError("send: process group aborted");
+void ProcessGroup::send(int src, int dst, std::uint64_t tag, Payload payload,
+                        const char* op) {
+  if (dst < 0 || dst >= size_) {
+    throw CommError(std::string(op) + ": bad destination rank " +
+                    std::to_string(dst));
+  }
+  if (aborted()) {
+    throw CommAbortedError(std::string(op) + ": process group aborted (rank=" +
+                           std::to_string(src) +
+                           ", dst=" + std::to_string(dst) +
+                           ", tag=" + std::to_string(tag) + ")");
+  }
   auto ready_at = detail::Clock::now();
   if (link_latency_seconds_ > 0.0) {
     ready_at += std::chrono::duration_cast<detail::Clock::duration>(
@@ -154,18 +166,23 @@ void ProcessGroup::send(int src, int dst, std::uint64_t tag, Payload payload) {
                                                  ready_at);
 }
 
-Payload ProcessGroup::recv(int dst, int src, std::uint64_t tag) {
-  if (src < 0 || src >= size_) throw CommError("recv: bad source rank");
-  return mailboxes_[static_cast<std::size_t>(dst)]->take(src, tag,
-                                                         timeout_seconds_);
+Payload ProcessGroup::recv(int dst, int src, std::uint64_t tag,
+                           const char* op) {
+  if (src < 0 || src >= size_) {
+    throw CommError(std::string(op) + ": bad source rank " +
+                    std::to_string(src));
+  }
+  return mailboxes_[static_cast<std::size_t>(dst)]->take(
+      dst, src, tag, timeout_seconds_, op);
 }
 
-void Communicator::send(int dst, std::uint64_t tag, Payload payload) {
-  group_->send(rank_, dst, tag, std::move(payload));
+void Communicator::send(int dst, std::uint64_t tag, Payload payload,
+                        const char* op) {
+  group_->send(rank_, dst, tag, std::move(payload), op);
 }
 
-Payload Communicator::recv(int src, std::uint64_t tag) {
-  return group_->recv(rank_, src, tag);
+Payload Communicator::recv(int src, std::uint64_t tag, const char* op) {
+  return group_->recv(rank_, src, tag, op);
 }
 
 WorkPtr Communicator::submit(std::function<void()> op) {
@@ -175,7 +192,8 @@ WorkPtr Communicator::submit(std::function<void()> op) {
 void Communicator::barrier() {
   std::unique_lock<std::mutex> lock(group_->barrier_mutex_);
   if (group_->barrier_aborted_) {
-    throw CommAbortedError("barrier: process group aborted");
+    throw CommAbortedError("barrier: process group aborted (rank=" +
+                           std::to_string(rank_) + ")");
   }
   const std::uint64_t generation = group_->barrier_generation_;
   if (++group_->barrier_waiting_ == group_->size_) {
@@ -200,7 +218,8 @@ void Communicator::barrier() {
     group_->barrier_cv_.wait(lock, released);
   }
   if (group_->barrier_aborted_) {
-    throw CommAbortedError("barrier: process group aborted");
+    throw CommAbortedError("barrier: process group aborted (rank=" +
+                           std::to_string(rank_) + ")");
   }
   if (!completed) {
     // Withdraw from the unfinished generation so the count stays

@@ -80,8 +80,12 @@ class Mailbox {
   void put(int src, std::uint64_t tag, Payload payload,
            std::chrono::steady_clock::time_point ready_at);
   /// `timeout_seconds` <= 0 waits forever. Throws CommTimeoutError on
-  /// deadline expiry and CommAbortedError after abort().
-  Payload take(int src, std::uint64_t tag, double timeout_seconds);
+  /// deadline expiry and CommAbortedError after abort(). `self_rank`
+  /// and `op` (the collective or p2p operation doing the receive) are
+  /// included in error messages so a timeout is attributable from the
+  /// log alone.
+  Payload take(int self_rank, int src, std::uint64_t tag,
+               double timeout_seconds, const char* op);
   /// Wakes every blocked take() with CommAbortedError and makes all
   /// future takes fail immediately.
   void abort();
@@ -154,8 +158,9 @@ class ProcessGroup {
  private:
   friend class Communicator;
 
-  void send(int src, int dst, std::uint64_t tag, Payload payload);
-  Payload recv(int dst, int src, std::uint64_t tag);
+  void send(int src, int dst, std::uint64_t tag, Payload payload,
+            const char* op);
+  Payload recv(int dst, int src, std::uint64_t tag, const char* op);
 
   int size_;
   double timeout_seconds_ = 0.0;
@@ -187,13 +192,18 @@ class Communicator {
   /// blocked peers, fails pending Works, poisons future calls.
   void abort() { group_->abort(); }
 
-  /// Point-to-point send (copies the payload into the fabric).
-  void send(int dst, std::uint64_t tag, Payload payload);
+  /// Point-to-point send (copies the payload into the fabric). `op`
+  /// names the operation for error attribution (collectives pass their
+  /// own name; wire tags are mangled per-phase, so the kind cannot be
+  /// recovered from the tag alone).
+  void send(int dst, std::uint64_t tag, Payload payload,
+            const char* op = "send");
 
   /// Blocking point-to-point receive of a message with matching tag.
   /// Bounded by the group timeout: throws CommTimeoutError when the
-  /// deadline passes and CommAbortedError once the group is aborted.
-  Payload recv(int src, std::uint64_t tag);
+  /// deadline passes and CommAbortedError once the group is aborted;
+  /// both errors carry this rank, `op` and the tag.
+  Payload recv(int src, std::uint64_t tag, const char* op = "recv");
 
   /// Blocks until every rank in the group has entered the barrier,
   /// subject to the same timeout/abort semantics as recv().

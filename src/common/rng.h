@@ -9,6 +9,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace cannikin {
@@ -53,6 +56,20 @@ class Rng {
   /// Derives an independent child generator; useful for giving each
   /// simulated node its own stream while keeping the parent reproducible.
   Rng fork() { return Rng(engine_()); }
+
+  /// Serializable engine state (std::mt19937_64 stream format). A
+  /// restored Rng continues the exact random stream, which is what
+  /// makes checkpointed training bit-identical to uninterrupted runs.
+  std::string state() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+  void set_state(const std::string& state) {
+    std::istringstream in(state);
+    in >> engine_;
+    if (!in) throw std::invalid_argument("Rng: malformed engine state");
+  }
 
   std::mt19937_64& engine() { return engine_; }
 

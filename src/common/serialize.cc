@@ -1,0 +1,196 @@
+#include "common/serialize.h"
+
+#include <array>
+#include <cstring>
+
+namespace cannikin::common {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'K', 'P', 'T'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void BinaryWriter::u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+void BinaryWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void BinaryWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void BinaryWriter::bytes(const void* data, std::size_t len) {
+  buf_.append(static_cast<const char*>(data), len);
+}
+
+void BinaryWriter::str(std::string_view s) {
+  u64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void BinaryWriter::doubles(std::span<const double> values) {
+  u64(values.size());
+  for (double v : values) f64(v);
+}
+
+void BinaryWriter::ints(std::span<const int> values) {
+  u64(values.size());
+  for (int v : values) i32(v);
+}
+
+const char* BinaryReader::need(std::size_t n) {
+  if (n > data_.size() - pos_) {
+    throw SerializeError("BinaryReader: truncated input (need " +
+                         std::to_string(n) + " bytes, have " +
+                         std::to_string(data_.size() - pos_) + ")");
+  }
+  const char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t BinaryReader::u8() {
+  return static_cast<std::uint8_t>(*need(1));
+}
+
+std::uint32_t BinaryReader::u32() {
+  const char* p = need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  const char* p = need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::int32_t BinaryReader::i32() { return static_cast<std::int32_t>(u32()); }
+std::int64_t BinaryReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double BinaryReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::str() {
+  const std::uint64_t len = u64();
+  if (len > data_.size() - pos_) {
+    throw SerializeError("BinaryReader: truncated string");
+  }
+  const char* p = need(static_cast<std::size_t>(len));
+  return std::string(p, static_cast<std::size_t>(len));
+}
+
+std::vector<double> BinaryReader::doubles() {
+  const std::uint64_t count = u64();
+  if (count > (data_.size() - pos_) / sizeof(double)) {
+    throw SerializeError("BinaryReader: truncated double array");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(f64());
+  return out;
+}
+
+std::vector<int> BinaryReader::ints() {
+  const std::uint64_t count = u64();
+  if (count > (data_.size() - pos_) / sizeof(std::int32_t)) {
+    throw SerializeError("BinaryReader: truncated int array");
+  }
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(i32());
+  return out;
+}
+
+std::string frame_checkpoint(std::string_view body, std::uint32_t version) {
+  BinaryWriter out;
+  out.bytes(kMagic, sizeof(kMagic));
+  out.u32(version);
+  out.u64(body.size());
+  out.bytes(body.data(), body.size());
+  out.u32(crc32(body.data(), body.size()));
+  return out.take();
+}
+
+std::string unframe_checkpoint(std::string_view file,
+                               std::uint32_t expected_version) {
+  constexpr std::size_t kHeader = sizeof(kMagic) + 4 + 8;  // magic+ver+len
+  if (file.size() < kHeader + 4) {
+    throw SerializeError("checkpoint: file truncated before header");
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw SerializeError("checkpoint: bad magic");
+  }
+  BinaryReader in(file.substr(sizeof(kMagic)));
+  const std::uint32_t version = in.u32();
+  if (version != expected_version) {
+    throw SerializeError("checkpoint: unsupported version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(expected_version) + ")");
+  }
+  const std::uint64_t body_len = in.u64();
+  if (body_len != file.size() - kHeader - 4) {
+    throw SerializeError("checkpoint: body length mismatch (declares " +
+                         std::to_string(body_len) + " bytes, file holds " +
+                         std::to_string(file.size() - kHeader - 4) + ")");
+  }
+  const std::string_view body = file.substr(kHeader, body_len);
+  BinaryReader crc_in(file.substr(kHeader + body_len));
+  const std::uint32_t stored_crc = crc_in.u32();
+  const std::uint32_t actual_crc = crc32(body.data(), body.size());
+  if (stored_crc != actual_crc) {
+    throw SerializeError("checkpoint: CRC mismatch (file corrupt)");
+  }
+  return std::string(body);
+}
+
+}  // namespace cannikin::common

@@ -1,0 +1,95 @@
+// Binary serialization primitives for checkpoint/restore.
+//
+// Checkpoints must survive exactly the failures they exist for: a
+// process killed mid-write, a torn disk block, a stray bit flip. The
+// format here is therefore deliberately paranoid rather than clever:
+// a little-endian byte stream (BinaryWriter/BinaryReader, every read
+// bounds-checked) wrapped in a framed file -- magic, format version,
+// body length, body, CRC32 of the body -- so truncation and corruption
+// are both detected before any field is interpreted. Checkpoints are
+// read on the machine that wrote them (restart, not migration), so
+// native double encoding is acceptable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cannikin::common {
+
+/// Raised for any malformed serialized input: truncation, CRC or magic
+/// mismatch, wrong version, or a field that fails validation.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `crc` chains
+/// incremental computations; pass 0 to start.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc = 0);
+
+/// Appends fixed-width little-endian fields to a growing byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void bytes(const void* data, std::size_t len);
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view s);
+  /// u64 count prefix + packed doubles.
+  void doubles(std::span<const double> values);
+  /// u64 count prefix + packed i32s.
+  void ints(std::span<const int> values);
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads BinaryWriter output; every accessor throws SerializeError
+/// instead of reading past the end, so truncated input can never walk
+/// off the buffer.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  std::vector<double> doubles();
+  std::vector<int> ints();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  const char* need(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Wraps `body` in the checkpoint file frame:
+///   "CKPT" | u32 version | u64 body length | body | u32 crc32(body)
+std::string frame_checkpoint(std::string_view body, std::uint32_t version);
+
+/// Validates the frame and returns the body. Throws SerializeError on
+/// bad magic, unsupported version, truncated body, or CRC mismatch.
+std::string unframe_checkpoint(std::string_view file,
+                               std::uint32_t expected_version);
+
+}  // namespace cannikin::common

@@ -1,0 +1,136 @@
+#include "core/checkpoint.h"
+
+#include <cmath>
+
+namespace cannikin::core {
+
+namespace {
+
+constexpr std::uint8_t kTagNodeModel = 0x4E;   // 'N'
+constexpr std::uint8_t kTagCommTimes = 0x4D;   // 'M'
+constexpr std::uint8_t kTagController = 0x4B;  // 'K'
+
+void expect_tag(common::BinaryReader& in, std::uint8_t tag, const char* what) {
+  const std::uint8_t got = in.u8();
+  if (got != tag) {
+    throw common::SerializeError(std::string("checkpoint: expected ") + what +
+                                 " record, found tag " + std::to_string(got));
+  }
+}
+
+void check_finite(double v, const char* what) {
+  if (!std::isfinite(v)) {
+    throw common::SerializeError(std::string("checkpoint: non-finite ") +
+                                 what);
+  }
+}
+
+}  // namespace
+
+void save_node_model(common::BinaryWriter& out, const NodeModel& model) {
+  out.u8(kTagNodeModel);
+  out.f64(model.q);
+  out.f64(model.s);
+  out.f64(model.k);
+  out.f64(model.m);
+  out.f64(model.max_batch);
+}
+
+NodeModel load_node_model(common::BinaryReader& in) {
+  expect_tag(in, kTagNodeModel, "node-model");
+  NodeModel model;
+  model.q = in.f64();
+  model.s = in.f64();
+  model.k = in.f64();
+  model.m = in.f64();
+  model.max_batch = in.f64();
+  check_finite(model.q, "node model q");
+  check_finite(model.s, "node model s");
+  check_finite(model.k, "node model k");
+  check_finite(model.m, "node model m");
+  return model;
+}
+
+void save_comm_times(common::BinaryWriter& out, const CommTimes& times) {
+  out.u8(kTagCommTimes);
+  out.f64(times.gamma);
+  out.f64(times.t_other);
+  out.f64(times.t_last);
+}
+
+CommTimes load_comm_times(common::BinaryReader& in) {
+  expect_tag(in, kTagCommTimes, "comm-times");
+  CommTimes times;
+  times.gamma = in.f64();
+  times.t_other = in.f64();
+  times.t_last = in.f64();
+  check_finite(times.gamma, "comm gamma");
+  check_finite(times.t_other, "comm t_other");
+  check_finite(times.t_last, "comm t_last");
+  return times;
+}
+
+void save_controller_state(common::BinaryWriter& out,
+                           const ControllerState& state) {
+  out.u8(kTagController);
+  out.f64(state.gns);
+  out.u8(state.node_models.has_value() ? 1 : 0);
+  if (state.node_models) {
+    out.u64(state.node_models->size());
+    for (const auto& model : *state.node_models) save_node_model(out, model);
+  }
+  out.u8(state.comm_times.has_value() ? 1 : 0);
+  if (state.comm_times) save_comm_times(out, *state.comm_times);
+}
+
+ControllerState load_controller_state(common::BinaryReader& in) {
+  expect_tag(in, kTagController, "controller-state");
+  ControllerState state;
+  state.gns = in.f64();
+  check_finite(state.gns, "controller GNS");
+  if (in.u8() != 0) {
+    const std::uint64_t count = in.u64();
+    if (count > 1u << 20) {
+      throw common::SerializeError("checkpoint: implausible node count " +
+                                   std::to_string(count));
+    }
+    std::vector<NodeModel> models;
+    models.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      models.push_back(load_node_model(in));
+    }
+    state.node_models = std::move(models);
+  }
+  if (in.u8() != 0) {
+    state.comm_times = load_comm_times(in);
+  }
+  return state;
+}
+
+ControllerState capture_controller_state(const CannikinController& controller) {
+  ControllerState state;
+  state.gns = controller.current_gns();
+  state.node_models = controller.learned_models();
+  state.comm_times = controller.learned_comm();
+  return state;
+}
+
+bool restore_controller_state(CannikinController& controller, int num_nodes,
+                              const ControllerState& state) {
+  const bool models_match =
+      state.node_models &&
+      static_cast<int>(state.node_models->size()) == num_nodes;
+  std::vector<std::optional<NodeModel>> priors(
+      static_cast<std::size_t>(num_nodes), std::nullopt);
+  if (models_match) {
+    for (std::size_t i = 0; i < state.node_models->size(); ++i) {
+      priors[i] = (*state.node_models)[i];
+    }
+  }
+  controller.warm_start(priors,
+                        models_match ? state.comm_times : std::nullopt,
+                        state.gns);
+  return models_match;
+}
+
+}  // namespace cannikin::core

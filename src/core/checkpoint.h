@@ -1,0 +1,50 @@
+// Checkpoint serialization for the controller's learned state.
+//
+// Between epochs, everything the CannikinController has learned is
+// summarized by (per-node Eq. 3 models, shared CommTimes, smoothed
+// GNS): exactly the triple warm_start() consumes after a reallocation.
+// Capturing it at checkpoint time and replaying it through warm_start()
+// on restore means a restarted job re-enters model-driven planning
+// immediately instead of re-paying the two bootstrap epochs -- the same
+// trick the ModelBank plays across reallocations, but keyed to the live
+// allocation and independent of whether the bank is enabled.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/serialize.h"
+#include "core/controller.h"
+#include "core/perf_model.h"
+
+namespace cannikin::core {
+
+/// Restorable snapshot of a controller's learned state.
+struct ControllerState {
+  double gns = 0.0;
+  std::optional<std::vector<NodeModel>> node_models;
+  std::optional<CommTimes> comm_times;
+};
+
+void save_node_model(common::BinaryWriter& out, const NodeModel& model);
+NodeModel load_node_model(common::BinaryReader& in);
+
+void save_comm_times(common::BinaryWriter& out, const CommTimes& times);
+CommTimes load_comm_times(common::BinaryReader& in);
+
+void save_controller_state(common::BinaryWriter& out,
+                           const ControllerState& state);
+ControllerState load_controller_state(common::BinaryReader& in);
+
+/// Snapshots `controller`'s learned models, comm parameters and GNS.
+ControllerState capture_controller_state(const CannikinController& controller);
+
+/// Warm-starts `controller` (which must manage `num_nodes` nodes) from
+/// a snapshot. When the snapshot's node count differs -- the allocation
+/// changed between checkpoint and restore -- only the GNS carries over
+/// and the function returns false; per-node priors would be attributed
+/// to the wrong hardware.
+bool restore_controller_state(CannikinController& controller, int num_nodes,
+                              const ControllerState& state);
+
+}  // namespace cannikin::core

@@ -1,0 +1,171 @@
+#include "dnn/checkpoint.h"
+
+#include <limits>
+
+namespace cannikin::dnn {
+
+namespace {
+
+// One-byte structure tags catch a reader that has drifted out of sync
+// with the writer (e.g. a version skew the frame CRC cannot see).
+constexpr std::uint8_t kTagTensor = 0x54;     // 'T'
+constexpr std::uint8_t kTagParams = 0x50;     // 'P'
+constexpr std::uint8_t kTagOptimizer = 0x4F;  // 'O'
+constexpr std::uint8_t kTagCursor = 0x43;     // 'C'
+constexpr std::uint8_t kTagTrainer = 0x57;    // 'W' (worker)
+
+void expect_tag(common::BinaryReader& in, std::uint8_t tag,
+                const char* what) {
+  const std::uint8_t got = in.u8();
+  if (got != tag) {
+    throw common::SerializeError(std::string("checkpoint: expected ") + what +
+                                 " record, found tag " + std::to_string(got));
+  }
+}
+
+}  // namespace
+
+void save_tensor(common::BinaryWriter& out, const Tensor& tensor) {
+  out.u8(kTagTensor);
+  out.u64(tensor.rank());
+  for (std::size_t axis = 0; axis < tensor.rank(); ++axis) {
+    out.u64(tensor.dim(axis));
+  }
+  out.doubles(tensor.storage());
+}
+
+Tensor load_tensor(common::BinaryReader& in) {
+  expect_tag(in, kTagTensor, "tensor");
+  const std::uint64_t rank = in.u64();
+  if (rank == 0 || rank > 8) {
+    throw common::SerializeError("checkpoint: implausible tensor rank " +
+                                 std::to_string(rank));
+  }
+  std::vector<std::size_t> shape;
+  std::uint64_t expected = 1;
+  for (std::uint64_t axis = 0; axis < rank; ++axis) {
+    const std::uint64_t dim = in.u64();
+    if (dim != 0 && expected > std::numeric_limits<std::uint64_t>::max() / dim) {
+      throw common::SerializeError("checkpoint: tensor shape overflow");
+    }
+    expected *= dim;
+    shape.push_back(static_cast<std::size_t>(dim));
+  }
+  const std::vector<double> data = in.doubles();
+  if (data.size() != expected) {
+    throw common::SerializeError(
+        "checkpoint: tensor data does not match its shape (" +
+        std::to_string(data.size()) + " vs " + std::to_string(expected) + ")");
+  }
+  Tensor tensor(shape);
+  tensor.storage() = data;
+  return tensor;
+}
+
+void save_model_params(common::BinaryWriter& out, const Model& model) {
+  out.u8(kTagParams);
+  out.doubles(model.flat_params());
+}
+
+void load_model_params(common::BinaryReader& in, Model& model) {
+  expect_tag(in, kTagParams, "model-params");
+  const std::vector<double> params = in.doubles();
+  if (params.size() != model.num_params()) {
+    throw common::SerializeError(
+        "checkpoint: parameter count mismatch (file " +
+        std::to_string(params.size()) + ", model " +
+        std::to_string(model.num_params()) + ")");
+  }
+  model.set_flat_params(params);
+}
+
+void save_optimizer(common::BinaryWriter& out, const Optimizer& optimizer) {
+  const OptimizerState state = optimizer.state();
+  out.u8(kTagOptimizer);
+  out.i64(state.step_count);
+  out.u64(state.slots.size());
+  for (const auto& slot : state.slots) out.doubles(slot);
+}
+
+void load_optimizer(common::BinaryReader& in, Optimizer& optimizer) {
+  expect_tag(in, kTagOptimizer, "optimizer");
+  OptimizerState state;
+  state.step_count = static_cast<long>(in.i64());
+  const std::uint64_t num_slots = in.u64();
+  if (num_slots > 16) {
+    throw common::SerializeError("checkpoint: implausible optimizer slots " +
+                                 std::to_string(num_slots));
+  }
+  for (std::uint64_t i = 0; i < num_slots; ++i) {
+    state.slots.push_back(in.doubles());
+  }
+  try {
+    optimizer.set_state(state);
+  } catch (const std::invalid_argument& error) {
+    // Structurally valid bytes for the wrong optimizer type are still a
+    // bad checkpoint from the caller's point of view.
+    throw common::SerializeError(std::string("checkpoint: ") + error.what());
+  }
+}
+
+void save_loader_cursor(common::BinaryWriter& out, const LoaderCursor& cursor) {
+  out.u8(kTagCursor);
+  out.u64(cursor.dataset_size);
+  out.u64(cursor.shuffle_seed);
+  out.ints(cursor.local_batches);
+  out.i32(cursor.next_batch);
+}
+
+LoaderCursor load_loader_cursor(common::BinaryReader& in) {
+  expect_tag(in, kTagCursor, "loader-cursor");
+  LoaderCursor cursor;
+  cursor.dataset_size = in.u64();
+  cursor.shuffle_seed = in.u64();
+  cursor.local_batches = in.ints();
+  cursor.next_batch = in.i32();
+  if (cursor.next_batch < 0) {
+    throw common::SerializeError("checkpoint: negative loader cursor");
+  }
+  for (int b : cursor.local_batches) {
+    if (b < 0) {
+      throw common::SerializeError("checkpoint: negative local batch size");
+    }
+  }
+  return cursor;
+}
+
+std::string serialize_trainer_state(const TrainerState& state) {
+  common::BinaryWriter out;
+  out.u8(kTagTrainer);
+  out.doubles(state.params);
+  out.i64(state.optimizer.step_count);
+  out.u64(state.optimizer.slots.size());
+  for (const auto& slot : state.optimizer.slots) out.doubles(slot);
+  out.str(state.rng_state);
+  save_loader_cursor(out, state.cursor);
+  return out.take();
+}
+
+TrainerState deserialize_trainer_state(std::string_view bytes) {
+  common::BinaryReader in(bytes);
+  expect_tag(in, kTagTrainer, "trainer-state");
+  TrainerState state;
+  state.params = in.doubles();
+  state.optimizer.step_count = static_cast<long>(in.i64());
+  const std::uint64_t num_slots = in.u64();
+  if (num_slots > 16) {
+    throw common::SerializeError("checkpoint: implausible optimizer slots " +
+                                 std::to_string(num_slots));
+  }
+  for (std::uint64_t i = 0; i < num_slots; ++i) {
+    state.optimizer.slots.push_back(in.doubles());
+  }
+  state.rng_state = in.str();
+  state.cursor = load_loader_cursor(in);
+  if (!in.exhausted()) {
+    throw common::SerializeError("checkpoint: trailing bytes after trainer state");
+  }
+  return state;
+}
+
+}  // namespace cannikin::dnn

@@ -1,0 +1,68 @@
+// Checkpoint serialization for the training substrate.
+//
+// Everything a worker needs to resume training bit-identically after a
+// crash: model parameters, optimizer slot state, the RNG stream that
+// decides sample order and augmentation, and the data-loader cursor
+// (which shuffle seed, which global batch comes next). Each piece has a
+// typed save/load pair over the common binary stream; TrainerState
+// composes them into one payload the sched-level Checkpoint embeds.
+//
+// Loads validate structure (tag bytes, shape/size consistency) and
+// throw common::SerializeError on malformed input -- a truncated or
+// bit-flipped checkpoint must be rejected, never half-applied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/serialize.h"
+#include "dnn/model.h"
+#include "dnn/optimizer.h"
+#include "dnn/tensor.h"
+
+namespace cannikin::dnn {
+
+/// Tensor: rank, dims, packed doubles.
+void save_tensor(common::BinaryWriter& out, const Tensor& tensor);
+Tensor load_tensor(common::BinaryReader& in);
+
+/// Model parameters as one flat vector (shape-checked on load against
+/// the live model's num_params()).
+void save_model_params(common::BinaryWriter& out, const Model& model);
+void load_model_params(common::BinaryReader& in, Model& model);
+
+/// Optimizer slot vectors + step counter.
+void save_optimizer(common::BinaryWriter& out, const Optimizer& optimizer);
+void load_optimizer(common::BinaryReader& in, Optimizer& optimizer);
+
+/// Data-loader cursor: rebuilding a HeteroDataLoader from
+/// (dataset_size, local_batches, shuffle_seed) reproduces the epoch's
+/// exact shuffled order; next_batch says where in it to resume.
+struct LoaderCursor {
+  std::uint64_t dataset_size = 0;
+  std::uint64_t shuffle_seed = 0;
+  std::vector<int> local_batches;
+  int next_batch = 0;
+
+  bool operator==(const LoaderCursor&) const = default;
+};
+
+void save_loader_cursor(common::BinaryWriter& out, const LoaderCursor& cursor);
+LoaderCursor load_loader_cursor(common::BinaryReader& in);
+
+/// One worker's complete resumable training state.
+struct TrainerState {
+  std::vector<double> params;
+  OptimizerState optimizer;
+  std::string rng_state;  ///< Rng::state()
+  LoaderCursor cursor;
+};
+
+/// Serializes to / parses from a raw byte payload (unframed: callers
+/// embed it in a framed checkpoint file).
+std::string serialize_trainer_state(const TrainerState& state);
+TrainerState deserialize_trainer_state(std::string_view bytes);
+
+}  // namespace cannikin::dnn

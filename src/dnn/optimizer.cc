@@ -29,6 +29,19 @@ void Sgd::step(std::span<double> params, std::span<const double> grads,
 
 void Sgd::reset() { velocity_.clear(); }
 
+OptimizerState Sgd::state() const {
+  OptimizerState state;
+  state.slots = {velocity_};
+  return state;
+}
+
+void Sgd::set_state(const OptimizerState& state) {
+  if (state.slots.size() != 1) {
+    throw std::invalid_argument("Sgd::set_state: expected 1 slot vector");
+  }
+  velocity_ = state.slots[0];
+}
+
 Adam::Adam(double beta1, double beta2, double eps, double weight_decay,
            bool decoupled)
     : beta1_(beta1),
@@ -66,6 +79,27 @@ void Adam::reset() {
   m_.clear();
   v_.clear();
   t_ = 0;
+}
+
+OptimizerState Adam::state() const {
+  OptimizerState state;
+  state.slots = {m_, v_};
+  state.step_count = t_;
+  return state;
+}
+
+void Adam::set_state(const OptimizerState& state) {
+  if (state.slots.size() != 2 ||
+      state.slots[0].size() != state.slots[1].size()) {
+    throw std::invalid_argument(
+        "Adam::set_state: expected matching m/v slot vectors");
+  }
+  if (state.step_count < 0) {
+    throw std::invalid_argument("Adam::set_state: negative step count");
+  }
+  m_ = state.slots[0];
+  v_ = state.slots[1];
+  t_ = state.step_count;
 }
 
 double scaled_lr(LrScaling scaling, double base_lr, double total_batch,

@@ -9,6 +9,15 @@
 
 namespace cannikin::dnn {
 
+/// Snapshot of an optimizer's mutable state: the moment/velocity slot
+/// vectors plus the step counter. Hyperparameters are construction-time
+/// configuration and deliberately excluded -- a checkpoint restores
+/// into an optimizer built the same way.
+struct OptimizerState {
+  std::vector<std::vector<double>> slots;
+  long step_count = 0;
+};
+
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
@@ -16,6 +25,12 @@ class Optimizer {
   virtual void step(std::span<double> params, std::span<const double> grads,
                     double lr) = 0;
   virtual void reset() = 0;
+
+  /// Checkpoint support: capture and restore the mutable slot state.
+  /// set_state throws std::invalid_argument when the snapshot's slot
+  /// count does not match this optimizer type.
+  virtual OptimizerState state() const = 0;
+  virtual void set_state(const OptimizerState& state) = 0;
 };
 
 class Sgd : public Optimizer {
@@ -24,6 +39,8 @@ class Sgd : public Optimizer {
   void step(std::span<double> params, std::span<const double> grads,
             double lr) override;
   void reset() override;
+  OptimizerState state() const override;
+  void set_state(const OptimizerState& state) override;
 
  private:
   double momentum_;
@@ -38,6 +55,8 @@ class Adam : public Optimizer {
   void step(std::span<double> params, std::span<const double> grads,
             double lr) override;
   void reset() override;
+  OptimizerState state() const override;
+  void set_state(const OptimizerState& state) override;
 
  private:
   double beta1_, beta2_, eps_, weight_decay_;

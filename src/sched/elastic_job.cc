@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sched/checkpoint.h"
+
 namespace cannikin::sched {
 
 namespace {
@@ -10,8 +12,17 @@ namespace {
 // Modeled cost of surviving a node crash: checkpoint reload plus
 // process-group re-initialization, on top of the per-node
 // reconfiguration round trip Table 6 accounts for ordinary replans.
+// (The supervisor's checkpoint-restore path replaces this constant
+// with measured restore cost; this models the legacy in-process
+// discard-epoch recovery.)
 constexpr double kCrashRestartSeconds = 2.0;
 constexpr double kCrashPerNodeSeconds = 0.05;
+
+// Modeled cost of a node re-joining a running job: process-group
+// rebuild plus the per-node reconfiguration round trip. No restart and
+// no bootstrap epochs -- the model bank warm-starts the newcomer.
+constexpr double kRejoinSeconds = 0.5;
+constexpr double kRejoinPerNodeSeconds = 0.05;
 
 }  // namespace
 
@@ -46,13 +57,36 @@ void ElasticCannikinJob::bank_current_models() {
   }
 }
 
+ModelBank ElasticCannikinJob::banked_snapshot() const {
+  ModelBank snapshot = bank_;
+  if (!system_) return snapshot;
+  const auto models = system_->controller().learned_models();
+  const auto comm = system_->controller().learned_comm();
+  if (models) {
+    for (std::size_t i = 0; i < allocation_.size(); ++i) {
+      const auto& node = full_cluster_.nodes.at(
+          static_cast<std::size_t>(allocation_[i]));
+      snapshot.store_node(ModelBank::node_key(node), (*models)[i]);
+    }
+  }
+  if (comm) {
+    snapshot.store_comm(static_cast<int>(allocation_.size()), *comm);
+  }
+  return snapshot;
+}
+
 void ElasticCannikinJob::set_allocation(const std::vector<int>& node_ids) {
+  bank_current_models();
+  const double gns_carry = system_ ? current_gns() : 0.0;
+  apply_allocation(node_ids, gns_carry, nullptr);
+}
+
+void ElasticCannikinJob::apply_allocation(
+    const std::vector<int>& node_ids, double gns_carry,
+    const core::ControllerState* restored) {
   if (node_ids.empty()) {
     throw std::invalid_argument("set_allocation: empty allocation");
   }
-  bank_current_models();
-  const double gns_carry = system_ ? current_gns() : 0.0;
-
   allocation_ = node_ids;
   sim::ClusterSpec subset;
   subset.name = full_cluster_.name + "/subset";
@@ -85,6 +119,14 @@ void ElasticCannikinJob::set_allocation(const std::vector<int>& node_ids) {
     const auto comm_prior = bank_.comm(static_cast<int>(node_ids.size()));
     system_->mutable_controller().warm_start(priors, comm_prior, gns_carry);
     if (all_covered) ++warm_reallocations_;
+  } else if (restored != nullptr) {
+    // Bank disabled (or empty) but restoring from a checkpoint: replay
+    // the controller's learned state directly.
+    if (core::restore_controller_state(system_->mutable_controller(),
+                                       static_cast<int>(node_ids.size()),
+                                       *restored)) {
+      ++warm_reallocations_;
+    }
   } else if (gns_carry > 0.0) {
     system_->mutable_controller().warm_start(
         std::vector<std::optional<core::NodeModel>>(node_ids.size(),
@@ -183,10 +225,108 @@ const RecoveryReport& ElasticCannikinJob::apply_fault(
       ++crash_recoveries_;
       break;
     }
+    case sim::FaultKind::kNodeRecover: {
+      if (event.node < 0 ||
+          event.node >= static_cast<int>(full_cluster_.nodes.size())) {
+        throw std::invalid_argument("apply_fault: bad node id");
+      }
+      // The node comes back at `severity` contention (1.0 = healthy).
+      full_cluster_.nodes[static_cast<std::size_t>(event.node)].contention =
+          event.severity;
+      const int local = local_index(event.node);
+      if (local >= 0) {
+        // Already training: only its contention changed.
+        if (job_) job_->set_contention(local, event.severity);
+        break;
+      }
+      if (!system_) {
+        throw std::logic_error("apply_fault: recover before any allocation");
+      }
+      // Grow back: survivors keep their ranks, the newcomer is appended.
+      // set_allocation banks the current models first, so if the node's
+      // type was ever seen the controller warm-starts it for free.
+      std::vector<int> grown = allocation_;
+      grown.push_back(event.node);
+      const int warm_before = warm_reallocations_;
+      set_allocation(grown);
+      report.warm = warm_reallocations_ > warm_before;
+      report.overhead_seconds =
+          kRejoinSeconds +
+          kRejoinPerNodeSeconds * static_cast<double>(grown.size());
+      pending_recovery_overhead_ += report.overhead_seconds;
+      recovery_overhead_ += report.overhead_seconds;
+      ++node_rejoins_;
+      break;
+    }
   }
 
   recoveries_.push_back(std::move(report));
   return recoveries_.back();
+}
+
+Checkpoint ElasticCannikinJob::make_checkpoint() const {
+  if (!system_) {
+    throw std::logic_error("make_checkpoint: no allocation");
+  }
+  Checkpoint ckpt;
+  ckpt.epochs = epochs_;
+  ckpt.progress = progress_;
+  ckpt.allocation = allocation_;
+  ckpt.network_scale = network_scale_;
+  ckpt.node_contention.reserve(full_cluster_.nodes.size());
+  for (const auto& node : full_cluster_.nodes) {
+    ckpt.node_contention.push_back(node.contention);
+  }
+  ckpt.crash_recoveries = crash_recoveries_;
+  ckpt.warm_reallocations = warm_reallocations_;
+  ckpt.node_rejoins = node_rejoins_;
+  ckpt.recovery_overhead_seconds = recovery_overhead_;
+  ckpt.bank_text = banked_snapshot().serialize();
+  ckpt.controller = core::capture_controller_state(system_->controller());
+  return ckpt;
+}
+
+void ElasticCannikinJob::restore_from_checkpoint(
+    const Checkpoint& ckpt, const std::vector<int>& exclude_nodes) {
+  if (system_) {
+    throw std::logic_error(
+        "restore_from_checkpoint: restore into a fresh job, not a live one");
+  }
+  if (ckpt.node_contention.size() != full_cluster_.nodes.size()) {
+    throw std::runtime_error(
+        "restore_from_checkpoint: checkpoint is for a different cluster (" +
+        std::to_string(ckpt.node_contention.size()) + " nodes vs " +
+        std::to_string(full_cluster_.nodes.size()) + ")");
+  }
+  std::vector<int> allocation;
+  for (int id : ckpt.allocation) {
+    if (id < 0 || id >= static_cast<int>(full_cluster_.nodes.size())) {
+      throw std::runtime_error("restore_from_checkpoint: bad node id " +
+                               std::to_string(id));
+    }
+    if (std::find(exclude_nodes.begin(), exclude_nodes.end(), id) ==
+        exclude_nodes.end()) {
+      allocation.push_back(id);
+    }
+  }
+  if (allocation.empty()) {
+    throw std::runtime_error(
+        "restore_from_checkpoint: every checkpointed node is dead");
+  }
+
+  progress_ = ckpt.progress;
+  epochs_ = ckpt.epochs;
+  network_scale_ = ckpt.network_scale;
+  for (std::size_t i = 0; i < full_cluster_.nodes.size(); ++i) {
+    full_cluster_.nodes[i].contention = ckpt.node_contention[i];
+  }
+  crash_recoveries_ = ckpt.crash_recoveries;
+  warm_reallocations_ = ckpt.warm_reallocations;
+  node_rejoins_ = ckpt.node_rejoins;
+  recovery_overhead_ = ckpt.recovery_overhead_seconds;
+  bank_ = ckpt.bank_text.empty() ? ModelBank{}
+                                 : ModelBank::deserialize(ckpt.bank_text);
+  apply_allocation(allocation, ckpt.controller.gns, &ckpt.controller);
 }
 
 int ElasticCannikinJob::drift_resets() const {

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "experiments/cannikin_system.h"
 #include "sched/model_bank.h"
 #include "sim/cluster.h"
@@ -20,6 +22,8 @@
 #include "workloads/registry.h"
 
 namespace cannikin::sched {
+
+struct Checkpoint;
 
 /// Record of one handled fault event (observability for benches/tests).
 struct RecoveryReport {
@@ -69,12 +73,35 @@ class ElasticCannikinJob {
   ///    the perf model triggers re-learning without a restart.
   ///  - network degrade: the interconnect's bandwidth scale changes
   ///    (and persists across future reallocations).
+  ///  - node recover: the node re-joins at contention `severity`; the
+  ///    allocation grows back (survivors keep their ranks, the node is
+  ///    appended) and the controller warm-starts from the banked
+  ///    per-type models, so an already-seen type pays no bootstrap
+  ///    epochs. Re-admitting a node already in the allocation is a
+  ///    no-op beyond the contention update.
   /// `event.node` is an index into the *full* cluster; events for
   /// nodes outside the current allocation only update the full-cluster
   /// spec. Returns the recovery report recorded for the event.
   const RecoveryReport& apply_fault(const sim::FaultEvent& event);
 
+  /// Captures a restorable snapshot: progress, allocation, accumulated
+  /// cluster damage, counters, the model bank (including the live
+  /// controller's still-unbanked models) and the controller's learned
+  /// state. Requires an allocation.
+  Checkpoint make_checkpoint() const;
+
+  /// Restores a freshly constructed job (no allocation yet) from a
+  /// checkpoint, excluding `exclude_nodes` (nodes known dead at restore
+  /// time) from the checkpointed allocation. The controller warm-starts
+  /// from the checkpoint's bank/learned state, so no bootstrap epochs
+  /// are re-paid. Throws std::runtime_error when every checkpointed
+  /// node is excluded and std::logic_error when already allocated.
+  void restore_from_checkpoint(const Checkpoint& ckpt,
+                               const std::vector<int>& exclude_nodes = {});
+
   int crash_recoveries() const { return crash_recoveries_; }
+  /// Nodes re-admitted via kNodeRecover events.
+  int node_rejoins() const { return node_rejoins_; }
   const std::vector<RecoveryReport>& recoveries() const { return recoveries_; }
   /// Total modeled fault-recovery overhead charged so far (seconds).
   double recovery_overhead_seconds() const { return recovery_overhead_; }
@@ -83,6 +110,14 @@ class ElasticCannikinJob {
 
  private:
   void bank_current_models();
+  /// Copy of the bank with the live controller's models merged in --
+  /// what bank_current_models() would produce, without mutating state.
+  ModelBank banked_snapshot() const;
+  /// set_allocation body with an explicit GNS carry and an optional
+  /// restored controller state used when the bank cannot cover the
+  /// nodes (e.g. the bank is disabled).
+  void apply_allocation(const std::vector<int>& node_ids, double gns_carry,
+                        const core::ControllerState* restored);
   int local_index(int node_id) const;  ///< -1 if not in the allocation
 
   const workloads::Workload* workload_;
@@ -102,6 +137,7 @@ class ElasticCannikinJob {
 
   double network_scale_ = 1.0;  ///< persists across reallocations
   int crash_recoveries_ = 0;
+  int node_rejoins_ = 0;
   double recovery_overhead_ = 0.0;
   double pending_recovery_overhead_ = 0.0;  ///< charged to next run_epoch
   std::vector<RecoveryReport> recoveries_;

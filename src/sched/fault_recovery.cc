@@ -95,12 +95,19 @@ std::vector<RecoveryMetric> recovery_metrics(const FaultRecoveryTrace& trace,
       steady += rows[static_cast<std::size_t>(k)].throughput;
     }
     metric.steady_throughput = tail > 0 ? steady / tail : 0.0;
-    for (int k = e; k < window_end; ++k) {
-      if (rows[static_cast<std::size_t>(k)].throughput >=
-          threshold * metric.steady_throughput) {
-        metric.epochs_to_recover = k - e;
-        metric.recovered = true;
-        break;
+    // A fault in the last few epochs leaves the steady-state window
+    // dominated by the dip itself, which would declare instant
+    // recovery. Without at least one post-fault epoch beyond the tail
+    // there is no steady state to recover *to*: report unrecovered.
+    const bool window_usable = window_end - e > tail && tail >= 2;
+    if (window_usable) {
+      for (int k = e; k < window_end; ++k) {
+        if (rows[static_cast<std::size_t>(k)].throughput >=
+            threshold * metric.steady_throughput) {
+          metric.epochs_to_recover = k - e;
+          metric.recovered = true;
+          break;
+        }
       }
     }
     metrics.push_back(std::move(metric));

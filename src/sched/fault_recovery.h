@@ -36,6 +36,18 @@ struct FaultRecoveryTrace {
   int warm_crash_recoveries = 0;  ///< crashes recovered via banked models
   int drift_resets = 0;
   double recovery_overhead_seconds = 0.0;
+
+  // -- populated only by the TrainingSupervisor overload ------------
+  int checkpoints_written = 0;
+  int restores = 0;          ///< successful checkpoint restores
+  int restore_attempts = 0;  ///< attempts including failures
+  int epochs_lost_to_rollback = 0;
+  int node_rejoins = 0;
+  int warm_rejoins = 0;  ///< re-joins warm-started from banked models
+  double checkpoint_write_seconds = 0.0;  ///< measured wall clock
+  double restore_seconds = 0.0;           ///< measured wall clock
+  double backoff_seconds = 0.0;           ///< charged retry waits
+  bool gave_up = false;  ///< restore retry budget exhausted
 };
 
 /// Per-fault recovery summary extracted from a trace.
@@ -49,9 +61,21 @@ struct RecoveryMetric {
   bool recovered = false;
 };
 
+class TrainingSupervisor;
+
 /// Runs `job` for up to `max_epochs` (or until done), applying
 /// `injector`'s schedule. The job must already have an allocation.
 FaultRecoveryTrace run_with_faults(ElasticCannikinJob& job,
+                                   const sim::FaultInjector& injector,
+                                   int max_epochs);
+
+/// Supervised variant (defined in supervisor.cc): crashes kill the job
+/// and are recovered by restoring from the latest checkpoint with
+/// bounded, backed-off retries; kNodeRecover events re-admit dead
+/// nodes. Measured checkpoint/restore/backoff costs are charged into
+/// the trace's epoch timings, so the throughput dips reflect real
+/// restart overhead. The supervisor must have been start()ed.
+FaultRecoveryTrace run_with_faults(TrainingSupervisor& supervisor,
                                    const sim::FaultInjector& injector,
                                    int max_epochs);
 
@@ -62,6 +86,10 @@ FaultRecoveryTrace run_with_faults(ElasticCannikinJob& job,
 /// fault event. The horizon keeps slow GNS-driven batch growth late in
 /// training from inflating the "steady state" the fault is judged
 /// against. epochs_to_recover = -1 when the trace ends before recovery.
+/// A fault landing within the last few epochs of the trace leaves too
+/// small a window to estimate a steady state (the "steady state" would
+/// be the dip itself); such faults are reported unrecovered rather
+/// than trivially recovered-at-the-dip.
 std::vector<RecoveryMetric> recovery_metrics(const FaultRecoveryTrace& trace,
                                              double threshold = 0.9,
                                              int horizon = 10);

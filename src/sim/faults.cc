@@ -18,6 +18,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "node-crash";
     case FaultKind::kNetworkDegrade:
       return "network-degrade";
+    case FaultKind::kNodeRecover:
+      return "node-recover";
   }
   return "?";
 }
@@ -26,6 +28,8 @@ std::string FaultEvent::describe() const {
   char buf[128];
   if (kind == FaultKind::kNodeCrash) {
     std::snprintf(buf, sizeof(buf), "epoch %d: node %d crash", epoch, node);
+  } else if (kind == FaultKind::kNodeRecover) {
+    std::snprintf(buf, sizeof(buf), "epoch %d: node %d rejoins", epoch, node);
   } else if (kind == FaultKind::kNetworkDegrade) {
     std::snprintf(buf, sizeof(buf), "epoch %d: network %s x%.2f", epoch,
                   severity >= 1.0 ? "recovers" : "degrades", severity);
@@ -122,15 +126,16 @@ std::vector<FaultEvent> FaultInjector::due(int epoch) const {
 
 std::vector<FaultEvent> FaultInjector::apply_due(int epoch,
                                                  ClusterJob& job) const {
-  std::vector<FaultEvent> crashes;
+  std::vector<FaultEvent> elastic_events;
   for (const auto& event : due(epoch)) {
-    if (event.kind == FaultKind::kNodeCrash) {
-      crashes.push_back(event);
+    if (event.kind == FaultKind::kNodeCrash ||
+        event.kind == FaultKind::kNodeRecover) {
+      elastic_events.push_back(event);
     } else {
       apply(event, job);
     }
   }
-  return crashes;
+  return elastic_events;
 }
 
 void FaultInjector::apply(const FaultEvent& event, ClusterJob& job) {
@@ -143,8 +148,9 @@ void FaultInjector::apply(const FaultEvent& event, ClusterJob& job) {
       job.set_network_scale(event.severity);
       return;
     case FaultKind::kNodeCrash:
+    case FaultKind::kNodeRecover:
       throw std::logic_error(
-          "FaultInjector: crash events need an elastic runtime "
+          "FaultInjector: crash/recover events need an elastic runtime "
           "(ElasticCannikinJob::apply_fault)");
   }
 }

@@ -34,6 +34,12 @@ enum class FaultKind {
   /// bandwidths are scaled by `severity`; recovers after
   /// `duration_epochs` when positive.
   kNetworkDegrade,
+  /// A previously crashed (or newly provisioned) node becomes available
+  /// again at contention `severity` (1.0 = fully healthy). Only an
+  /// elastic runtime can honour it: the allocation grows back and the
+  /// node warm-starts from the banked per-type models, so re-joining
+  /// costs no bootstrap epochs.
+  kNodeRecover,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -74,13 +80,14 @@ class FaultInjector {
   std::vector<FaultEvent> due(int epoch) const;
 
   /// Applies every contention/network event due at `epoch` directly to
-  /// `job` (node ids are job-local) and returns the crash events, which
-  /// only an elastic runtime can honour. This is the hook the plain
-  /// experiment harness drives.
+  /// `job` (node ids are job-local) and returns the crash/recover
+  /// events, which only an elastic runtime can honour. This is the hook
+  /// the plain experiment harness drives.
   std::vector<FaultEvent> apply_due(int epoch, ClusterJob& job) const;
 
-  /// Applies one non-crash event to `job`; throws std::logic_error for
-  /// kNodeCrash, which requires reallocation above the simulator.
+  /// Applies one non-elastic event to `job`; throws std::logic_error
+  /// for kNodeCrash/kNodeRecover, which require reallocation above the
+  /// simulator.
   static void apply(const FaultEvent& event, ClusterJob& job);
 
   const std::vector<FaultEvent>& events() const { return events_; }
