@@ -18,6 +18,8 @@
 #include "experiments/cannikin_system.h"
 #include "experiments/harness.h"
 #include "experiments/table.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "sim/cluster_factory.h"
 #include "workloads/registry.h"
 
@@ -88,5 +90,45 @@ inline void shape_check(bool ok, const std::string& claim) {
   std::printf("SHAPE CHECK [%s]: %s\n", ok ? "ok" : "MISMATCH",
               claim.c_str());
 }
+
+/// Machine-readable bench reporter: every measurement a bench binary
+/// prints also lands in an obs::MetricsRegistry and is written out as a
+/// BENCH_*.json file (same "context" + "benchmarks" shape as the
+/// committed BENCH_overlap.json), so bench trajectories accumulate as
+/// files instead of scrollback. Subsystems under test record into the
+/// same registry via scope(), putting their internal comm/sched metrics
+/// next to the bench's own numbers in one artifact.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string executable)
+      : executable_(std::move(executable)) {}
+
+  /// Scope recording into this report's registry (no tracer); hand it
+  /// to options structs to capture a subsystem's internal metrics.
+  obs::Scope scope(int tid = 0) { return obs::Scope(nullptr, &registry_, tid); }
+
+  void counter(const std::string& name, double delta) {
+    registry_.counter_add(name, delta);
+  }
+  void gauge(const std::string& name, double value) {
+    registry_.gauge_set(name, value);
+  }
+  void observe(const std::string& name, double value) {
+    registry_.observe(name, value);
+  }
+
+  obs::MetricsRegistry& registry() { return registry_; }
+
+  /// Writes the JSON artifact and tells the reader where it went.
+  void write(const std::string& path) const {
+    registry_.write_bench_json(path, executable_);
+    std::printf("\nwrote %s (%zu metrics)\n", path.c_str(),
+                registry_.names().size());
+  }
+
+ private:
+  std::string executable_;
+  obs::MetricsRegistry registry_;
+};
 
 }  // namespace cannikin::bench

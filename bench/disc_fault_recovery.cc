@@ -82,7 +82,8 @@ sched::FaultRecoveryTrace run_scenario(const sim::FaultInjector& injector,
 sched::FaultRecoveryTrace run_supervised(const sim::FaultInjector& injector,
                                          sched::CrashPolicy policy,
                                          const std::string& subdir,
-                                         std::size_t* final_nodes = nullptr) {
+                                         std::size_t* final_nodes = nullptr,
+                                         obs::Scope obs = {}) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "cannikin-bench-ckpt" / subdir;
   fs::remove_all(dir);
@@ -91,6 +92,7 @@ sched::FaultRecoveryTrace run_supervised(const sim::FaultInjector& injector,
   options.checkpoint_dir = dir.string();
   options.checkpoint_every_epochs = 2;
   options.crash_policy = policy;
+  options.obs = obs;
   const auto& workload = workloads::by_name("cifar10");
   sched::TrainingSupervisor supervisor(&workload, sim::cluster_b(),
                                        sim::NoiseConfig{}, 3,
@@ -110,6 +112,10 @@ sched::FaultRecoveryTrace run_supervised(const sim::FaultInjector& injector,
 int main() {
   experiments::print_banner(
       "Extension: fault injection and failure-driven elastic recovery");
+  // Supervised scenarios record sched.* metrics straight into this
+  // report; the headline recovery numbers are added as gauges below and
+  // the whole registry lands in BENCH_fault_recovery.json.
+  bench::BenchReport report("bench/disc_fault_recovery");
 
   // ------------------------------------------------------- 1. crash
   sim::FaultInjector crash;
@@ -176,8 +182,9 @@ int main() {
   supervised_crash.schedule({/*epoch=*/7, sim::FaultKind::kNodeCrash,
                              /*node=*/4});
 
-  const auto ckpt_trace = run_supervised(
-      supervised_crash, sched::CrashPolicy::kCheckpointRestore, "restore");
+  const auto ckpt_trace =
+      run_supervised(supervised_crash, sched::CrashPolicy::kCheckpointRestore,
+                     "restore", nullptr, report.scope());
   std::printf(
       "\n-- scenario: supervised crash, checkpoint-restore policy --\n");
   print_trace(ckpt_trace);
@@ -188,8 +195,9 @@ int main() {
       ckpt_trace.restores, ckpt_trace.restore_seconds,
       ckpt_trace.epochs_lost_to_rollback);
 
-  const auto discard_trace = run_supervised(
-      supervised_crash, sched::CrashPolicy::kDiscardEpoch, "discard");
+  const auto discard_trace =
+      run_supervised(supervised_crash, sched::CrashPolicy::kDiscardEpoch,
+                     "discard", nullptr, report.scope());
   std::printf(
       "checkpointed restart %.1fs total (measured overhead %.4fs) vs "
       "discard-epoch %.1fs total (modeled overhead %.2fs)\n",
@@ -219,7 +227,7 @@ int main() {
   std::size_t rejoin_nodes = 0;
   const auto rejoin_trace =
       run_supervised(crash_rejoin, sched::CrashPolicy::kCheckpointRestore,
-                     "rejoin", &rejoin_nodes);
+                     "rejoin", &rejoin_nodes, report.scope());
   std::printf("\n-- scenario: crash then node re-join at epoch 13 --\n");
   print_trace(rejoin_trace);
   std::printf(
@@ -237,5 +245,24 @@ int main() {
               "models: zero bootstrap epochs");
   shape_check(rejoin_trace.total_seconds < ckpt_trace.total_seconds,
               "getting the node back beats finishing on the survivors");
+
+  report.gauge("crash.warm_total_seconds", warm_trace.total_seconds);
+  report.gauge("crash.cold_total_seconds", cold_trace.total_seconds);
+  report.gauge("crash.recovery_overhead_seconds",
+               warm_trace.recovery_overhead_seconds);
+  report.gauge("straggler.drift_resets",
+               static_cast<double>(straggler_trace.drift_resets));
+  report.gauge("supervised.checkpoint_write_seconds",
+               ckpt_trace.checkpoint_write_seconds);
+  report.gauge("supervised.restore_seconds", ckpt_trace.restore_seconds);
+  report.gauge("supervised.epochs_lost_to_rollback",
+               static_cast<double>(ckpt_trace.epochs_lost_to_rollback));
+  report.gauge("supervised.restore_total_seconds", ckpt_trace.total_seconds);
+  report.gauge("supervised.discard_total_seconds",
+               discard_trace.total_seconds);
+  report.gauge("rejoin.total_seconds", rejoin_trace.total_seconds);
+  report.gauge("rejoin.warm_rejoins",
+               static_cast<double>(rejoin_trace.warm_rejoins));
+  report.write("BENCH_fault_recovery.json");
   return 0;
 }

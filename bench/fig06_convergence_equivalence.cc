@@ -46,9 +46,7 @@ int main() {
     options.initial_total_batch = schedule.front();
     options.gns_weighting = weighting;
     options.seed = 3;
-    return dnn::ParallelTrainer(
-        &dataset, dnn::ParallelTrainer::Task::kClassification, factory,
-        options);
+    return dnn::ParallelTrainer(&dataset, factory, options);
   };
   dnn::ParallelTrainer hetero = make_trainer(core::GnsWeighting::kOptimal);
   dnn::ParallelTrainer homo = make_trainer(core::GnsWeighting::kNaive);

@@ -5,14 +5,18 @@
 // batch timeline.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
+#include "bench_common.h"
 #include "comm/bucket.h"
 #include "comm/process_group.h"
 #include "common/rng.h"
 #include "core/gns.h"
 #include "core/optperf.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 #include "sim/cluster.h"
 #include "sim/cluster_factory.h"
 #include "workloads/registry.h"
@@ -188,6 +192,97 @@ void BM_RingAllReduce(benchmark::State& state) {
 }
 BENCHMARK(BM_RingAllReduce)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
+// --------------------------------------------------------------------
+// Direct overlap measurement for the BENCH_obs.json artifact: the same
+// sync vs async scenario as the benchmarks above, plus the async run
+// with tracing *enabled*, so the observability layer's own overhead is
+// reported as a metric instead of asserted.
+
+double run_overlap_seconds(bool async, obs::Scope scope) {
+  const auto buckets =
+      comm::make_buckets(kOverlapBuckets * kOverlapElems, kOverlapElems);
+  comm::ProcessGroup group(kOverlapRanks);
+  group.set_link_latency(kOverlapLinkLatency);
+  if (scope.enabled()) group.set_scope(scope);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < kOverlapRanks; ++rank) {
+    threads.emplace_back([&, rank] {
+      comm::Communicator comm = group.communicator(rank);
+      std::vector<double> grad(kOverlapBuckets * kOverlapElems, rank + 1.0);
+      const std::uint64_t tag = comm.tags().block(
+          comm::CollectiveKind::kBucketAllReduce, buckets.size());
+      if (async) {
+        comm::BucketReducer reducer(comm, std::span<double>(grad), 0.25,
+                                    buckets, tag);
+        for (const comm::Bucket& bucket : buckets) {
+          std::this_thread::sleep_for(kOverlapComputePerBucket);
+          reducer.mark_ready(bucket.offset, bucket.length);
+        }
+        reducer.finish();
+      } else {
+        for (std::size_t b = 0; b < kOverlapBuckets; ++b) {
+          std::this_thread::sleep_for(kOverlapComputePerBucket);
+        }
+        comm::bucketized_weighted_all_reduce(comm, std::span<double>(grad),
+                                             0.25, buckets, tag);
+      }
+      benchmark::DoNotOptimize(grad.data());
+    });
+  }
+  for (auto& t : threads) t.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, fn());
+  return best;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace cannikin;
+  bench::BenchReport report("bench/micro_perf");
+
+  const double sync_s = best_of(3, [] {
+    return run_overlap_seconds(/*async=*/false, obs::Scope{});
+  });
+  const double async_s = best_of(3, [] {
+    return run_overlap_seconds(/*async=*/true, obs::Scope{});
+  });
+  obs::Tracer tracer;
+  const double traced_s = best_of(3, [&] {
+    return run_overlap_seconds(/*async=*/true,
+                               obs::Scope(&tracer, &report.registry()));
+  });
+
+  report.gauge("overlap.sync_ms", sync_s * 1e3);
+  report.gauge("overlap.async_ms", async_s * 1e3);
+  report.gauge("overlap.async_traced_ms", traced_s * 1e3);
+  report.gauge("overlap.speedup", sync_s / async_s);
+  const double overhead_pct = 100.0 * (traced_s - async_s) / async_s;
+  report.gauge("overlap.tracing_overhead_pct", overhead_pct);
+  report.gauge("overlap.trace_events",
+               static_cast<double>(tracer.event_count()));
+
+  std::printf(
+      "\noverlap: sync %.2fms  async %.2fms (%.2fx)  traced %.2fms "
+      "(overhead %+.2f%%)\n",
+      sync_s * 1e3, async_s * 1e3, sync_s / async_s, traced_s * 1e3,
+      overhead_pct);
+  bench::shape_check(async_s < sync_s,
+                     "async bucket streaming hides transmission time");
+  bench::shape_check(tracer.event_count() > 0,
+                     "the traced run recorded comm spans");
+  report.write("BENCH_obs.json");
+  return 0;
+}

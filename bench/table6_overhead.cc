@@ -47,9 +47,14 @@ int main() {
       if (v < 0.01) return std::string("<1%");
       return experiments::TablePrinter::fmt(100 * v, 1) + "%";
     };
+    const double avg_solves =
+        trace.epochs.empty()
+            ? 0.0
+            : static_cast<double>(trace.linear_solves) /
+                  static_cast<double>(trace.epochs.size());
     table.add_row({workload.dataset, workload.model, fmt_pct(max_overhead),
                    fmt_pct(overall), std::to_string(trace.epochs.size()),
-                   "n/a"});
+                   experiments::TablePrinter::fmt(avg_solves, 1)});
 
     if (workload.name == "cifar10") {
       cifar_max = max_overhead;

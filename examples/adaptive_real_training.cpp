@@ -30,8 +30,7 @@ int main() {
   options.seed = 9;
 
   dnn::AdaptiveTrainer trainer(
-      &dataset, dnn::ParallelTrainer::Task::kClassification,
-      [] { return dnn::make_mlp(20, 28, 1, 5); }, options);
+      &dataset, [] { return dnn::make_mlp(20, 28, 1, 5); }, options);
 
   std::printf("3 workers, throttles 1x/2x/4x (the controller must learn "
               "this)\n\n");

@@ -33,9 +33,7 @@ int main() {
     options.initial_total_batch = 72;
     options.gns_weighting = weighting;
     options.seed = 5;
-    return dnn::ParallelTrainer(&dataset,
-                                dnn::ParallelTrainer::Task::kClassification,
-                                factory, options);
+    return dnn::ParallelTrainer(&dataset, factory, options);
   };
 
   dnn::ParallelTrainer optimal = make_trainer(core::GnsWeighting::kOptimal);

@@ -1,0 +1,80 @@
+// Records one AdaptiveTrainer run with the observability layer on and
+// writes a Chrome trace_event JSON timeline:
+//
+//   build/examples/trace_adaptive_epoch
+//   # -> trace_adaptive_epoch.json; open in chrome://tracing or
+//   #    https://ui.perfetto.dev
+//
+// What to look for in the viewer:
+//   * rows "rank 0".."rank 2": per-batch forward / backward / update
+//     spans (workers are throttled 1x/2x/4x, so the rows visibly
+//     differ in span width);
+//   * rows "rank N comm": the async progress engines. During each
+//     backward span the corresponding comm row runs bucket_all_reduce
+//     spans -- the DDP-style overlap, visible instead of asserted;
+//   * row "controller": batch_decision instants carrying the planned
+//     total batch and predicted batch time, and model_refit instants
+//     comparing that prediction against the measured epoch.
+//
+// The companion metrics (comm queue/run latencies, reducer overlap
+// counters, controller planning cost) are written alongside as
+// BENCH_trace_adaptive_epoch.json.
+#include <cstdio>
+
+#include "dnn/adaptive_trainer.h"
+#include "dnn/model.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
+
+int main() {
+  using namespace cannikin;
+
+  const auto dataset = dnn::make_gaussian_mixture(
+      /*size=*/3000, /*dim=*/20, /*classes=*/5, /*separation=*/2.4,
+      /*seed=*/3);
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+
+  dnn::AdaptiveTrainerOptions options;
+  options.num_nodes = 3;
+  options.throttles = {1, 2, 4};  // unequal workers: visible row widths
+  options.initial_total_batch = 48;
+  options.max_total_batch = 192;
+  options.base_lr = 0.04;
+  options.seed = 9;
+  options.bucket_capacity = 256;  // several buckets per sync -> overlap
+  options.obs = obs::Scope(&tracer, &metrics);
+
+  dnn::AdaptiveTrainer trainer(
+      &dataset, [] { return dnn::make_mlp(20, 28, 1, 5); }, options);
+
+  // A few epochs so the controller graduates from bootstrap probing to
+  // model-based planning: the later batch_decision events carry a real
+  // predicted_batch_time for the model_refit events to compare against.
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const auto report = trainer.run_epoch();
+    std::printf("epoch %d: B=%-4d loss=%.4f %s\n", report.epoch,
+                report.total_batch, report.mean_loss,
+                report.planned_from_model ? "(OptPerf plan)" : "(bootstrap)");
+  }
+
+  tracer.write_json("trace_adaptive_epoch.json");
+  metrics.write_bench_json("BENCH_trace_adaptive_epoch.json",
+                           "examples/trace_adaptive_epoch");
+
+  const auto queue = metrics.histogram("comm.queue_us");
+  const auto exposed = metrics.histogram("reducer.exposed_wait_us");
+  std::printf(
+      "\nwrote trace_adaptive_epoch.json (%zu events) -- open in "
+      "chrome://tracing or https://ui.perfetto.dev\n"
+      "wrote BENCH_trace_adaptive_epoch.json\n"
+      "buckets reduced: %.0f (overlapped with backward: %.0f)\n"
+      "collective queue latency p50/p99: %.0f/%.0f us, exposed sync wait "
+      "p50: %.0f us\n",
+      tracer.event_count(), metrics.counter("reducer.buckets_reduced"),
+      metrics.counter("reducer.buckets_overlapped"), queue.p50, queue.p99,
+      exposed.p50);
+  return 0;
+}

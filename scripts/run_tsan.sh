@@ -14,3 +14,7 @@ ctest --preset tsan -j "$(nproc)"
 # by ctest label so additions are picked up without editing the preset
 # name filter above.
 ctest --test-dir build-tsan -L fault --output-on-failure -j "$(nproc)"
+
+# Observability layer: per-thread trace buffers and the metrics
+# registry are exactly the kind of shared state tsan exists for.
+ctest --test-dir build-tsan -L obs --output-on-failure -j "$(nproc)"

@@ -77,12 +77,24 @@ void BucketReducer::launch(std::size_t index) {
   const double weight = weight_;
   const std::uint64_t tag = base_tag_ + index;
   Communicator comm = comm_;
-  works_[index] = comm_.submit([comm, sub, weight, tag, timing]() mutable {
-    timing->begin = Clock::now();
-    for (double& v : sub) v *= weight;
-    detail::ring_all_reduce_blocking(comm, sub, tag);
-    timing->end = Clock::now();
-  });
+  const obs::Scope scope = comm_.scope();
+  if (scope.tracing()) {
+    // Worker-row marker pairing this bucket with the span the comm
+    // engine will emit for the same wire tag.
+    scope.instant("reducer", "bucket_launch",
+                  obs::ArgList()
+                      .add("bucket", static_cast<std::int64_t>(index))
+                      .add("tag", static_cast<std::int64_t>(tag))
+                      .add("elements", static_cast<std::int64_t>(sub.size())));
+  }
+  works_[index] = comm_.submit(
+      [comm, sub, weight, tag, timing]() mutable {
+        timing->begin = Clock::now();
+        for (double& v : sub) v *= weight;
+        detail::ring_all_reduce_blocking(comm, sub, tag);
+        timing->end = Clock::now();
+      },
+      "bucket_all_reduce", static_cast<int>(tag));
   ++launched_;
 }
 
@@ -123,22 +135,41 @@ BucketReducer::Stats BucketReducer::finish() {
     if (!works_[i]) launch(i);
   }
 
+  const obs::Scope scope = comm_.scope();
   const auto wait_begin = Clock::now();
   std::exception_ptr first_error;
-  for (auto& work : works_) {
-    try {
-      work->wait();
-    } catch (...) {
-      if (!first_error) {
-        first_error = std::current_exception();
-        // Watchdog behaviour: one failed bucket means the collective is
-        // broken group-wide. Abort now so the remaining Works (and our
-        // peers) fail fast instead of each riding out its own timeout.
-        comm_.abort();
+  {
+    obs::SpanGuard wait_span;
+    if (scope.tracing()) {
+      wait_span = scope.span(
+          "reducer", "reduce_wait",
+          obs::ArgList().add("buckets_overlapped",
+                             static_cast<std::int64_t>(
+                                 stats.buckets_overlapped)));
+    }
+    for (auto& work : works_) {
+      try {
+        work->wait();
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+          // Watchdog behaviour: one failed bucket means the collective is
+          // broken group-wide. Abort now so the remaining Works (and our
+          // peers) fail fast instead of each riding out its own timeout.
+          comm_.abort();
+        }
       }
     }
   }
   stats.exposed_wait_seconds = seconds_between(wait_begin, Clock::now());
+  if (scope.metrics() != nullptr) {
+    scope.observe("reducer.exposed_wait_us",
+                  stats.exposed_wait_seconds * 1e6);
+    scope.counter_add("reducer.buckets_reduced",
+                      static_cast<double>(stats.num_buckets));
+    scope.counter_add("reducer.buckets_overlapped",
+                      static_cast<double>(stats.buckets_overlapped));
+  }
   if (first_error) std::rethrow_exception(first_error);
 
   Clock::time_point latest{};

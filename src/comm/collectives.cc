@@ -148,40 +148,50 @@ std::vector<double> all_gather_blocking(Communicator& comm,
 
 WorkPtr async_ring_all_reduce(Communicator comm, std::span<double> data,
                               std::uint64_t tag) {
-  return comm.submit([comm, data, tag]() mutable {
-    detail::ring_all_reduce_blocking(comm, data, tag);
-  });
+  return comm.submit(
+      [comm, data, tag]() mutable {
+        detail::ring_all_reduce_blocking(comm, data, tag);
+      },
+      "all_reduce", static_cast<int>(tag));
 }
 
 WorkPtr async_weighted_ring_all_reduce(Communicator comm,
                                        std::span<double> data, double weight,
                                        std::uint64_t tag) {
-  return comm.submit([comm, data, weight, tag]() mutable {
-    for (double& v : data) v *= weight;
-    detail::ring_all_reduce_blocking(comm, data, tag);
-  });
+  return comm.submit(
+      [comm, data, weight, tag]() mutable {
+        for (double& v : data) v *= weight;
+        detail::ring_all_reduce_blocking(comm, data, tag);
+      },
+      "weighted_all_reduce", static_cast<int>(tag));
 }
 
 WorkPtr async_broadcast(Communicator comm, std::vector<double>* data,
                         int root, std::uint64_t tag) {
-  return comm.submit([comm, data, root, tag]() mutable {
-    detail::broadcast_blocking(comm, *data, root, tag);
-  });
+  return comm.submit(
+      [comm, data, root, tag]() mutable {
+        detail::broadcast_blocking(comm, *data, root, tag);
+      },
+      "broadcast", static_cast<int>(tag));
 }
 
 WorkPtr async_all_gather(Communicator comm, const std::vector<double>* data,
                          std::vector<double>* out, std::uint64_t tag) {
-  return comm.submit([comm, data, out, tag]() mutable {
-    *out = detail::all_gather_blocking(comm, *data, tag);
-  });
+  return comm.submit(
+      [comm, data, out, tag]() mutable {
+        *out = detail::all_gather_blocking(comm, *data, tag);
+      },
+      "all_gather", static_cast<int>(tag));
 }
 
 WorkPtr async_all_reduce_scalar(Communicator comm, double* value,
                                 std::uint64_t tag) {
-  return comm.submit([comm, value, tag]() mutable {
-    std::span<double> buf(value, 1);
-    detail::ring_all_reduce_blocking(comm, buf, tag);
-  });
+  return comm.submit(
+      [comm, value, tag]() mutable {
+        std::span<double> buf(value, 1);
+        detail::ring_all_reduce_blocking(comm, buf, tag);
+      },
+      "all_reduce_scalar", static_cast<int>(tag));
 }
 
 void ring_all_reduce(Communicator& comm, std::span<double> data,

@@ -125,6 +125,17 @@ Communicator ProcessGroup::communicator(int rank) {
   return Communicator(this, rank);
 }
 
+void ProcessGroup::set_scope(obs::Scope scope) {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  scope_ = scope;
+  for (std::size_t rank = 0; rank < engines_.size(); ++rank) {
+    if (engines_[rank]) {
+      engines_[rank]->set_scope(
+          scope.for_rank(obs::kCommTidBase + static_cast<int>(rank)));
+    }
+  }
+}
+
 ProgressEngine& ProcessGroup::engine(int rank) {
   if (rank < 0 || rank >= size_) throw CommError("engine: bad rank");
   std::lock_guard<std::mutex> lock(engines_mutex_);
@@ -136,6 +147,12 @@ ProgressEngine& ProcessGroup::engine(int rank) {
           CommAbortedError("submit: process group aborted"));
     }
     slot = std::make_unique<ProgressEngine>(std::move(poison));
+    if (scope_.enabled()) {
+      const obs::Scope engine_scope =
+          scope_.for_rank(obs::kCommTidBase + rank);
+      engine_scope.thread_name("rank " + std::to_string(rank) + " comm");
+      slot->set_scope(engine_scope);
+    }
   }
   return *slot;
 }
@@ -185,8 +202,9 @@ Payload Communicator::recv(int src, std::uint64_t tag, const char* op) {
   return group_->recv(rank_, src, tag, op);
 }
 
-WorkPtr Communicator::submit(std::function<void()> op) {
-  return group_->engine(rank_).submit(std::move(op));
+WorkPtr Communicator::submit(std::function<void()> op, const char* op_name,
+                             int tag) {
+  return group_->engine(rank_).submit(std::move(op), op_name, tag);
 }
 
 void Communicator::barrier() {

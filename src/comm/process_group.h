@@ -135,6 +135,13 @@ class ProcessGroup {
   void set_link_latency(double seconds) { link_latency_seconds_ = seconds; }
   double link_latency() const { return link_latency_seconds_; }
 
+  /// Attaches an instrumentation scope to the group: every rank's comm
+  /// progress engine starts tracing its operations onto row
+  /// obs::kCommTidBase + rank, and Communicator::scope() derives worker
+  /// scopes from it. Call before spawning worker threads; engines
+  /// created later inherit it.
+  void set_scope(obs::Scope scope);
+
   /// Irreversibly poisons the group: every rank blocked in recv() or
   /// barrier() wakes with CommAbortedError, every pending (queued)
   /// Work fails without running, and every subsequent
@@ -165,6 +172,7 @@ class ProcessGroup {
   int size_;
   double timeout_seconds_ = 0.0;
   double link_latency_seconds_ = 0.0;
+  obs::Scope scope_;  ///< set before workers spawn; engines copy it
   std::atomic<bool> aborted_{false};
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
   std::vector<TagAllocator> tag_allocators_;
@@ -211,8 +219,14 @@ class Communicator {
 
   /// Enqueues `op` on this rank's comm progress thread; returns its
   /// Work handle. Ops run in submission order. Prefer the async_*
-  /// collectives over raw submission.
-  WorkPtr submit(std::function<void()> op);
+  /// collectives over raw submission. `op_name` / `tag` label the
+  /// operation in traces (pass string literals).
+  WorkPtr submit(std::function<void()> op, const char* op_name = "op",
+                 int tag = 0);
+
+  /// The group's instrumentation scope bound to this rank's worker row
+  /// (tid == rank). Disabled when the group has no scope attached.
+  obs::Scope scope() const { return group_->scope_.for_rank(rank_); }
 
   /// This rank's tag allocator (deterministic across ranks executing
   /// the same collective sequence).

@@ -66,7 +66,8 @@ ProgressEngine::~ProgressEngine() {
   thread_.join();
 }
 
-WorkPtr ProgressEngine::submit(std::function<void()> op) {
+WorkPtr ProgressEngine::submit(std::function<void()> op, const char* op_name,
+                               int tag) {
   auto work = std::make_shared<Work>();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -74,10 +75,22 @@ WorkPtr ProgressEngine::submit(std::function<void()> op) {
       work->finish(cancel_error_);
       return work;
     }
-    queue_.push_back({std::move(op), work});
+    Item item;
+    item.op = std::move(op);
+    item.work = work;
+    item.op_name = op_name;
+    item.tag = tag;
+    item.scope = scope_;
+    if (scope_.enabled()) item.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(item));
   }
   cv_.notify_all();
   return work;
+}
+
+void ProgressEngine::set_scope(obs::Scope scope) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scope_ = scope;
 }
 
 void ProgressEngine::cancel_pending(std::exception_ptr error) {
@@ -109,10 +122,36 @@ void ProgressEngine::run() {
       ++in_flight_;
     }
     std::exception_ptr error;
-    try {
-      item.op();
-    } catch (...) {
-      error = std::current_exception();
+    const auto started = std::chrono::steady_clock::now();
+    {
+      obs::SpanGuard span;
+      if (item.scope.tracing()) {
+        const double queue_us =
+            std::chrono::duration<double, std::micro>(started - item.enqueued)
+                .count();
+        span = item.scope.span("comm", item.op_name,
+                               obs::ArgList()
+                                   .add("tag", item.tag)
+                                   .add("queue_us", queue_us));
+      }
+      try {
+        item.op();
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    if (item.scope.metrics() != nullptr) {
+      item.scope.counter_add(error ? "comm.ops_failed" : "comm.ops_completed",
+                             1.0);
+      item.scope.observe(
+          "comm.queue_us",
+          std::chrono::duration<double, std::micro>(started - item.enqueued)
+              .count());
+      item.scope.observe(
+          "comm.run_us",
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - started)
+              .count());
     }
     item.work->finish(std::move(error));
     {

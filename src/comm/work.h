@@ -17,6 +17,7 @@
 // the progress thread itself never hangs and is joined on shutdown.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -25,6 +26,8 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "obs/scope.h"
 
 namespace cannikin::comm {
 
@@ -70,7 +73,15 @@ class ProgressEngine {
 
   /// Enqueues `op` for the progress thread; returns its Work handle.
   /// After cancel(), the Work is failed immediately without running.
-  WorkPtr submit(std::function<void()> op);
+  /// `op_name` / `tag` label the operation in traces and metrics (the
+  /// pointer must outlive the engine -- pass string literals).
+  WorkPtr submit(std::function<void()> op, const char* op_name = "op",
+                 int tag = 0);
+
+  /// Attaches an instrumentation scope (already bound to this engine's
+  /// timeline row). Each executed operation then emits a span with its
+  /// op name, tag and time spent queued.
+  void set_scope(obs::Scope scope);
 
   /// Fails every queued (not yet started) Work with `error`, and makes
   /// every future submit() fail the same way. The in-flight operation,
@@ -85,12 +96,19 @@ class ProgressEngine {
   struct Item {
     std::function<void()> op;
     WorkPtr work;
+    const char* op_name = "op";
+    int tag = 0;
+    /// Scope stamped at submit() (under mutex_) so a concurrent
+    /// set_scope() cannot race the progress thread mid-operation.
+    obs::Scope scope;
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void run();
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  obs::Scope scope_;  ///< guarded by mutex_
   std::deque<Item> queue_;
   std::size_t in_flight_ = 0;
   bool cancelled_ = false;

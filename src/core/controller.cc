@@ -96,6 +96,34 @@ EpochPlan CannikinController::plan_epoch() {
           .count();
   ++epoch_;
   last_local_batches_ = plan.local_batches;
+  last_predicted_batch_time_ = plan.predicted_batch_time;
+  if (options_.obs.tracing()) {
+    options_.obs.thread_name("controller");
+    options_.obs.instant(
+        "controller", "batch_decision",
+        obs::ArgList()
+            .add("epoch", plan.epoch)
+            .add("total_batch", plan.total_batch)
+            .add("accumulation_steps", plan.accumulation_steps)
+            .add("predicted_batch_time", plan.predicted_batch_time)
+            .add("from_model", plan.from_model)
+            .add("linear_solves", plan.linear_solves)
+            .add("planning_us", plan.planning_seconds * 1e6)
+            .add("cache_rebuilt", plan.cache_rebuilt));
+  }
+  if (options_.obs.metrics() != nullptr) {
+    // Table-6-style planning overhead, accounted per plan.
+    options_.obs.counter_add("controller.plans", 1.0);
+    options_.obs.counter_add("controller.linear_solves",
+                             static_cast<double>(plan.linear_solves));
+    options_.obs.counter_add("controller.planning_seconds",
+                             plan.planning_seconds);
+    if (plan.cache_rebuilt) {
+      options_.obs.counter_add("controller.cache_rebuilds", 1.0);
+    }
+    options_.obs.observe("controller.planning_us",
+                         plan.planning_seconds * 1e6);
+  }
   return plan;
 }
 
@@ -332,6 +360,22 @@ void CannikinController::observe_epoch(
                                           t_other_obs[i] + t_last_obs[i]);
   }
   last_observed_batch_time_ = std::max(compute_bound, comm_bound);
+  if (options_.obs.tracing()) {
+    options_.obs.instant(
+        "controller", "model_refit",
+        obs::ArgList()
+            .add("predicted_batch_time", last_predicted_batch_time_)
+            .add("observed_batch_time", last_observed_batch_time_)
+            .add("total_batch", last_total_batch_)
+            .add("model_ready", perf_model_.ready()));
+  }
+  if (options_.obs.metrics() != nullptr &&
+      last_predicted_batch_time_ > 0.0 && last_observed_batch_time_ > 0.0) {
+    options_.obs.observe(
+        "controller.batch_time_rel_error",
+        std::abs(last_observed_batch_time_ - last_predicted_batch_time_) /
+            last_observed_batch_time_);
+  }
 }
 
 void CannikinController::update_gns(const std::vector<double>& batches,

@@ -26,6 +26,7 @@
 #include "core/goodput.h"
 #include "core/optperf.h"
 #include "core/perf_model.h"
+#include "obs/scope.h"
 
 namespace cannikin::core {
 
@@ -46,6 +47,11 @@ struct ControllerOptions {
   /// When false the total batch stays at initial_total_batch and only
   /// the local split is optimized (the fixed-batch mode of Sec. 5.2.2).
   bool adaptive_batch = true;
+  /// Instrumentation sinks, already bound to the controller's timeline
+  /// row (obs::kControllerTid). Disabled by default. When attached,
+  /// every plan emits a "batch_decision" instant and every observation
+  /// a "model_refit" instant carrying predicted vs observed batch time.
+  obs::Scope obs;
 };
 
 struct EpochPlan {
@@ -142,6 +148,7 @@ class CannikinController {
   int min_plan_batch_ = 0;
   int last_total_batch_ = 0;
   double last_observed_batch_time_ = 0.0;
+  double last_predicted_batch_time_ = 0.0;  ///< from the last plan_epoch()
   std::vector<int> last_local_batches_;
   std::vector<double> last_compute_times_;  // a_obs + p_obs per node
   std::vector<int> candidates_;

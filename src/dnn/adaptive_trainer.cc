@@ -32,11 +32,9 @@ double squared_norm(const std::vector<double>& v) {
 }  // namespace
 
 AdaptiveTrainer::AdaptiveTrainer(const InMemoryDataset* train,
-                                 ParallelTrainer::Task task,
                                  std::function<Model()> factory,
                                  AdaptiveTrainerOptions options)
     : train_(train),
-      task_(task),
       factory_(std::move(factory)),
       options_(std::move(options)) {
   if (train_ == nullptr) {
@@ -60,6 +58,8 @@ AdaptiveTrainer::AdaptiveTrainer(const InMemoryDataset* train,
   controller_options.initial_total_batch = options_.initial_total_batch;
   controller_options.max_total_batch = options_.max_total_batch;
   controller_options.gns_weighting = options_.gns_weighting;
+  // The controller records its decisions on its own timeline row.
+  controller_options.obs = options_.obs.for_rank(obs::kControllerTid);
   // Real-thread wall clock jitters far more than a GPU profiler (OS
   // scheduling, cache effects, co-running processes): only a gross,
   // persistent misprediction should count as hardware drift.
@@ -102,7 +102,11 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
                               options_.initial_total_batch,
                               controller_->current_gns());
 
-  comm::ProcessGroup group(options_.num_nodes);
+  comm::ProcessGroup group(options_.num_nodes, options_.comm_timeout_seconds);
+  if (options_.link_latency_seconds > 0.0) {
+    group.set_link_latency(options_.link_latency_seconds);
+  }
+  if (options_.obs.enabled()) group.set_scope(options_.obs);
   const auto buckets =
       comm::make_buckets(params_.size(), options_.bucket_capacity);
 
@@ -127,6 +131,19 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
     Optimizer& optimizer = *optimizers_[static_cast<std::size_t>(rank)];
     const int throttle =
         options_.throttles[static_cast<std::size_t>(rank)];
+    const obs::Scope scope = comm.scope();
+    obs::SpanGuard epoch_span;
+    if (scope.tracing()) {
+      scope.thread_name("rank " + std::to_string(rank));
+      epoch_span = scope.span(
+          "trainer", "epoch",
+          obs::ArgList()
+              .add("epoch", plan.epoch)
+              .add("total_batch", plan.total_batch)
+              .add("local_batch",
+                   plan.local_batches[static_cast<std::size_t>(rank)])
+              .add("throttle", throttle));
+    }
 
     for (int batch = 0; batch < num_batches; ++batch) {
       // Identical allocation sequence on every rank keeps tags matched.
@@ -155,6 +172,12 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
       double local_norm_sq = 0.0;
 
       const auto a_start = std::chrono::steady_clock::now();
+      obs::SpanGuard forward_span;
+      if (scope.tracing()) {
+        forward_span = scope.span(
+            "trainer", "forward",
+            obs::ArgList().add("batch", batch).add("local_b", local_b));
+      }
       Tensor outputs;
       LossResult loss;
       if (local_b > 0) {
@@ -163,7 +186,7 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
         for (int rep = 0; rep < throttle; ++rep) {
           outputs = model.forward(inputs);
         }
-        if (task_ == ParallelTrainer::Task::kClassification) {
+        if (options_.task == TaskKind::kClassification) {
           const auto labels = train_->gather_labels(indices);
           loss = softmax_cross_entropy(outputs, labels);
           local_correct = accuracy(outputs, labels) * local_b;
@@ -179,12 +202,18 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
         local_loss = loss.value;
       }
       a_time[static_cast<std::size_t>(rank)] += seconds_since(a_start);
+      forward_span.close();
 
       // Throttle reps 0..throttle-2 are pure compute (their gradients
       // are discarded, like DDP's no_sync); only the final rep streams
       // gradients into the reducer so buckets overlap with the tail of
       // the real backward pass.
       const auto p_start = std::chrono::steady_clock::now();
+      obs::SpanGuard backward_span;
+      if (scope.tracing()) {
+        backward_span = scope.span("trainer", "backward",
+                                   obs::ArgList().add("batch", batch));
+      }
       if (local_b > 0) {
         for (int rep = 0; rep + 1 < throttle; ++rep) {
           if (rep > 0) model.zero_grads();
@@ -201,6 +230,7 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
                        });
       }
       p_time[static_cast<std::size_t>(rank)] += seconds_since(p_start);
+      backward_span.close();
 
       const comm::BucketReducer::Stats comm_stats = reducer.finish();
       exposed_time[static_cast<std::size_t>(rank)] +=
@@ -215,9 +245,15 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
                                 local_loss * local_b, local_correct};
       const auto all_stats = comm::all_gather(comm, stats, gather_tag);
 
+      obs::SpanGuard update_span;
+      if (scope.tracing()) {
+        update_span = scope.span("trainer", "update",
+                                 obs::ArgList().add("batch", batch));
+      }
       std::vector<double> new_params = model.flat_params();
       optimizer.step(new_params, gradient, lr);
       model.set_flat_params(new_params);
+      update_span.close();
 
       if (rank == 0) {
         std::vector<double> bs, norms;
@@ -290,6 +326,11 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
     report.train_accuracy = correct_sum / samples;
   }
   report.gns = controller_->current_gns();
+  if (options_.obs.metrics() != nullptr) {
+    options_.obs.observe("adaptive.epoch_seconds", report.epoch_seconds);
+    options_.obs.gauge_set("adaptive.total_batch",
+                           static_cast<double>(report.total_batch));
+  }
   ++epoch_;
   return report;
 }
@@ -306,7 +347,7 @@ double AdaptiveTrainer::evaluate_accuracy(
     const std::size_t end = std::min(begin + chunk, indices.size());
     std::span<const std::size_t> slice(indices.data() + begin, end - begin);
     const Tensor outputs = model.forward(dataset.gather(slice));
-    if (task_ == ParallelTrainer::Task::kClassification) {
+    if (options_.task == TaskKind::kClassification) {
       correct += accuracy(outputs, dataset.gather_labels(slice)) *
                  static_cast<double>(slice.size());
     } else {

@@ -40,19 +40,11 @@
 
 namespace cannikin::dnn {
 
-struct AdaptiveTrainerOptions {
-  int num_nodes = 1;
+struct AdaptiveTrainerOptions : CommonTrainerOptions {
   /// Per-worker slowdown factors (>= 1); size num_nodes or empty for
   /// all-equal. A worker with throttle 3 "computes" 3x slower.
   std::vector<int> throttles;
-  int initial_total_batch = 32;   ///< B0
   int max_total_batch = 512;
-  double base_lr = 0.05;
-  LrScaling lr_scaling = LrScaling::kAdaScale;
-  bool use_adam = false;
-  core::GnsWeighting gns_weighting = core::GnsWeighting::kOptimal;
-  std::size_t bucket_capacity = 4096;
-  std::uint64_t seed = 1;
 };
 
 struct AdaptiveEpochReport {
@@ -68,7 +60,8 @@ struct AdaptiveEpochReport {
 
 class AdaptiveTrainer {
  public:
-  AdaptiveTrainer(const InMemoryDataset* train, ParallelTrainer::Task task,
+  /// The task kind comes from `options.task`.
+  AdaptiveTrainer(const InMemoryDataset* train,
                   std::function<Model()> factory,
                   AdaptiveTrainerOptions options);
 
@@ -82,7 +75,6 @@ class AdaptiveTrainer {
 
  private:
   const InMemoryDataset* train_;
-  ParallelTrainer::Task task_;
   std::function<Model()> factory_;
   AdaptiveTrainerOptions options_;
 

@@ -43,11 +43,10 @@ struct PhaseAccum {
 
 }  // namespace
 
-ParallelTrainer::ParallelTrainer(const InMemoryDataset* train, Task task,
+ParallelTrainer::ParallelTrainer(const InMemoryDataset* train,
                                  std::function<Model()> factory,
                                  TrainerOptions options)
     : train_(train),
-      task_(task),
       factory_(std::move(factory)),
       options_(options),
       gns_(options.gns_smoothing, options.gns_weighting) {
@@ -91,6 +90,10 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
                 options_.initial_total_batch, gns_.gns());
 
   comm::ProcessGroup group(options_.num_nodes, options_.comm_timeout_seconds);
+  if (options_.link_latency_seconds > 0.0) {
+    group.set_link_latency(options_.link_latency_seconds);
+  }
+  if (options_.obs.enabled()) group.set_scope(options_.obs);
   const auto buckets =
       comm::make_buckets(params_.size(), options_.bucket_capacity);
 
@@ -105,6 +108,15 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
     model.set_flat_params(params_);
     Optimizer& optimizer = *optimizers_[static_cast<std::size_t>(rank)];
     PhaseAccum& accum = accums[static_cast<std::size_t>(rank)];
+    const obs::Scope scope = comm.scope();
+    obs::SpanGuard epoch_span;
+    if (scope.tracing()) {
+      scope.thread_name("rank " + std::to_string(rank));
+      epoch_span = scope.span("trainer", "epoch",
+                              obs::ArgList()
+                                  .add("epoch", epoch_)
+                                  .add("num_batches", num_batches));
+    }
 
     for (int batch = 0; batch < num_batches; ++batch) {
       if (rank == options_.inject_failure_rank &&
@@ -146,10 +158,16 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
       double local_norm_sq = 0.0;
       if (local_b > 0) {
         const auto forward_begin = Clock::now();
+        obs::SpanGuard forward_span;
+        if (scope.tracing()) {
+          forward_span = scope.span(
+              "trainer", "forward",
+              obs::ArgList().add("batch", batch).add("local_b", local_b));
+        }
         const Tensor inputs = train_->gather(indices);
         const Tensor outputs = model.forward(inputs);
         LossResult loss;
-        if (task_ == Task::kClassification) {
+        if (options_.task == Task::kClassification) {
           const auto labels = train_->gather_labels(indices);
           loss = softmax_cross_entropy(outputs, labels);
           local_correct = accuracy(outputs, labels) * local_b;
@@ -163,6 +181,7 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
         }
         local_loss = loss.value;
         accum.a_seconds += seconds_since(forward_begin);
+        forward_span.close();
 
         // Streamed backward: each layer's gradient range is marked
         // ready as soon as it exists, so a bucket's all-reduce runs on
@@ -170,6 +189,11 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
         // backpropagating. The GNS local norm must be read here,
         // before the async reduction scales the range in place.
         const auto backward_begin = Clock::now();
+        obs::SpanGuard backward_span;
+        if (scope.tracing()) {
+          backward_span = scope.span("trainer", "backward",
+                                     obs::ArgList().add("batch", batch));
+        }
         model.backward(
             loss.grad, gradient,
             [&](std::size_t offset, std::size_t length) {
@@ -179,6 +203,7 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
               reducer.mark_ready(offset, length);
             });
         accum.p_seconds += seconds_since(backward_begin);
+        backward_span.close();
       }
 
       const comm::BucketReducer::Stats comm_stats = reducer.finish();
@@ -197,10 +222,16 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
 
       // Every rank applies the identical update; replicas stay in sync.
       const auto update_begin = Clock::now();
+      obs::SpanGuard update_span;
+      if (scope.tracing()) {
+        update_span = scope.span("trainer", "update",
+                                 obs::ArgList().add("batch", batch));
+      }
       std::vector<double> new_params = model.flat_params();
       optimizer.step(new_params, gradient, lr);
       model.set_flat_params(new_params);
       accum.a_seconds += seconds_since(update_begin);
+      update_span.close();
 
       if (rank == 0) {
         std::vector<double> bs, norms;
@@ -292,6 +323,13 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
       timing.gamma = std::clamp(
           1.0 - accum.exposed_seconds / accum.total_comm_seconds, 0.0, 1.0);
     }
+    if (options_.obs.metrics() != nullptr) {
+      // Per-batch phase profile, one histogram sample per rank-epoch:
+      // the measured (a, P, gamma) feeding Cannikin's Eq. (3) models.
+      options_.obs.observe("trainer.a_us_per_batch", timing.a * 1e6);
+      options_.obs.observe("trainer.p_us_per_batch", timing.p * 1e6);
+      options_.obs.observe("trainer.gamma", timing.gamma);
+    }
   }
 
   params_ = std::move(final_params);
@@ -318,7 +356,7 @@ double ParallelTrainer::evaluate_accuracy(
     const std::size_t end = std::min(begin + chunk, indices.size());
     std::span<const std::size_t> slice(indices.data() + begin, end - begin);
     const Tensor outputs = model.forward(dataset.gather(slice));
-    if (task_ == Task::kClassification) {
+    if (options_.task == Task::kClassification) {
       const auto labels = dataset.gather_labels(slice);
       correct += accuracy(outputs, labels) * static_cast<double>(slice.size());
     } else {
@@ -344,7 +382,7 @@ double ParallelTrainer::evaluate_loss(const InMemoryDataset& dataset) const {
     std::span<const std::size_t> slice(indices.data() + begin, end - begin);
     const Tensor outputs = model.forward(dataset.gather(slice));
     LossResult loss;
-    if (task_ == Task::kClassification) {
+    if (options_.task == Task::kClassification) {
       loss = softmax_cross_entropy(outputs, dataset.gather_labels(slice));
     } else {
       loss = bce_with_logits(outputs, dataset.gather_targets(slice));

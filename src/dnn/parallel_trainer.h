@@ -21,25 +21,13 @@
 #include "dnn/data.h"
 #include "dnn/model.h"
 #include "dnn/optimizer.h"
+#include "dnn/trainer_options.h"
 
 namespace cannikin::dnn {
 
-struct TrainerOptions {
-  int num_nodes = 1;
-  double base_lr = 0.05;
-  LrScaling lr_scaling = LrScaling::kAdaScale;
-  int initial_total_batch = 32;  ///< B0 anchoring the LR scaling
-  core::GnsWeighting gns_weighting = core::GnsWeighting::kOptimal;
+struct TrainerOptions : CommonTrainerOptions {
   double gns_smoothing = 0.1;
-  std::size_t bucket_capacity = 4096;  ///< elements per gradient bucket
   double momentum = 0.9;
-  bool use_adam = false;
-  std::uint64_t seed = 1;
-  /// Deadline on every blocking comm operation (NCCL-watchdog style);
-  /// <= 0 waits forever. With a deadline set, a dead or hung worker
-  /// surfaces as comm::CommAbortedError from run_epoch() instead of a
-  /// permanent hang.
-  double comm_timeout_seconds = 0.0;
   /// Fault injection: this rank silently stops participating at the
   /// start of step `inject_failure_step` (as if its process were
   /// killed mid-epoch). -1 disables. Requires comm_timeout_seconds > 0
@@ -75,11 +63,15 @@ struct EpochResult {
 
 class ParallelTrainer {
  public:
-  enum class Task { kClassification, kBinaryRanking };
+  /// Legacy alias: the task kind now lives in CommonTrainerOptions so
+  /// it configures every trainer the same way; existing
+  /// `ParallelTrainer::Task::k...` spellings keep working.
+  using Task = TaskKind;
 
   /// `factory` builds an uninitialized replica of the model; the
-  /// trainer owns the canonical parameters.
-  ParallelTrainer(const InMemoryDataset* train, Task task,
+  /// trainer owns the canonical parameters. The task kind comes from
+  /// `options.task`.
+  ParallelTrainer(const InMemoryDataset* train,
                   std::function<Model()> factory, TrainerOptions options);
 
   int num_nodes() const { return options_.num_nodes; }
@@ -99,7 +91,6 @@ class ParallelTrainer {
 
  private:
   const InMemoryDataset* train_;
-  Task task_;
   std::function<Model()> factory_;
   TrainerOptions options_;
 

@@ -1,0 +1,52 @@
+// Shared trainer configuration.
+//
+// TrainerOptions (fixed-batch ParallelTrainer) and
+// AdaptiveTrainerOptions (full Cannikin loop) used to duplicate their
+// common knobs field by field, and the task kind travelled separately
+// as a constructor argument; configs were forever being copied member
+// by member between the two. CommonTrainerOptions is the single base
+// both inherit: a harness fills one CommonTrainerOptions (including
+// the task and the obs::Scope instrumentation handle) and slices it
+// into whichever trainer it builds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/gns.h"
+#include "dnn/optimizer.h"
+#include "obs/scope.h"
+
+namespace cannikin::dnn {
+
+/// What the model predicts; decides the loss (softmax cross-entropy vs
+/// BCE-with-logits) and the accuracy definition.
+enum class TaskKind { kClassification, kBinaryRanking };
+
+struct CommonTrainerOptions {
+  int num_nodes = 1;
+  TaskKind task = TaskKind::kClassification;
+  double base_lr = 0.05;
+  LrScaling lr_scaling = LrScaling::kAdaScale;
+  int initial_total_batch = 32;  ///< B0 anchoring the LR scaling
+  core::GnsWeighting gns_weighting = core::GnsWeighting::kOptimal;
+  std::size_t bucket_capacity = 4096;  ///< elements per gradient bucket
+  bool use_adam = false;
+  std::uint64_t seed = 1;
+  /// Deadline on every blocking comm operation (NCCL-watchdog style);
+  /// <= 0 waits forever. With a deadline set, a dead or hung worker
+  /// surfaces as comm::CommAbortedError from run_epoch() instead of a
+  /// permanent hang.
+  double comm_timeout_seconds = 0.0;
+  /// Per-message delivery latency of the in-process fabric (seconds);
+  /// <= 0 delivers immediately. Slowing the simulated link is what
+  /// makes compute/communication overlap visible on a single host.
+  double link_latency_seconds = 0.0;
+  /// Instrumentation sinks (tracer + metrics; see obs/scope.h).
+  /// Disabled by default. When attached, the trainer emits per-rank
+  /// forward/backward/update spans, the comm engines trace every
+  /// collective, and phase timings flow into the metrics registry.
+  obs::Scope obs;
+};
+
+}  // namespace cannikin::dnn

@@ -69,6 +69,17 @@ RunTrace run_loop(sim::ClusterJob& job, const workloads::Workload& workload,
         options.index_cost_per_sample *
             static_cast<double>(workload.dataset_size) +
         options.config_cost_per_node * job.size();
+    row.planning_seconds = plan.planning_seconds;
+    row.linear_solves = plan.linear_solves;
+    trace.planning_seconds += plan.planning_seconds;
+    trace.linear_solves += plan.linear_solves;
+    if (options.obs.metrics() != nullptr) {
+      options.obs.counter_add("harness.planning_seconds",
+                              plan.planning_seconds);
+      options.obs.counter_add("harness.linear_solves",
+                              static_cast<double>(plan.linear_solves));
+      options.obs.observe("harness.overhead_us", row.overhead_seconds * 1e6);
+    }
 
     clock += row.epoch_seconds + row.overhead_seconds;
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "experiments/training_system.h"
+#include "obs/scope.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
 #include "workloads/registry.h"
@@ -28,6 +29,8 @@ struct EpochRow {
   double avg_batch_time = 0.0;  ///< true simulated batch time
   double epoch_seconds = 0.0;   ///< training time (no overhead)
   double overhead_seconds = 0.0;
+  double planning_seconds = 0.0;    ///< measured policy planning wall clock
+  int linear_solves = 0;            ///< OptPerf solver work spent planning
   double cumulative_seconds = 0.0;  ///< including overhead
   double progress_fraction = 0.0;   ///< after this epoch
   double gns = 0.0;
@@ -40,6 +43,11 @@ struct RunTrace {
   std::string workload;
   std::vector<EpochRow> epochs;
   double total_seconds = 0.0;
+  /// Table-6 overhead accounting, summed over the run. The per-epoch
+  /// values come straight from SystemPlan; before they were surfaced
+  /// here an overhead analysis needed a second instrumented run.
+  double planning_seconds = 0.0;
+  long linear_solves = 0;
   bool reached_target = false;
 
   double final_metric() const {
@@ -59,6 +67,10 @@ struct HarnessOptions {
   double config_cost_per_node = 5e-3;
   /// Multiplier on the measured planning wall clock (1.0 = as measured).
   double overhead_scale = 1.0;
+  /// Observability scope: when metrics are attached the harness records
+  /// harness.planning_seconds / harness.linear_solves counters and a
+  /// harness.overhead_us histogram per epoch.
+  obs::Scope obs;
 };
 
 /// Runs `system` on `job` until `workload.target_progress()` effective

@@ -11,6 +11,7 @@ namespace {
 dnn::TrainerOptions merge_options(const dnn::ZooEntry& entry, int num_nodes,
                                   dnn::TrainerOptions base) {
   base.num_nodes = num_nodes;
+  base.task = entry.task;
   base.base_lr = entry.base_lr;
   base.lr_scaling = entry.lr_scaling;
   base.use_adam = entry.use_adam;
@@ -26,7 +27,7 @@ RealTrainingDriver::RealTrainingDriver(TrainingSystem* system,
                                        dnn::TrainerOptions base)
     : system_(system),
       entry_(entry),
-      trainer_(entry_.dataset.get(), entry_.task, entry_.factory,
+      trainer_(entry_.dataset.get(), entry_.factory,
                merge_options(entry_, num_nodes, base)) {
   if (system_ == nullptr) {
     throw std::invalid_argument("RealTrainingDriver: null system");

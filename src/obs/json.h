@@ -1,0 +1,35 @@
+// Minimal recursive-descent JSON parser, just enough to round-trip the
+// tracer / metrics exports in tests and tools. Not a general-purpose
+// library: numbers are doubles, object keys keep insertion order, and
+// any syntax error throws std::runtime_error with an offset.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cannikin::obs::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// First member with `key`, or nullptr. Only meaningful on objects.
+  const Value* find(const std::string& key) const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Value parse(const std::string& text);
+
+}  // namespace cannikin::obs::json

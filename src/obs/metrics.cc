@@ -1,0 +1,171 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/trace.h"
+
+namespace cannikin::obs {
+
+namespace {
+
+std::string format_number(double value) {
+  if (!(value == value) || value > 1e308 || value < -1e308) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Nearest-rank percentile over an already sorted sample vector.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p * static_cast<double>(sorted.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp(rank - 1.0, 0.0, static_cast<double>(sorted.size() - 1)));
+  return sorted[index];
+}
+
+}  // namespace
+
+void MetricsRegistry::counter_add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::gauge_set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Histogram& histogram = histograms_[name];
+  if (histogram.count == 0) {
+    histogram.min = value;
+    histogram.max = value;
+  } else {
+    histogram.min = std::min(histogram.min, value);
+    histogram.max = std::max(histogram.max, value);
+  }
+  ++histogram.count;
+  histogram.sum += value;
+  if (histogram.samples.size() < kMaxHistogramSamples) {
+    histogram.samples.push_back(value);
+  }
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+MetricsRegistry::HistogramSummary MetricsRegistry::summarize(
+    const Histogram& histogram) {
+  HistogramSummary summary;
+  summary.count = histogram.count;
+  if (histogram.count == 0) return summary;
+  summary.min = histogram.min;
+  summary.max = histogram.max;
+  summary.mean = histogram.sum / static_cast<double>(histogram.count);
+  std::vector<double> sorted = histogram.samples;
+  std::sort(sorted.begin(), sorted.end());
+  summary.p50 = percentile(sorted, 0.50);
+  summary.p90 = percentile(sorted, 0.90);
+  summary.p99 = percentile(sorted, 0.99);
+  return summary;
+}
+
+MetricsRegistry::HistogramSummary MetricsRegistry::histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return HistogramSummary{};
+  return summarize(it->second);
+}
+
+std::vector<std::pair<std::string, std::string>> MetricsRegistry::names()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, value] : counters_) {
+    (void)value;
+    out.emplace_back(name, "counter");
+  }
+  for (const auto& [name, value] : gauges_) {
+    (void)value;
+    out.emplace_back(name, "gauge");
+  }
+  for (const auto& [name, value] : histograms_) {
+    (void)value;
+    out.emplace_back(name, "histogram");
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_bench_json(
+    const std::string& executable) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"context\":{\"executable\":\"";
+  append_json_escaped(&out, executable);
+  out += "\",\"library\":\"cannikin_obs\"},\"benchmarks\":[";
+  bool first = true;
+  const auto open_entry = [&](const std::string& name,
+                              const char* run_type) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(&out, name);
+    out += "\",\"run_type\":\"";
+    out += run_type;
+    out += '"';
+  };
+  for (const auto& [name, value] : counters_) {
+    open_entry(name, "counter");
+    out += ",\"value\":" + format_number(value) + "}";
+  }
+  for (const auto& [name, value] : gauges_) {
+    open_entry(name, "gauge");
+    out += ",\"value\":" + format_number(value) + "}";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSummary summary = summarize(histogram);
+    open_entry(name, "histogram");
+    out += ",\"count\":" + std::to_string(summary.count);
+    out += ",\"min\":" + format_number(summary.min);
+    out += ",\"max\":" + format_number(summary.max);
+    out += ",\"mean\":" + format_number(summary.mean);
+    out += ",\"p50\":" + format_number(summary.p50);
+    out += ",\"p90\":" + format_number(summary.p90);
+    out += ",\"p99\":" + format_number(summary.p99);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::write_bench_json(const std::string& path,
+                                       const std::string& executable) const {
+  const std::string json = to_bench_json(executable);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    throw std::runtime_error("MetricsRegistry::write_bench_json: cannot open " +
+                             path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int close_error = std::fclose(file);
+  if (written != json.size() || close_error != 0) {
+    throw std::runtime_error(
+        "MetricsRegistry::write_bench_json: short write to " + path);
+  }
+}
+
+}  // namespace cannikin::obs

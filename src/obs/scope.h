@@ -1,0 +1,118 @@
+// obs::Scope -- the one instrumentation handle threaded through the
+// system's options structs (TrainerOptions, ControllerOptions,
+// SupervisorOptions, HarnessOptions, ProcessGroup). No globals: a
+// subsystem records only into the Tracer / MetricsRegistry the caller
+// handed it, and a default-constructed Scope is *disabled* -- every
+// call degrades to a single null-pointer test, so instrumented hot
+// paths cost nothing when observability is off.
+//
+// Row (tid) conventions, so every trace reads the same way:
+//   rank r worker thread   -> tid r
+//   rank r comm progress   -> tid kCommTidBase + r
+//   controller             -> tid kControllerTid
+//   supervisor / scheduler -> tid kSupervisorTid
+// for_rank(tid) derives a Scope bound to a row; the Scope itself is two
+// pointers and an int, passed by value everywhere.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cannikin::obs {
+
+inline constexpr int kCommTidBase = 1000;  ///< comm engine rows
+inline constexpr int kControllerTid = 900;
+inline constexpr int kSupervisorTid = 901;
+
+/// RAII span: records the matching end() when destroyed. Obtained from
+/// Scope::span(); a default-constructed guard is inert.
+class SpanGuard {
+ public:
+  SpanGuard() = default;
+  SpanGuard(Tracer* tracer, int tid, const char* category)
+      : tracer_(tracer), tid_(tid), category_(category) {}
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  SpanGuard(SpanGuard&& other) noexcept { *this = std::move(other); }
+  SpanGuard& operator=(SpanGuard&& other) noexcept {
+    close();
+    tracer_ = other.tracer_;
+    tid_ = other.tid_;
+    category_ = other.category_;
+    other.tracer_ = nullptr;
+    return *this;
+  }
+
+  ~SpanGuard() { close(); }
+
+  /// Ends the span early (idempotent).
+  void close() {
+    if (tracer_ != nullptr) tracer_->end(tid_, category_);
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  int tid_ = 0;
+  const char* category_ = "";
+};
+
+class Scope {
+ public:
+  Scope() = default;
+  Scope(Tracer* tracer, MetricsRegistry* metrics, int tid = 0)
+      : tracer_(tracer), metrics_(metrics), tid_(tid) {}
+
+  /// True when any sink is attached. Check before building ArgLists or
+  /// other per-event state on hot paths.
+  bool enabled() const { return tracer_ != nullptr || metrics_ != nullptr; }
+  bool tracing() const { return tracer_ != nullptr; }
+
+  Tracer* tracer() const { return tracer_; }
+  MetricsRegistry* metrics() const { return metrics_; }
+  int tid() const { return tid_; }
+
+  /// Same sinks, bound to timeline row `tid` (see conventions above).
+  Scope for_rank(int tid) const { return Scope(tracer_, metrics_, tid); }
+
+  /// Opens a span on this scope's row; the guard closes it.
+  [[nodiscard]] SpanGuard span(const char* category, std::string name,
+                               ArgList args = {}) const {
+    if (tracer_ == nullptr) return SpanGuard{};
+    tracer_->begin(tid_, category, std::move(name), std::move(args));
+    return SpanGuard(tracer_, tid_, category);
+  }
+
+  void instant(const char* category, std::string name,
+               ArgList args = {}) const {
+    if (tracer_ != nullptr) {
+      tracer_->instant(tid_, category, std::move(name), std::move(args));
+    }
+  }
+
+  /// Names this scope's row in the trace viewer.
+  void thread_name(const std::string& name) const {
+    if (tracer_ != nullptr) tracer_->set_thread_name(tid_, name);
+  }
+
+  void counter_add(const std::string& name, double delta) const {
+    if (metrics_ != nullptr) metrics_->counter_add(name, delta);
+  }
+  void gauge_set(const std::string& name, double value) const {
+    if (metrics_ != nullptr) metrics_->gauge_set(name, value);
+  }
+  void observe(const std::string& name, double value) const {
+    if (metrics_ != nullptr) metrics_->observe(name, value);
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  int tid_ = 0;
+};
+
+}  // namespace cannikin::obs

@@ -1,0 +1,269 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cannikin::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string format_number(double value) {
+  // JSON has no NaN/Infinity literals; clamp to null-ish zero.
+  if (!(value == value) || value > 1e308 || value < -1e308) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void append_json_escaped(std::string* out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buffer;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void ArgList::begin_pair(const char* key) {
+  if (!json_.empty()) json_ += ',';
+  json_ += '"';
+  append_json_escaped(&json_, key);
+  json_ += "\":";
+}
+
+ArgList& ArgList::add(const char* key, double value) {
+  begin_pair(key);
+  json_ += format_number(value);
+  return *this;
+}
+
+ArgList& ArgList::add(const char* key, std::int64_t value) {
+  begin_pair(key);
+  json_ += std::to_string(value);
+  return *this;
+}
+
+ArgList& ArgList::add(const char* key, std::uint64_t value) {
+  begin_pair(key);
+  json_ += std::to_string(value);
+  return *this;
+}
+
+ArgList& ArgList::add(const char* key, int value) {
+  return add(key, static_cast<std::int64_t>(value));
+}
+
+ArgList& ArgList::add(const char* key, bool value) {
+  begin_pair(key);
+  json_ += value ? "true" : "false";
+  return *this;
+}
+
+ArgList& ArgList::add(const char* key, const char* value) {
+  return add(key, std::string(value));
+}
+
+ArgList& ArgList::add(const char* key, const std::string& value) {
+  begin_pair(key);
+  json_ += '"';
+  append_json_escaped(&json_, value);
+  json_ += '"';
+  return *this;
+}
+
+Tracer::Tracer() {
+  static std::atomic<std::uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now().time_since_epoch())
+                  .count();
+}
+
+std::int64_t Tracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+             .count() -
+         epoch_ns_;
+}
+
+Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() const {
+  // Keyed by the tracer's process-unique id (never the address, which
+  // can be reused after destruction): a stale entry for a dead tracer
+  // is simply never looked up again.
+  thread_local std::unordered_map<std::uint64_t, ThreadBuffer*> local;
+  const auto it = local.find(id_);
+  if (it != local.end()) return *it->second;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buffer = buffers_.back().get();
+  local.emplace(id_, buffer);
+  return *buffer;
+}
+
+void Tracer::record(TraceEvent event) const {
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void Tracer::begin(int tid, const char* category, std::string name,
+                   ArgList args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = Phase::kBegin;
+  event.timestamp_ns = now_ns();
+  event.tid = tid;
+  event.args_json = std::move(args).json();
+  record(std::move(event));
+}
+
+void Tracer::end(int tid, const char* category) {
+  TraceEvent event;
+  event.category = category;
+  event.phase = Phase::kEnd;
+  event.timestamp_ns = now_ns();
+  event.tid = tid;
+  record(std::move(event));
+}
+
+void Tracer::instant(int tid, const char* category, std::string name,
+                     ArgList args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = Phase::kInstant;
+  event.timestamp_ns = now_ns();
+  event.tid = tid;
+  event.args_json = std::move(args).json();
+  record(std::move(event));
+}
+
+void Tracer::set_thread_name(int tid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  thread_names_[tid] = name;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  // Stable: events of one row come from one buffer in record order, so
+  // equal timestamps cannot flip a begin past its end.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.timestamp_ns < b.timestamp_ns;
+                   });
+  return merged;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::string Tracer::to_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::map<int, std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    names = thread_names_;
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const auto& [tid, name] : names) {
+    separator();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    append_json_escaped(&out, name);
+    out += "\"}}";
+  }
+  char ts[64];
+  for (const auto& event : events) {
+    separator();
+    out += "{\"name\":\"";
+    append_json_escaped(&out, event.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(&out, event.category);
+    out += "\",\"ph\":\"";
+    out += static_cast<char>(event.phase);
+    // Microseconds with nanosecond resolution kept as a fraction.
+    std::snprintf(ts, sizeof(ts), "%lld.%03d",
+                  static_cast<long long>(event.timestamp_ns / 1000),
+                  static_cast<int>(event.timestamp_ns % 1000));
+    out += "\",\"ts\":";
+    out += ts;
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    if (!event.args_json.empty()) {
+      out += ",\"args\":{";
+      out += event.args_json;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void Tracer::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    throw std::runtime_error("Tracer::write_json: cannot open " + path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int close_error = std::fclose(file);
+  if (written != json.size() || close_error != 0) {
+    throw std::runtime_error("Tracer::write_json: short write to " + path);
+  }
+}
+
+}  // namespace cannikin::obs

@@ -1,0 +1,126 @@
+// Tracer: the repo's timeline recorder, exporting Chrome trace_event
+// JSON viewable in chrome://tracing or Perfetto.
+//
+// Cannikin's argument rests on *measured* per-node phase timings
+// (a_i, P_i, syncStart_i, T_o, T_u) feeding the Eq. (3) performance
+// models; the tracer makes those measurements visible as a timeline:
+// each rank is one row (tid), its comm progress thread another, the
+// controller a third. Begin/end spans nest per row, instant events mark
+// decisions (batch plans, faults, checkpoints).
+//
+// Concurrency model: each recording thread owns a private buffer
+// registered with the tracer on first use. The hot path touches only
+// that buffer (one uncontended mutex acquisition -- contended only
+// while a concurrent flush drains it), so N ranks recording in parallel
+// never serialize against each other. Export merges and time-sorts the
+// buffers.
+//
+// Recording is *opt-in at every layer*: subsystems hold an obs::Scope
+// (see scope.h) whose null state skips all of this at the cost of one
+// pointer test -- no globals, no background threads, no allocation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cannikin::obs {
+
+/// Pre-rendered JSON object body ("key":value pairs, no braces) for an
+/// event's args. Rendering happens at record time on the caller, so
+/// build one only after checking the scope is enabled.
+class ArgList {
+ public:
+  ArgList() = default;
+
+  ArgList& add(const char* key, double value);
+  ArgList& add(const char* key, std::int64_t value);
+  ArgList& add(const char* key, std::uint64_t value);
+  ArgList& add(const char* key, int value);
+  ArgList& add(const char* key, bool value);
+  ArgList& add(const char* key, const char* value);
+  ArgList& add(const char* key, const std::string& value);
+
+  bool empty() const { return json_.empty(); }
+  const std::string& json() const { return json_; }
+
+ private:
+  void begin_pair(const char* key);
+  std::string json_;
+};
+
+/// Appends `text` to `*out` with JSON string escaping (no quotes added).
+void append_json_escaped(std::string* out, const std::string& text);
+
+/// Chrome trace_event phases used here.
+enum class Phase : char {
+  kBegin = 'B',
+  kEnd = 'E',
+  kInstant = 'i',
+  kMetadata = 'M',
+};
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "";
+  Phase phase = Phase::kInstant;
+  std::int64_t timestamp_ns = 0;  ///< since the tracer's construction
+  int tid = 0;                    ///< timeline row (rank convention)
+  std::string args_json;          ///< rendered ArgList body, may be empty
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span on row `tid`. Pair with end() on the same thread;
+  /// spans nest (stack discipline per row).
+  void begin(int tid, const char* category, std::string name,
+             ArgList args = {});
+  void end(int tid, const char* category);
+
+  /// Zero-duration event on row `tid`.
+  void instant(int tid, const char* category, std::string name,
+               ArgList args = {});
+
+  /// Names row `tid` in the viewer ("rank 0", "rank 0 comm", ...).
+  /// Idempotent per tid: repeated calls (one per epoch is typical) emit
+  /// one metadata event.
+  void set_thread_name(int tid, const std::string& name);
+
+  /// All events recorded so far, merged from every thread buffer and
+  /// sorted by timestamp. Safe to call while other threads record.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::size_t event_count() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}).
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer& buffer_for_this_thread() const;
+  void record(TraceEvent event) const;
+  std::int64_t now_ns() const;
+
+  std::uint64_t id_ = 0;  ///< process-unique, keys the thread-local map
+  std::int64_t epoch_ns_ = 0;
+
+  mutable std::mutex registry_mutex_;
+  mutable std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable std::map<int, std::string> thread_names_;
+};
+
+}  // namespace cannikin::obs

@@ -28,6 +28,7 @@ TrainingSupervisor::TrainingSupervisor(const workloads::Workload* workload,
       seed_(seed),
       use_model_bank_(use_model_bank),
       options_(std::move(options)),
+      obs_(options_.obs.for_rank(obs::kSupervisorTid)),
       store_(options_.checkpoint_dir, options_.keep_last) {
   if (options_.max_restore_attempts < 1) {
     throw std::invalid_argument(
@@ -42,6 +43,7 @@ void TrainingSupervisor::start(const std::vector<int>& allocation) {
   job_ = std::make_unique<ElasticCannikinJob>(workload_, full_cluster_, noise_,
                                               seed_, use_model_bank_);
   job_->set_allocation(allocation);
+  if (obs_.tracing()) obs_.thread_name("supervisor");
   // Epoch-0 checkpoint: a crash in the very first epoch still has
   // something to restore from.
   checkpoint_now();
@@ -62,11 +64,21 @@ const ElasticCannikinJob& TrainingSupervisor::job() const {
 }
 
 double TrainingSupervisor::checkpoint_now() {
+  obs::SpanGuard span;
+  if (obs_.tracing()) {
+    span = obs_.span("sched", "checkpoint_write",
+                     obs::ArgList().add("epochs", job().epochs_run()));
+  }
   const auto t0 = std::chrono::steady_clock::now();
   store_.save(job().make_checkpoint());
   const double elapsed = seconds_since(t0);
+  span.close();
   ++stats_.checkpoints_written;
   stats_.checkpoint_write_seconds += elapsed;
+  if (obs_.metrics() != nullptr) {
+    obs_.counter_add("sched.checkpoints_written", 1.0);
+    obs_.observe("sched.checkpoint_write_us", elapsed * 1e6);
+  }
   epochs_since_checkpoint_ = 0;
   return elapsed;
 }
@@ -87,6 +99,17 @@ bool TrainingSupervisor::handle_crash(const sim::FaultEvent& event, int epoch,
   double backoff = options_.backoff_initial_seconds;
   for (int attempt = 1; attempt <= options_.max_restore_attempts; ++attempt) {
     ++stats_.restore_attempts;
+    obs::SpanGuard restore_span;
+    if (obs_.tracing()) {
+      restore_span = obs_.span("sched", "restore",
+                               obs::ArgList()
+                                   .add("epoch", epoch)
+                                   .add("node", event.node)
+                                   .add("attempt", attempt));
+    }
+    if (obs_.metrics() != nullptr) {
+      obs_.counter_add("sched.restore_attempts", 1.0);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     try {
       if (restore_fault_hook_) restore_fault_hook_(attempt);
@@ -103,6 +126,13 @@ bool TrainingSupervisor::handle_crash(const sim::FaultEvent& event, int epoch,
       stats_.restore_seconds += restore_seconds;
       stats_.epochs_lost_to_rollback +=
           std::max(0, epochs_before - ckpt->epochs);
+      if (obs_.metrics() != nullptr) {
+        obs_.counter_add("sched.restores", 1.0);
+        obs_.observe("sched.restore_us", restore_seconds * 1e6);
+        obs_.counter_add(
+            "sched.epochs_lost_to_rollback",
+            static_cast<double>(std::max(0, epochs_before - ckpt->epochs)));
+      }
       job_ = std::move(job);
       epochs_since_checkpoint_ = 0;
       *charged_seconds += restore_seconds;
@@ -125,6 +155,9 @@ bool TrainingSupervisor::handle_crash(const sim::FaultEvent& event, int epoch,
         // simulated time, not slept.
         stats_.backoff_seconds += backoff;
         *charged_seconds += backoff;
+        if (obs_.metrics() != nullptr) {
+          obs_.counter_add("sched.backoff_seconds", backoff);
+        }
         backoff *= options_.backoff_multiplier;
       }
     }
@@ -133,6 +166,11 @@ bool TrainingSupervisor::handle_crash(const sim::FaultEvent& event, int epoch,
   stats_.give_up_reason = "restore failed after " +
                           std::to_string(options_.max_restore_attempts) +
                           " attempts: " + last_error;
+  if (obs_.tracing()) {
+    obs_.instant("sched", "give_up",
+                 obs::ArgList().add("epoch", epoch).add("reason",
+                                                        stats_.give_up_reason));
+  }
   return false;
 }
 
@@ -161,6 +199,23 @@ FaultRecoveryTrace run_with_faults(TrainingSupervisor& supervisor,
     for (const auto& event : injector.due(epoch)) {
       if (!events.empty()) events += "; ";
       events += event.describe();
+
+      const obs::Scope& obs = supervisor.obs_;
+      if (obs.tracing()) {
+        obs.instant("sched",
+                    event.kind == sim::FaultKind::kNodeRecover ? "rejoin"
+                                                               : "fault",
+                    obs::ArgList()
+                        .add("epoch", epoch)
+                        .add("node", event.node)
+                        .add("kind", sim::fault_kind_name(event.kind)));
+      }
+      if (obs.metrics() != nullptr) {
+        obs.counter_add(event.kind == sim::FaultKind::kNodeRecover
+                            ? "sched.rejoins"
+                            : "sched.faults",
+                        1.0);
+      }
 
       if (event.kind == sim::FaultKind::kNodeCrash &&
           options.crash_policy == CrashPolicy::kCheckpointRestore) {

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/scope.h"
 #include "sched/checkpoint.h"
 #include "sched/elastic_job.h"
 #include "sched/fault_recovery.h"
@@ -58,6 +59,10 @@ struct SupervisorOptions {
   int max_restore_attempts = 3;
   double backoff_initial_seconds = 0.5;
   double backoff_multiplier = 2.0;
+  /// Observability scope. The supervisor rebinds it to its own timeline
+  /// row (obs::kSupervisorTid) and emits fault / checkpoint_write /
+  /// restore / rejoin instants plus sched.* metrics.
+  obs::Scope obs;
 };
 
 enum class SupervisorOutcome {
@@ -128,6 +133,7 @@ class TrainingSupervisor {
   std::uint64_t seed_;
   bool use_model_bank_;
   SupervisorOptions options_;
+  obs::Scope obs_;  ///< options_.obs bound to the supervisor row
   CheckpointStore store_;
 
   std::unique_ptr<ElasticCannikinJob> job_;

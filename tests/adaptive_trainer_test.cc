@@ -35,8 +35,7 @@ AdaptiveTrainerOptions base_options() {
 TEST(AdaptiveTrainer, LearnsThrottlesAndSkewsLocalBatches) {
   const auto dataset = make_gaussian_mixture(3000, 16, 4, 2.5, 5);
   AdaptiveTrainer trainer(
-      &dataset, ParallelTrainer::Task::kClassification,
-      [] { return make_mlp(16, 24, 1, 4); }, base_options());
+      &dataset, [] { return make_mlp(16, 24, 1, 4); }, base_options());
 
   AdaptiveEpochReport report;
   for (int epoch = 0; epoch < 5; ++epoch) {
@@ -63,8 +62,7 @@ TEST(AdaptiveTrainer, LearnsThrottlesAndSkewsLocalBatches) {
 TEST(AdaptiveTrainer, TrainsToGoodAccuracyWhileAdapting) {
   const auto dataset = make_gaussian_mixture(3000, 16, 4, 3.0, 6);
   AdaptiveTrainer trainer(
-      &dataset, ParallelTrainer::Task::kClassification,
-      [] { return make_mlp(16, 24, 1, 4); }, base_options());
+      &dataset, [] { return make_mlp(16, 24, 1, 4); }, base_options());
   for (int epoch = 0; epoch < 8; ++epoch) trainer.run_epoch();
   EXPECT_GT(trainer.evaluate_accuracy(dataset), 0.85);
   EXPECT_GE(trainer.controller().current_gns(), 0.0);
@@ -76,8 +74,7 @@ TEST(AdaptiveTrainer, EpochReportsAreCoherent) {
   options.num_nodes = 2;
   options.throttles = {1, 2};
   AdaptiveTrainer trainer(
-      &dataset, ParallelTrainer::Task::kClassification,
-      [] { return make_mlp(12, 16, 1, 3); }, options);
+      &dataset, [] { return make_mlp(12, 16, 1, 3); }, options);
   for (int epoch = 0; epoch < 4; ++epoch) {
     const auto report = trainer.run_epoch();
     EXPECT_EQ(report.epoch, epoch);
@@ -94,19 +91,13 @@ TEST(AdaptiveTrainer, Validation) {
   auto factory = [] { return make_mlp(8, 8, 1, 2); };
   AdaptiveTrainerOptions options = base_options();
   options.throttles = {1, 2};  // wrong size for 3 nodes
-  EXPECT_THROW(AdaptiveTrainer(&dataset,
-                               ParallelTrainer::Task::kClassification,
-                               factory, options),
+  EXPECT_THROW(AdaptiveTrainer(&dataset, factory, options),
                std::invalid_argument);
   options.throttles = {1, 0, 2};
-  EXPECT_THROW(AdaptiveTrainer(&dataset,
-                               ParallelTrainer::Task::kClassification,
-                               factory, options),
+  EXPECT_THROW(AdaptiveTrainer(&dataset, factory, options),
                std::invalid_argument);
   options = base_options();
-  EXPECT_THROW(AdaptiveTrainer(nullptr,
-                               ParallelTrainer::Task::kClassification,
-                               factory, options),
+  EXPECT_THROW(AdaptiveTrainer(nullptr, factory, options),
                std::invalid_argument);
 }
 

@@ -212,10 +212,8 @@ TEST(ParallelTrainerFault, InjectedWorkerDeathAbortsInsteadOfHanging) {
   options.comm_timeout_seconds = 0.2;
   options.inject_failure_rank = 1;
   options.inject_failure_step = 2;
-  dnn::ParallelTrainer trainer(&dataset,
-                               dnn::ParallelTrainer::Task::kClassification,
-                               [] { return dnn::make_mlp(10, 16, 1, 3); },
-                               options);
+  dnn::ParallelTrainer trainer(
+      &dataset, [] { return dnn::make_mlp(10, 16, 1, 3); }, options);
 
   const auto params_before = trainer.params();
   const auto start = Clock::now();

@@ -245,8 +245,8 @@ TEST_P(ZooTraining, StandinTrainsOnUnevenLocalBatches) {
   options.use_adam = entry.use_adam;
   options.initial_total_batch = 48;
   options.seed = 21;
-  ParallelTrainer trainer(entry.dataset.get(), entry.task, entry.factory,
-                          options);
+  options.task = entry.task;
+  ParallelTrainer trainer(entry.dataset.get(), entry.factory, options);
 
   const double initial = trainer.evaluate_loss(*entry.dataset);
   for (int epoch = 0; epoch < 6; ++epoch) {

@@ -91,10 +91,8 @@ TEST(ParallelTrainerTimings, EpochReportsMeasuredPhaseProfile) {
   options.lr_scaling = dnn::LrScaling::kNone;
   options.initial_total_batch = 20;
   options.bucket_capacity = 64;  // several buckets for this model
-  dnn::ParallelTrainer trainer(&dataset,
-                               dnn::ParallelTrainer::Task::kClassification,
-                               [] { return dnn::make_mlp(8, 16, 2, 3); },
-                               options);
+  dnn::ParallelTrainer trainer(
+      &dataset, [] { return dnn::make_mlp(8, 16, 2, 3); }, options);
 
   const auto result = trainer.run_epoch({12, 8});
   EXPECT_GT(result.steps, 0);

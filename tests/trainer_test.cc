@@ -38,10 +38,8 @@ TEST(ParallelTrainer, HeterogeneousSplitMatchesSingleNodeExactly) {
   // order; parameters must match to floating-point roundoff.
   const auto dataset = small_classification();
 
-  ParallelTrainer single(&dataset, ParallelTrainer::Task::kClassification,
-                         mlp_factory(), base_options(1));
-  ParallelTrainer multi(&dataset, ParallelTrainer::Task::kClassification,
-                        mlp_factory(), base_options(3));
+  ParallelTrainer single(&dataset, mlp_factory(), base_options(1));
+  ParallelTrainer multi(&dataset, mlp_factory(), base_options(3));
 
   single.run_epoch({60});
   multi.run_epoch({30, 20, 10});
@@ -58,10 +56,8 @@ TEST(ParallelTrainer, HeterogeneousSplitMatchesSingleNodeExactly) {
 
 TEST(ParallelTrainer, EvenSplitAlsoMatchesSingleNode) {
   const auto dataset = small_classification();
-  ParallelTrainer single(&dataset, ParallelTrainer::Task::kClassification,
-                         mlp_factory(), base_options(1));
-  ParallelTrainer multi(&dataset, ParallelTrainer::Task::kClassification,
-                        mlp_factory(), base_options(4));
+  ParallelTrainer single(&dataset, mlp_factory(), base_options(1));
+  ParallelTrainer multi(&dataset, mlp_factory(), base_options(4));
   single.run_epoch({60});
   multi.run_epoch({15, 15, 15, 15});
   for (std::size_t i = 0; i < single.params().size(); ++i) {
@@ -71,8 +67,7 @@ TEST(ParallelTrainer, EvenSplitAlsoMatchesSingleNode) {
 
 TEST(ParallelTrainer, LossDecreasesAndAccuracyRises) {
   const auto dataset = small_classification();
-  ParallelTrainer trainer(&dataset, ParallelTrainer::Task::kClassification,
-                          mlp_factory(), base_options(3));
+  ParallelTrainer trainer(&dataset, mlp_factory(), base_options(3));
   const double initial_loss = trainer.evaluate_loss(dataset);
   double last_loss = 0.0;
   for (int epoch = 0; epoch < 8; ++epoch) {
@@ -85,8 +80,7 @@ TEST(ParallelTrainer, LossDecreasesAndAccuracyRises) {
 
 TEST(ParallelTrainer, GnsBecomesPositiveAndFinite) {
   const auto dataset = small_classification();
-  ParallelTrainer trainer(&dataset, ParallelTrainer::Task::kClassification,
-                          mlp_factory(), base_options(3));
+  ParallelTrainer trainer(&dataset, mlp_factory(), base_options(3));
   EpochResult result;
   for (int epoch = 0; epoch < 3; ++epoch) {
     result = trainer.run_epoch({30, 20, 10});
@@ -99,12 +93,12 @@ TEST(ParallelTrainer, GnsBecomesPositiveAndFinite) {
 TEST(ParallelTrainer, BinaryRankingTaskTrains) {
   const auto dataset = make_mf_dataset(800, 8, 30, 40, 0.05, 3);
   TrainerOptions options = base_options(2);
+  options.task = TaskKind::kBinaryRanking;
   options.use_adam = true;
   options.base_lr = 0.01;
   options.lr_scaling = LrScaling::kSquareRoot;
   ParallelTrainer trainer(
-      &dataset, ParallelTrainer::Task::kBinaryRanking,
-      [] { return make_mlp_regressor(16, 12, 1); }, options);
+      &dataset, [] { return make_mlp_regressor(16, 12, 1); }, options);
   const double initial = trainer.evaluate_accuracy(dataset);
   for (int epoch = 0; epoch < 20; ++epoch) {
     trainer.run_epoch({40, 24});
@@ -115,8 +109,7 @@ TEST(ParallelTrainer, BinaryRankingTaskTrains) {
 
 TEST(ParallelTrainer, ZeroBatchNodeParticipatesSafely) {
   const auto dataset = small_classification(200);
-  ParallelTrainer trainer(&dataset, ParallelTrainer::Task::kClassification,
-                          mlp_factory(), base_options(3));
+  ParallelTrainer trainer(&dataset, mlp_factory(), base_options(3));
   // Node 1 gets no work; collectives must still complete and training
   // must still make progress.
   const auto result = trainer.run_epoch({40, 0, 20});
@@ -126,21 +119,17 @@ TEST(ParallelTrainer, ZeroBatchNodeParticipatesSafely) {
 
 TEST(ParallelTrainer, Validation) {
   const auto dataset = small_classification(100);
-  ParallelTrainer trainer(&dataset, ParallelTrainer::Task::kClassification,
-                          mlp_factory(), base_options(2));
+  ParallelTrainer trainer(&dataset, mlp_factory(), base_options(2));
   EXPECT_THROW(trainer.run_epoch({10}), std::invalid_argument);
   EXPECT_THROW(trainer.run_epoch({0, 0}), std::invalid_argument);
-  EXPECT_THROW(ParallelTrainer(nullptr, ParallelTrainer::Task::kClassification,
-                               mlp_factory(), base_options(2)),
+  EXPECT_THROW(ParallelTrainer(nullptr, mlp_factory(), base_options(2)),
                std::invalid_argument);
 }
 
 TEST(ParallelTrainer, DeterministicAcrossRuns) {
   const auto dataset = small_classification(300);
-  ParallelTrainer a(&dataset, ParallelTrainer::Task::kClassification,
-                    mlp_factory(), base_options(3));
-  ParallelTrainer b(&dataset, ParallelTrainer::Task::kClassification,
-                    mlp_factory(), base_options(3));
+  ParallelTrainer a(&dataset, mlp_factory(), base_options(3));
+  ParallelTrainer b(&dataset, mlp_factory(), base_options(3));
   a.run_epoch({30, 20, 10});
   b.run_epoch({30, 20, 10});
   EXPECT_EQ(a.params(), b.params());
