@@ -1,0 +1,209 @@
+// Extension: rank-virtualization scaling study.
+//
+// The paper evaluates Cannikin on tens of real GPUs; this bench asks
+// what the *system* costs at cluster sizes real testbeds cannot reach:
+// 100 / 1,000 / 10,000 heterogeneous ranks. Two axes are measured per
+// cluster size:
+//
+//  1. Planner scaling -- wall-clock of one model-driven Algorithm 1
+//     plan (candidate enumeration + OptPerf overlap search) on a
+//     two-speed heterogeneous cluster, against the AdaptDL baseline's
+//     planner on the same cluster. Both planners are fed two bootstrap
+//     epochs of simulated observations first so they plan from learned
+//     models, as in steady-state operation.
+//
+//  2. Execution scaling -- one synchronization round (every rank joins
+//     a gradient all-reduce, staggered start times) executed on the
+//     event-backend comm runtime, where each rank is a virtual state
+//     machine on the discrete-event scheduler. Reported: events
+//     processed, scheduler throughput (events/sec of wall time), the
+//     *virtual* completion time of the round under the cluster's
+//     network model, and peak RSS. The ring algorithm's O(n^2)
+//     messages are affordable to 1k ranks; at 10k only the
+//     binomial-tree all-reduce (O(n) messages) is run, which is the
+//     point: the backend makes algorithm choices measurable at sizes
+//     where the wrong one stops being runnable.
+//
+// Everything lands in BENCH_scale.json.
+#include "bench_common.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "comm/event_backend.h"
+#include "comm/process_group.h"
+
+namespace {
+
+using namespace cannikin;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double peak_rss_mb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+// ------------------------------------------------------ planner scaling
+
+struct PlanCost {
+  double plan_seconds = 0.0;  ///< the measured model-driven plan
+  int total_batch = 0;
+};
+
+// Bootstraps `system` with two epochs of simulated observations on the
+// two-speed cluster, then times the third (model-driven) plan.
+PlanCost time_planner(bench::SystemKind kind, sim::ClusterJob& job,
+                      const workloads::Workload& workload) {
+  auto system = bench::make_system(kind, job, workload);
+  PlanCost cost;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const auto start = Clock::now();
+    experiments::SystemPlan plan = system->plan_epoch();
+    cost.plan_seconds =
+        plan.planning_seconds > 0.0 ? plan.planning_seconds
+                                    : seconds_since(start);
+    cost.total_batch = plan.total_batch;
+    system->observe_gns(static_cast<double>(plan.total_batch));
+    system->observe_epoch(
+        job.run_epoch(plan.local_batches, /*num_batches=*/4,
+                      plan.accumulation_steps));
+  }
+  return cost;
+}
+
+// ---------------------------------------------------- execution scaling
+
+struct RoundCost {
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  double virtual_seconds = 0.0;  ///< virtual completion time of the round
+  double events_per_second = 0.0;
+};
+
+// One synchronization round at `n` virtual ranks: every rank posts its
+// collective at a staggered virtual start (ranks do not reach the
+// synchronization point simultaneously on a heterogeneous cluster),
+// then a single driver thread drains the scheduler.
+RoundCost run_round(int n, std::size_t elements, bool use_tree,
+                    const sim::NetworkModel& network) {
+  comm::GroupOptions options;
+  options.size = n;
+  options.backend = comm::BackendKind::kEvent;
+  options.fabric = sim::FabricModel::from_network(network);
+  comm::ProcessGroup group(options);
+  comm::EventBackend* backend = group.event_backend();
+
+  std::vector<std::vector<double>> data(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    data[r].assign(elements, static_cast<double>(rank % 13) * 0.5);
+    // syncStart skew: slow half of the two-speed cluster arrives late.
+    const double sync_start = (rank < n / 2 ? 0.0 : 2e-4) + rank * 1e-7;
+    backend->post(rank, sync_start, [&group, &data, rank, r, use_tree] {
+      if (use_tree) {
+        comm::async_tree_all_reduce(group.communicator(rank), data[r], 1);
+      } else {
+        comm::async_ring_all_reduce(group.communicator(rank), data[r], 1);
+      }
+    });
+  }
+
+  const auto start = Clock::now();
+  const comm::EventStats stats = backend->run_until_idle();
+  RoundCost cost;
+  cost.wall_seconds = seconds_since(start);
+  cost.events = stats.events_processed;
+  cost.virtual_seconds = stats.virtual_time;
+  cost.events_per_second =
+      cost.wall_seconds > 0.0
+          ? static_cast<double>(stats.events_processed) / cost.wall_seconds
+          : 0.0;
+  if (stats.works_stranded != 0) {
+    std::printf("  WARNING: %zu stranded works at n=%d\n",
+                stats.works_stranded, n);
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  experiments::print_banner(
+      "Extension: planner and comm-runtime scaling at 100/1k/10k virtual "
+      "ranks");
+  bench::BenchReport report("bench/disc_scaling");
+
+  const auto& workload = workloads::by_name("cifar10");
+  const int sizes[] = {100, 1000, 10000};
+
+  experiments::TablePrinter table({"ranks", "cannikin plan(s)",
+                                   "adaptdl plan(s)", "algo", "events",
+                                   "events/sec", "virt round(s)",
+                                   "peak RSS(MB)"});
+  double plan_100 = 0.0, plan_10k = 0.0;
+  double eps_min = 0.0;
+  for (const int n : sizes) {
+    const sim::ClusterSpec cluster = sim::two_speed_cluster(n, 2.0);
+    sim::ClusterJob job(cluster, workload.profile, sim::NoiseConfig{}, 17);
+
+    const PlanCost cannikin =
+        time_planner(bench::SystemKind::kCannikin, job, workload);
+    const PlanCost adaptdl =
+        time_planner(bench::SystemKind::kAdaptDl, job, workload);
+
+    // 1024 doubles per rank: one gradient bucket's worth of payload.
+    const bool use_tree = n > 1000;
+    const RoundCost round = run_round(n, 1024, use_tree, cluster.network);
+    const double rss = peak_rss_mb();
+
+    const std::string prefix = "scale.n" + std::to_string(n);
+    report.gauge(prefix + ".cannikin_plan_seconds", cannikin.plan_seconds);
+    report.gauge(prefix + ".adaptdl_plan_seconds", adaptdl.plan_seconds);
+    report.gauge(prefix + ".cannikin_total_batch",
+                 static_cast<double>(cannikin.total_batch));
+    report.gauge(prefix + ".events",
+                 static_cast<double>(round.events));
+    report.gauge(prefix + ".events_per_second", round.events_per_second);
+    report.gauge(prefix + ".virtual_round_seconds", round.virtual_seconds);
+    report.gauge(prefix + ".wall_round_seconds", round.wall_seconds);
+    report.gauge(prefix + ".peak_rss_mb", rss);
+
+    table.add_row({std::to_string(n),
+                   experiments::TablePrinter::fmt(cannikin.plan_seconds, 4),
+                   experiments::TablePrinter::fmt(adaptdl.plan_seconds, 4),
+                   use_tree ? "tree" : "ring",
+                   std::to_string(round.events),
+                   experiments::TablePrinter::fmt(round.events_per_second, 0),
+                   experiments::TablePrinter::fmt(round.virtual_seconds, 5),
+                   experiments::TablePrinter::fmt(rss, 0)});
+
+    if (n == 100) plan_100 = cannikin.plan_seconds;
+    if (n == 10000) plan_10k = cannikin.plan_seconds;
+    eps_min = eps_min == 0.0 ? round.events_per_second
+                             : std::min(eps_min, round.events_per_second);
+  }
+  table.print();
+
+  // The claims this artifact exists to check: the planner stays usable
+  // at 10k nodes (sub-linear blowup in practice, seconds not minutes),
+  // and the event scheduler sustains a useful event rate at every size.
+  bench::shape_check(plan_10k < 60.0,
+                     "Algorithm 1 plans a 10k-node cluster in under a minute");
+  bench::shape_check(plan_100 <= plan_10k * 1.5,
+                     "plan cost grows with cluster size (100 -> 10k)");
+  bench::shape_check(eps_min > 10000.0,
+                     "event scheduler sustains >10k events/sec at all sizes");
+
+  report.write("BENCH_scale.json");
+  return 0;
+}

@@ -18,3 +18,9 @@ ctest --test-dir build-tsan -L fault --output-on-failure -j "$(nproc)"
 # Observability layer: per-thread trace buffers and the metrics
 # registry are exactly the kind of shared state tsan exists for.
 ctest --test-dir build-tsan -L obs --output-on-failure -j "$(nproc)"
+
+# Backend parity + rank virtualization: mixed-mode pump-on-block means
+# external threads take turns driving the event scheduler -- the parity
+# suite under tsan proves the handoff (mutex + cv + wait hooks) is
+# race-free, including the 1k/10k-rank scale tests.
+ctest --test-dir build-tsan -L scale --output-on-failure -j "$(nproc)"

@@ -1,0 +1,163 @@
+// comm::Backend -- the seam between the ProcessGroup/Communicator/Work
+// API and the machinery that actually moves bytes.
+//
+// Two implementations exist (mirroring NCCL-vs-simulator in systems
+// like Proteus/DistIR):
+//
+//   * ThreadBackend -- today's runtime: one mailbox per rank, one comm
+//     progress thread (ProgressEngine) per rank, wall-clock delivery
+//     delays. Faithful overlap measurement, caps out at tens of ranks.
+//
+//   * EventBackend -- rank virtualization: collectives are resumable
+//     state machines multiplexed onto one discrete-event queue driven
+//     by *virtual* time (sim::FabricModel supplies per-pair delays).
+//     The same API runs at 1,000-10,000 virtual ranks because a rank
+//     costs a few queue entries, not an OS thread.
+//
+// The interface dispatches at the collective level (all_reduce /
+// broadcast / all_gather / tree_all_reduce), not at a generic "run this
+// closure" level: that is what lets the event backend express each
+// collective as a non-blocking state machine while the thread backend
+// submits the classic blocking bodies to its progress threads. Both
+// backends implement the collectives with the *same* algebra in the
+// same order, so reduced tensors are bitwise identical across
+// backends.
+//
+// Error model (shared by both backends): CommTimeoutError when a peer
+// is dead or hung past the group deadline, CommAbortedError after
+// abort() poisons the group. Payload is the wire unit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/work.h"
+#include "obs/scope.h"
+#include "sim/network.h"
+
+namespace cannikin::comm {
+
+using Payload = std::vector<double>;
+
+/// Error raised for invalid rank / size arguments.
+class CommError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A blocking receive or barrier exceeded the group's timeout: some
+/// peer rank is dead, hung, or has left the collective.
+class CommTimeoutError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+/// The group was abort()ed (by this rank or a peer); the operation did
+/// not and will never complete. All further calls on the group fail.
+class CommAbortedError : public CommError {
+ public:
+  using CommError::CommError;
+};
+
+enum class BackendKind {
+  kThread,  ///< thread-per-rank ProgressEngine, wall-clock delays
+  kEvent,   ///< discrete-event scheduler, virtual-time delays
+};
+
+/// How a ProcessGroup is built. The legacy (size, timeout) constructor
+/// maps onto {size, timeout, kThread, fabric-disabled}.
+struct GroupOptions {
+  int size = 1;
+  /// <= 0 disables the deadline on blocking receives and barriers.
+  double timeout_seconds = 0.0;
+  BackendKind backend = BackendKind::kThread;
+  /// Per-pair delivery delays, shared by both backends. Disabled =
+  /// immediate delivery (thread backend) / zero-delay events (event
+  /// backend).
+  sim::FabricModel fabric;
+};
+
+/// Begin/end of one collective on one rank, in seconds. On the thread
+/// backend these are wall-clock (steady_clock since an arbitrary
+/// epoch); on the event backend they are virtual seconds since the
+/// group's creation. Consumers (BucketReducer stats) only ever take
+/// differences and compare ends, which is meaningful for either clock.
+struct OpTimes {
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
+  double seconds() const { return end_seconds - begin_seconds; }
+};
+
+/// One rank-indexed communication substrate. All methods are
+/// thread-safe; `rank` / `src` / `dst` are validated by the owning
+/// ProcessGroup before dispatch. Collectives return immediately with a
+/// Work handle; every rank must issue matching collective sequences
+/// with matching tags (the per-rank deterministic TagAllocator
+/// guarantees this and is backend-independent).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  virtual void set_timeout(double seconds) = 0;
+  virtual double timeout() const = 0;
+  virtual void set_fabric(const sim::FabricModel& fabric) = 0;
+  virtual void set_scope(obs::Scope scope) = 0;
+
+  /// Irreversibly poisons the backend: wakes every blocked operation
+  /// with CommAbortedError, fails every pending Work, and makes all
+  /// subsequent calls fail. Idempotent, callable from any thread.
+  virtual void abort() = 0;
+  virtual bool aborted() const = 0;
+
+  /// Point-to-point: send never blocks; recv blocks (subject to the
+  /// group timeout) until a matching (src, tag) message is delivered.
+  virtual void send(int src, int dst, std::uint64_t tag, Payload payload,
+                    const char* op) = 0;
+  virtual Payload recv(int dst, int src, std::uint64_t tag,
+                       const char* op) = 0;
+
+  /// Blocks until every rank has entered the barrier.
+  virtual void barrier(int rank) = 0;
+
+  /// Generic operation on `rank`'s comm queue. The thread backend runs
+  /// it on the rank's progress thread (submission order); the event
+  /// backend, having no progress threads, runs it inline on the caller
+  /// and returns an already-completed Work. Prefer the typed
+  /// collectives, which both backends execute asynchronously.
+  virtual WorkPtr submit(int rank, std::function<void()> op,
+                         const char* op_name, int tag) = 0;
+
+  /// In-place ring sum-all-reduce of `data` on `rank`, pre-scaled by
+  /// `weight` (skipped bitwise when weight == 1.0). `op_name` labels
+  /// traces/metrics ("all_reduce", "weighted_all_reduce",
+  /// "bucket_all_reduce", "all_reduce_scalar" -- pass string
+  /// literals). A non-null `times` receives the op's begin/end.
+  virtual WorkPtr all_reduce(int rank, std::span<double> data, double weight,
+                             std::uint64_t tag, const char* op_name,
+                             std::shared_ptr<OpTimes> times) = 0;
+
+  /// In-place binomial-tree sum-all-reduce (reduce to rank 0, then
+  /// broadcast): O(n) messages total vs the ring's O(n^2), the only
+  /// affordable shape at ~10k virtual ranks.
+  virtual WorkPtr tree_all_reduce(int rank, std::span<double> data,
+                                  std::uint64_t tag,
+                                  std::shared_ptr<OpTimes> times) = 0;
+
+  /// Binomial-tree broadcast of `*data` from `root`; non-root vectors
+  /// are replaced by the root's payload.
+  virtual WorkPtr broadcast(int rank, std::vector<double>* data, int root,
+                            std::uint64_t tag) = 0;
+
+  /// Ring all-gather: every rank's vector, concatenated in rank order
+  /// into `*out`. Per-rank contributions may differ in size.
+  virtual WorkPtr all_gather(int rank, const std::vector<double>* data,
+                             std::vector<double>* out, std::uint64_t tag) = 0;
+};
+
+}  // namespace cannikin::comm

@@ -1,6 +1,8 @@
 #include "comm/bucket.h"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <stdexcept>
 
 namespace cannikin::comm {
@@ -71,12 +73,10 @@ BucketReducer::~BucketReducer() {
 
 void BucketReducer::launch(std::size_t index) {
   const Bucket& bucket = buckets_[index];
-  auto timing = std::make_shared<Timing>();
+  auto timing = std::make_shared<OpTimes>();
   timings_[index] = timing;
   const auto sub = gradient_.subspan(bucket.offset, bucket.length);
-  const double weight = weight_;
   const std::uint64_t tag = base_tag_ + index;
-  Communicator comm = comm_;
   const obs::Scope scope = comm_.scope();
   if (scope.tracing()) {
     // Worker-row marker pairing this bucket with the span the comm
@@ -87,14 +87,8 @@ void BucketReducer::launch(std::size_t index) {
                       .add("tag", static_cast<std::int64_t>(tag))
                       .add("elements", static_cast<std::int64_t>(sub.size())));
   }
-  works_[index] = comm_.submit(
-      [comm, sub, weight, tag, timing]() mutable {
-        timing->begin = Clock::now();
-        for (double& v : sub) v *= weight;
-        detail::ring_all_reduce_blocking(comm, sub, tag);
-        timing->end = Clock::now();
-      },
-      "bucket_all_reduce", static_cast<int>(tag));
+  works_[index] = comm_.backend().all_reduce(comm_.rank(), sub, weight_, tag,
+                                             "bucket_all_reduce", timing);
   ++launched_;
 }
 
@@ -172,12 +166,12 @@ BucketReducer::Stats BucketReducer::finish() {
   }
   if (first_error) std::rethrow_exception(first_error);
 
-  Clock::time_point latest{};
+  double latest = -std::numeric_limits<double>::infinity();
   for (const auto& timing : timings_) {
-    stats.total_comm_seconds += seconds_between(timing->begin, timing->end);
-    if (timing->end >= latest) {
-      latest = timing->end;
-      stats.last_bucket_seconds = seconds_between(timing->begin, timing->end);
+    stats.total_comm_seconds += timing->seconds();
+    if (timing->end_seconds >= latest) {
+      latest = timing->end_seconds;
+      stats.last_bucket_seconds = timing->seconds();
     }
   }
   return stats;

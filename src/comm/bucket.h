@@ -9,13 +9,13 @@
 //
 // BucketReducer makes that overlap *executed* rather than modeled: the
 // trainer marks gradient ranges ready as backward produces them, the
-// reducer launches each bucket's weighted ring all-reduce on the comm
-// progress thread the moment the bucket fills, and finish() waits on
-// every outstanding Work at step end, reporting how much communication
-// was hidden behind compute.
+// reducer launches each bucket's weighted ring all-reduce through the
+// group's comm backend the moment the bucket fills (progress thread on
+// the thread backend, virtual-time state machine on the event backend),
+// and finish() waits on every outstanding Work at step end, reporting
+// how much communication was hidden behind compute.
 #pragma once
 
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -91,11 +91,6 @@ class BucketReducer {
   Stats finish();
 
  private:
-  struct Timing {
-    std::chrono::steady_clock::time_point begin;
-    std::chrono::steady_clock::time_point end;
-  };
-
   void launch(std::size_t index);
 
   Communicator comm_;
@@ -105,7 +100,9 @@ class BucketReducer {
   std::uint64_t base_tag_;
   std::vector<std::size_t> remaining_;
   std::vector<WorkPtr> works_;
-  std::vector<std::shared_ptr<Timing>> timings_;
+  /// Per-bucket op times filled by the backend: wall seconds on the
+  /// thread backend, virtual seconds on the event backend.
+  std::vector<std::shared_ptr<OpTimes>> timings_;
   std::size_t launched_ = 0;
   bool finished_ = false;
 };

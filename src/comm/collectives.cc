@@ -9,11 +9,6 @@ namespace cannikin::comm {
 
 namespace {
 
-struct Segment {
-  std::size_t offset;
-  std::size_t length;
-};
-
 // Aborted groups must fail uniformly, even on paths that would not
 // touch the fabric (single-rank groups, empty ring segments): a poisoned
 // collective that silently "succeeds" on some ranks hides the failure.
@@ -24,8 +19,10 @@ void check_not_aborted(const Communicator& comm, const char* op) {
   }
 }
 
-// Splits [0, total) into n contiguous segments whose sizes differ by at
-// most one, matching the chunking of the ring algorithm.
+}  // namespace
+
+namespace detail {
+
 std::vector<Segment> make_segments(std::size_t total, int n) {
   std::vector<Segment> segments(static_cast<std::size_t>(n));
   const std::size_t base = total / static_cast<std::size_t>(n);
@@ -38,10 +35,6 @@ std::vector<Segment> make_segments(std::size_t total, int n) {
   }
   return segments;
 }
-
-}  // namespace
-
-namespace detail {
 
 void ring_all_reduce_blocking(Communicator& comm, std::span<double> data,
                               std::uint64_t tag) {
@@ -86,6 +79,53 @@ void ring_all_reduce_blocking(Communicator& comm, std::span<double> data,
     Payload incoming = comm.recv(prev, tag * 2 + 1, "ring_all_reduce");
     std::copy(incoming.begin(), incoming.end(),
               data.begin() + static_cast<std::ptrdiff_t>(recv_seg.offset));
+  }
+}
+
+void tree_all_reduce_blocking(Communicator& comm, std::span<double> data,
+                              std::uint64_t tag) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  check_not_aborted(comm, "tree_all_reduce");
+  if (n == 1) return;
+
+  // Reduce to rank 0 along a binomial tree: each rank receives from its
+  // children (increasing mask order), then sends its partial sum to its
+  // parent. Tags are mangled per-phase like the ring's (tag*2 reduce,
+  // tag*2+1 broadcast).
+  int mask = 1;
+  while (mask < n) {
+    if (rank & mask) {
+      comm.send(rank - mask, tag * 2,
+                Payload(data.begin(), data.end()), "tree_all_reduce");
+      break;
+    }
+    if (rank + mask < n) {
+      Payload incoming = comm.recv(rank + mask, tag * 2, "tree_all_reduce");
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+    }
+    mask <<= 1;
+  }
+
+  // Broadcast the result back down (binomial, root 0). Mirrors
+  // broadcast_blocking with relative == rank.
+  mask = 1;
+  while (mask < n) {
+    if (rank & mask) {
+      Payload incoming =
+          comm.recv(rank - mask, tag * 2 + 1, "tree_all_reduce");
+      std::copy(incoming.begin(), incoming.end(), data.begin());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rank + mask < n) {
+      comm.send(rank + mask, tag * 2 + 1,
+                Payload(data.begin(), data.end()), "tree_all_reduce");
+    }
+    mask >>= 1;
   }
 }
 
@@ -148,55 +188,47 @@ std::vector<double> all_gather_blocking(Communicator& comm,
 
 WorkPtr async_ring_all_reduce(Communicator comm, std::span<double> data,
                               std::uint64_t tag) {
-  return comm.submit(
-      [comm, data, tag]() mutable {
-        detail::ring_all_reduce_blocking(comm, data, tag);
-      },
-      "all_reduce", static_cast<int>(tag));
+  return comm.backend().all_reduce(comm.rank(), data, /*weight=*/1.0, tag,
+                                   "all_reduce", nullptr);
+}
+
+WorkPtr async_tree_all_reduce(Communicator comm, std::span<double> data,
+                              std::uint64_t tag) {
+  return comm.backend().tree_all_reduce(comm.rank(), data, tag, nullptr);
 }
 
 WorkPtr async_weighted_ring_all_reduce(Communicator comm,
                                        std::span<double> data, double weight,
                                        std::uint64_t tag) {
-  return comm.submit(
-      [comm, data, weight, tag]() mutable {
-        for (double& v : data) v *= weight;
-        detail::ring_all_reduce_blocking(comm, data, tag);
-      },
-      "weighted_all_reduce", static_cast<int>(tag));
+  return comm.backend().all_reduce(comm.rank(), data, weight, tag,
+                                   "weighted_all_reduce", nullptr);
 }
 
 WorkPtr async_broadcast(Communicator comm, std::vector<double>* data,
                         int root, std::uint64_t tag) {
-  return comm.submit(
-      [comm, data, root, tag]() mutable {
-        detail::broadcast_blocking(comm, *data, root, tag);
-      },
-      "broadcast", static_cast<int>(tag));
+  return comm.backend().broadcast(comm.rank(), data, root, tag);
 }
 
 WorkPtr async_all_gather(Communicator comm, const std::vector<double>* data,
                          std::vector<double>* out, std::uint64_t tag) {
-  return comm.submit(
-      [comm, data, out, tag]() mutable {
-        *out = detail::all_gather_blocking(comm, *data, tag);
-      },
-      "all_gather", static_cast<int>(tag));
+  return comm.backend().all_gather(comm.rank(), data, out, tag);
 }
 
 WorkPtr async_all_reduce_scalar(Communicator comm, double* value,
                                 std::uint64_t tag) {
-  return comm.submit(
-      [comm, value, tag]() mutable {
-        std::span<double> buf(value, 1);
-        detail::ring_all_reduce_blocking(comm, buf, tag);
-      },
-      "all_reduce_scalar", static_cast<int>(tag));
+  return comm.backend().all_reduce(comm.rank(), std::span<double>(value, 1),
+                                   /*weight=*/1.0, tag, "all_reduce_scalar",
+                                   nullptr);
 }
 
 void ring_all_reduce(Communicator& comm, std::span<double> data,
                      std::uint64_t tag) {
   async_ring_all_reduce(comm, data, tag)->wait();
+}
+
+void tree_all_reduce(Communicator& comm, std::span<double> data,
+                     std::uint64_t tag) {
+  async_tree_all_reduce(comm, data, tag)->wait();
 }
 
 void weighted_ring_all_reduce(Communicator& comm, std::span<double> data,

@@ -6,10 +6,12 @@
 // of (n-1) steps, each moving 1/n of the buffer per step.
 //
 // Every collective comes in two forms:
-//   * async_* returns immediately with a Work handle; the operation's
-//     state machine runs on the rank's comm progress thread
-//     (ProcessGroup::engine). Buffers passed by span/pointer must stay
-//     alive and untouched until the Work completes.
+//   * async_* returns immediately with a Work handle and dispatches to
+//     the group's comm::Backend -- the thread backend runs the blocking
+//     body on the rank's comm progress thread, the event backend runs
+//     an equivalent state machine in virtual time. Buffers passed by
+//     span/pointer must stay alive and untouched until the Work
+//     completes.
 //   * the blocking form is a thin wrapper, `async_*(...)->wait()`, kept
 //     so call sites can migrate incrementally.
 //
@@ -32,6 +34,14 @@ namespace cannikin::comm {
 /// Nonblocking in-place sum-all-reduce over all ranks (ring algorithm).
 /// Every rank must pass a buffer of identical size.
 WorkPtr async_ring_all_reduce(Communicator comm, std::span<double> data,
+                              std::uint64_t tag);
+
+/// Nonblocking in-place sum-all-reduce along a binomial tree (reduce
+/// to rank 0, then broadcast back down): O(n) messages total vs the
+/// ring's O(n^2), the only affordable shape at thousands of ranks.
+/// Unlike the ring it is not bandwidth-optimal -- rank 0's links carry
+/// the whole buffer log2(n) times -- so prefer the ring at small n.
+WorkPtr async_tree_all_reduce(Communicator comm, std::span<double> data,
                               std::uint64_t tag);
 
 /// Nonblocking weighted all-reduce: computes sum_i weight_i * data_i on
@@ -61,6 +71,10 @@ WorkPtr async_all_reduce_scalar(Communicator comm, double* value,
 void ring_all_reduce(Communicator& comm, std::span<double> data,
                      std::uint64_t tag);
 
+/// In-place sum-all-reduce along a binomial tree (see async form).
+void tree_all_reduce(Communicator& comm, std::span<double> data,
+                     std::uint64_t tag);
+
 /// In-place weighted all-reduce (see async form).
 void weighted_ring_all_reduce(Communicator& comm, std::span<double> data,
                               double weight, std::uint64_t tag);
@@ -80,10 +94,25 @@ double all_reduce_scalar(Communicator& comm, double value, std::uint64_t tag);
 
 namespace detail {
 
+/// One contiguous chunk of the flat buffer in the ring algorithm.
+struct Segment {
+  std::size_t offset;
+  std::size_t length;
+};
+
+/// Splits [0, total) into n contiguous segments whose sizes differ by
+/// at most one -- the chunking of the ring algorithm. Exported because
+/// the event backend's ring state machine must use *identical*
+/// segments for bitwise cross-backend parity.
+std::vector<Segment> make_segments(std::size_t total, int n);
+
 // Blocking collective bodies, safe to call from a progress-thread op
-// (they never re-enter the engine). The async_* entry points submit
-// these; BucketReducer composes them with its own timing capture.
+// (they never re-enter the engine). The ThreadBackend submits these to
+// its progress threads; the EventBackend mirrors them as event-driven
+// state machines with the same operation order.
 void ring_all_reduce_blocking(Communicator& comm, std::span<double> data,
+                              std::uint64_t tag);
+void tree_all_reduce_blocking(Communicator& comm, std::span<double> data,
                               std::uint64_t tag);
 void broadcast_blocking(Communicator& comm, std::vector<double>& data,
                         int root, std::uint64_t tag);

@@ -1,0 +1,967 @@
+#include "comm/event_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "sim/event_queue.h"
+
+namespace cannikin::comm {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+WallClock::duration wall_duration(double seconds) {
+  return std::chrono::duration_cast<WallClock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+struct EventMachine;
+
+// All scheduler state lives behind one mutex. There is no scheduler
+// thread: whoever blocks (or calls run_until_idle) pumps the event
+// queue while holding the mutex, one event at a time. Event handlers
+// are pure state transitions -- they never block -- so holding the
+// lock across a handler is cheap and makes the whole backend
+// TSan-clean by construction.
+struct EventBackend::Impl {
+  // (dst, src, tag) -- the receiver-side key for messages and waiters.
+  using Key = std::tuple<int, int, std::uint64_t>;
+  struct Msg {
+    Payload payload;
+    double time = 0.0;
+  };
+  using RecvCont = std::function<void(Payload, double)>;
+
+  // Set while the current thread is executing an event handler for
+  // this backend; public entry points use it to switch to the
+  // already-locked code paths (and to reject blocking calls).
+  static thread_local Impl* tl_pump;
+
+  int size = 0;
+  std::atomic<double> timeout_seconds{0.0};
+  std::atomic<bool> aborted{false};
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  sim::EventQueue<std::function<void()>> queue;
+  double vnow = 0.0;
+  std::uint64_t events = 0;
+  sim::FabricModel fabric;
+  obs::Scope scope;
+  std::vector<char> row_named;
+  std::vector<double> vclock;  ///< per-rank virtual clock
+  std::vector<char> dead;
+  std::map<Key, std::deque<Msg>> mail;
+  std::map<Key, std::deque<RecvCont>> waiters;
+  /// Per-rank FIFO of collective machines (NCCL stream semantics):
+  /// front is in flight, the rest wait for it.
+  std::vector<std::deque<std::shared_ptr<EventMachine>>> streams;
+
+  // Central counter barrier in virtual time: released at the max of
+  // the arrival clocks.
+  int barrier_waiting = 0;
+  std::uint64_t barrier_generation = 0;
+  double barrier_max = 0.0;
+
+  bool in_pump() const { return tl_pump == this; }
+
+  // --- core scheduler (all _locked methods require mu held) ---
+
+  void push_event_locked(double time, std::function<void()> fn) {
+    queue.push(std::max(time, vnow), std::move(fn));
+  }
+
+  void run_one_locked() {
+    auto [time, fn] = queue.pop();
+    vnow = std::max(vnow, time);
+    ++events;
+    Impl* const prev = tl_pump;
+    tl_pump = this;
+    try {
+      fn();
+    } catch (...) {
+      tl_pump = prev;
+      throw;
+    }
+    tl_pump = prev;
+  }
+
+  /// Pumps events until `pred` holds. Returns false if the *explicit*
+  /// deadline passes first (Work::wait(timeout) semantics: the op keeps
+  /// running). When the queue is dry and no progress happens for the
+  /// group timeout of wall time, `on_stall` fires -- it must either
+  /// throw (recv/barrier) or fail the stalled machine so `pred` turns
+  /// true (Work::wait). `op`/`rank` label the abort error.
+  template <typename Pred, typename OnStall>
+  bool pump_until(std::unique_lock<std::mutex>& lock, Pred pred,
+                  double explicit_timeout_seconds, OnStall on_stall,
+                  const char* op, int rank) {
+    const bool bounded = explicit_timeout_seconds > 0.0;
+    const auto deadline =
+        bounded ? WallClock::now() + wall_duration(explicit_timeout_seconds)
+                : WallClock::time_point{};
+    const double idle_seconds = timeout_seconds.load(std::memory_order_relaxed);
+    const bool idle_bounded = idle_seconds > 0.0;
+    auto idle_deadline = idle_bounded
+                             ? WallClock::now() + wall_duration(idle_seconds)
+                             : WallClock::time_point{};
+    std::uint64_t seen = events;
+    for (;;) {
+      if (pred()) return true;
+      if (aborted.load(std::memory_order_acquire)) {
+        throw CommAbortedError(std::string(op) +
+                               ": process group aborted (rank=" +
+                               std::to_string(rank) + ")");
+      }
+      if (!queue.empty()) {
+        run_one_locked();
+        cv.notify_all();  // another blocked thread's predicate may hold now
+        continue;
+      }
+      const auto now = WallClock::now();
+      if (events != seen) {
+        seen = events;
+        if (idle_bounded) idle_deadline = now + wall_duration(idle_seconds);
+      }
+      if (bounded && now >= deadline) return false;
+      if (idle_bounded && now >= idle_deadline) {
+        on_stall();
+        idle_deadline = now + wall_duration(idle_seconds);
+        continue;
+      }
+      auto wake = WallClock::time_point::max();
+      if (bounded) wake = std::min(wake, deadline);
+      if (idle_bounded) wake = std::min(wake, idle_deadline);
+      if (wake == WallClock::time_point::max()) {
+        cv.wait(lock);
+      } else {
+        cv.wait_until(lock, wake);
+      }
+    }
+  }
+
+  // --- message fabric ---
+
+  void send_locked(int src, int dst, std::uint64_t tag, Payload payload,
+                   double at_time) {
+    if (dead[static_cast<std::size_t>(src)] ||
+        dead[static_cast<std::size_t>(dst)]) {
+      return;  // messages to or from a failed rank vanish
+    }
+    const double delivery =
+        at_time + fabric.delay_seconds(src, dst, payload.size() * sizeof(double));
+    push_event_locked(
+        delivery, [this, src, dst, tag, p = std::move(payload)]() mutable {
+          deliver_locked(dst, src, tag, std::move(p), vnow);
+        });
+  }
+
+  void deliver_locked(int dst, int src, std::uint64_t tag, Payload payload,
+                      double time) {
+    if (dead[static_cast<std::size_t>(dst)] ||
+        dead[static_cast<std::size_t>(src)]) {
+      return;
+    }
+    const Key key{dst, src, tag};
+    const auto it = waiters.find(key);
+    if (it != waiters.end() && !it->second.empty()) {
+      RecvCont cont = std::move(it->second.front());
+      it->second.pop_front();
+      cont(std::move(payload), time);
+    } else {
+      mail[key].push_back({std::move(payload), time});
+    }
+  }
+
+  /// Registers a continuation for the next (src, tag) message at
+  /// `dst`. A message already in the mailbox is re-dispatched through a
+  /// zero-delay event (never recursively), keeping handler stack depth
+  /// constant at 10k ranks.
+  void await_locked(int dst, int src, std::uint64_t tag, RecvCont cont) {
+    const Key key{dst, src, tag};
+    const auto it = mail.find(key);
+    if (it != mail.end() && !it->second.empty()) {
+      Msg msg = std::move(it->second.front());
+      it->second.pop_front();
+      push_event_locked(vnow, [cont = std::move(cont),
+                               p = std::move(msg.payload),
+                               t = msg.time]() mutable {
+        cont(std::move(p), t);
+      });
+    } else {
+      waiters[key].push_back(std::move(cont));
+    }
+  }
+
+  // --- machines (definitions below EventMachine) ---
+
+  void submit_machine_locked(std::shared_ptr<EventMachine> m);
+  void schedule_start_locked(int rank, double at);
+  void complete_machine_locked(const std::shared_ptr<EventMachine>& m);
+  void fail_machine_locked(const std::shared_ptr<EventMachine>& m,
+                           std::exception_ptr error);
+  void emit_completion_obs_locked(const EventMachine& m, bool failed);
+  bool wait_for_work(Work* work, std::weak_ptr<EventMachine> machine,
+                     double timeout_seconds_arg);
+  void abort_locked();
+};
+
+thread_local EventBackend::Impl* EventBackend::Impl::tl_pump = nullptr;
+
+/// Base of every collective state machine: one rank's participation in
+/// one collective. Lives on the rank's stream queue; advanced by
+/// message continuations under the scheduler mutex. `now` is the
+/// machine's local virtual clock (max of its start time and every
+/// message it has consumed), which becomes the op's end time.
+struct EventMachine : std::enable_shared_from_this<EventMachine> {
+  EventBackend::Impl* b = nullptr;
+  int rank = 0;
+  std::uint64_t tag = 0;
+  const char* op_name = "op";
+  WorkPtr work;
+  std::shared_ptr<OpTimes> times;
+  double enqueue_time = 0.0;
+  double start_time = 0.0;
+  double now = 0.0;
+  bool started = false;
+  bool failed = false;
+
+  virtual ~EventMachine() = default;
+
+  /// First step; runs under the scheduler mutex at `start_time`.
+  virtual void start() = 0;
+
+  void send(int dst, std::uint64_t wire_tag, Payload payload) {
+    b->send_locked(rank, dst, wire_tag, std::move(payload), now);
+  }
+
+  /// Registers `fn(payload, time)` for the next (src, wire_tag)
+  /// message; `fn` must advance `now` via consume() and is skipped if
+  /// the machine has failed meanwhile.
+  template <typename Fn>
+  void await(int src, std::uint64_t wire_tag, Fn fn) {
+    b->await_locked(rank, src, wire_tag,
+                    [self = shared_from_this(), fn = std::move(fn)](
+                        Payload payload, double time) mutable {
+                      if (self->failed) return;
+                      self->now = std::max(self->now, time);
+                      fn(std::move(payload));
+                    });
+  }
+
+  void complete() { b->complete_machine_locked(shared_from_this()); }
+};
+
+namespace {
+
+/// Ring all-reduce: mirrors detail::ring_all_reduce_blocking step for
+/// step (same segments, same += order, same tag*2 / tag*2+1 phases).
+struct RingMachine final : EventMachine {
+  std::span<double> data;
+  double weight = 1.0;
+  std::vector<detail::Segment> segments;
+  int n = 0, next = 0, prev = 0;
+  int phase = 0, step = 0;
+
+  void start() override {
+    n = b->size;
+    if (weight != 1.0) {
+      for (double& v : data) v *= weight;
+    }
+    if (n == 1) {
+      complete();
+      return;
+    }
+    segments = detail::make_segments(data.size(), n);
+    next = (rank + 1) % n;
+    prev = (rank + n - 1) % n;
+    advance();
+  }
+
+  void advance() {
+    const bool reduce = phase == 0;
+    const int send_idx = reduce ? (rank - step + 2 * n) % n
+                                : (rank + 1 - step + 2 * n) % n;
+    const std::uint64_t wire = reduce ? tag * 2 : tag * 2 + 1;
+    const auto send_seg = segments[static_cast<std::size_t>(send_idx)];
+    send(next, wire,
+         Payload(data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset),
+                 data.begin() + static_cast<std::ptrdiff_t>(send_seg.offset +
+                                                            send_seg.length)));
+    await(prev, wire, [this](Payload incoming) {
+      const int recv_idx = phase == 0 ? (rank - step - 1 + 2 * n) % n
+                                      : (rank - step + 2 * n) % n;
+      const auto recv_seg = segments[static_cast<std::size_t>(recv_idx)];
+      if (phase == 0) {
+        for (std::size_t i = 0; i < recv_seg.length; ++i) {
+          data[recv_seg.offset + i] += incoming[i];
+        }
+      } else {
+        std::copy(incoming.begin(), incoming.end(),
+                  data.begin() + static_cast<std::ptrdiff_t>(recv_seg.offset));
+      }
+      if (++step == n - 1) {
+        if (phase == 1) {
+          complete();
+          return;
+        }
+        phase = 1;
+        step = 0;
+      }
+      advance();
+    });
+  }
+};
+
+/// Binomial-tree all-reduce: mirrors detail::tree_all_reduce_blocking.
+struct TreeMachine final : EventMachine {
+  std::span<double> data;
+  int n = 0;
+  int mask = 1;
+
+  void start() override {
+    n = b->size;
+    if (n == 1) {
+      complete();
+      return;
+    }
+    reduce_advance();
+  }
+
+  void reduce_advance() {
+    while (mask < n) {
+      if (rank & mask) {
+        send(rank - mask, tag * 2, Payload(data.begin(), data.end()));
+        bcast_await();
+        return;
+      }
+      if (rank + mask < n) {
+        await(rank + mask, tag * 2, [this](Payload incoming) {
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            data[i] += incoming[i];
+          }
+          mask <<= 1;
+          reduce_advance();
+        });
+        return;
+      }
+      mask <<= 1;
+    }
+    // Only rank 0 falls through: it holds the full sum; `mask` is the
+    // first power of two >= n, so mask >> 1 seeds the broadcast.
+    bcast_forward(mask >> 1);
+  }
+
+  void bcast_await() {
+    int m = 1;
+    while (m < n && !(rank & m)) m <<= 1;
+    await(rank - m, tag * 2 + 1, [this, m](Payload incoming) {
+      std::copy(incoming.begin(), incoming.end(), data.begin());
+      bcast_forward(m >> 1);
+    });
+  }
+
+  void bcast_forward(int m) {
+    for (; m > 0; m >>= 1) {
+      if (rank + m < n) {
+        send(rank + m, tag * 2 + 1, Payload(data.begin(), data.end()));
+      }
+    }
+    complete();
+  }
+};
+
+/// Binomial broadcast: mirrors detail::broadcast_blocking.
+struct BcastMachine final : EventMachine {
+  std::vector<double>* data = nullptr;
+  int root = 0;
+  int n = 0, relative = 0;
+
+  void start() override {
+    n = b->size;
+    if (n == 1) {
+      complete();
+      return;
+    }
+    relative = (rank - root + n) % n;
+    if (relative == 0) {
+      int m = 1;
+      while (m < n) m <<= 1;
+      forward(m >> 1);
+      return;
+    }
+    int m = 1;
+    while (m < n && !(relative & m)) m <<= 1;
+    const int src = (relative - m + root) % n;
+    await(src, tag, [this, m](Payload incoming) {
+      *data = std::move(incoming);
+      forward(m >> 1);
+    });
+  }
+
+  void forward(int m) {
+    for (; m > 0; m >>= 1) {
+      if (relative + m < n) {
+        send((relative + m + root) % n, tag, Payload(*data));
+      }
+    }
+    complete();
+  }
+};
+
+/// Ring all-gather: mirrors detail::all_gather_blocking.
+struct GatherMachine final : EventMachine {
+  const std::vector<double>* data = nullptr;
+  std::vector<double>* out = nullptr;
+  std::vector<std::vector<double>> parts;
+  std::vector<double> current;
+  int n = 0, next = 0, prev = 0, step = 0;
+
+  void start() override {
+    n = b->size;
+    parts.resize(static_cast<std::size_t>(n));
+    parts[static_cast<std::size_t>(rank)] = *data;
+    if (n == 1) {
+      assemble();
+      return;
+    }
+    next = (rank + 1) % n;
+    prev = (rank + n - 1) % n;
+    current = *data;
+    advance();
+  }
+
+  void advance() {
+    send(next, tag, Payload(current));
+    await(prev, tag, [this](Payload incoming) {
+      current = std::move(incoming);
+      const int origin = (rank - step - 1 + 2 * n) % n;
+      parts[static_cast<std::size_t>(origin)] = current;
+      if (++step == n - 1) {
+        assemble();
+      } else {
+        advance();
+      }
+    });
+  }
+
+  void assemble() {
+    out->clear();
+    for (const auto& part : parts) {
+      out->insert(out->end(), part.begin(), part.end());
+    }
+    complete();
+  }
+};
+
+}  // namespace
+
+// --- machine lifecycle on the Impl ---
+
+void EventBackend::Impl::submit_machine_locked(
+    std::shared_ptr<EventMachine> m) {
+  if (aborted.load(std::memory_order_acquire)) {
+    m->work->finish(std::make_exception_ptr(
+        CommAbortedError("submit: process group aborted")));
+    return;
+  }
+  Work* const raw = m->work.get();
+  m->work->set_wait_hook(
+      [this, raw, weak = std::weak_ptr<EventMachine>(m)](double timeout) {
+        return wait_for_work(raw, weak, timeout);
+      });
+  const std::size_t r = static_cast<std::size_t>(m->rank);
+  if (dead[r]) {
+    m->failed = true;
+    m->work->finish(std::make_exception_ptr(CommError(
+        "rank " + std::to_string(m->rank) + " failed (injected fault)")));
+    return;
+  }
+  m->enqueue_time = std::max(vnow, vclock[r]);
+  streams[r].push_back(m);
+  if (streams[r].size() == 1) {
+    schedule_start_locked(m->rank, m->enqueue_time);
+  }
+}
+
+void EventBackend::Impl::schedule_start_locked(int rank, double at) {
+  push_event_locked(at, [this, rank] {
+    auto& stream = streams[static_cast<std::size_t>(rank)];
+    if (stream.empty()) return;
+    const std::shared_ptr<EventMachine> m = stream.front();
+    if (m->started || m->failed) return;
+    m->started = true;
+    m->start_time = m->now = std::max(vnow, m->enqueue_time);
+    m->start();
+  });
+}
+
+void EventBackend::Impl::complete_machine_locked(
+    const std::shared_ptr<EventMachine>& m) {
+  if (m->failed || m->work->is_completed()) return;
+  const std::size_t r = static_cast<std::size_t>(m->rank);
+  vclock[r] = std::max(vclock[r], m->now);
+  if (m->times) {
+    m->times->begin_seconds = m->start_time;
+    m->times->end_seconds = m->now;
+  }
+  emit_completion_obs_locked(*m, /*failed=*/false);
+  m->work->finish(nullptr);
+  auto& stream = streams[r];
+  if (!stream.empty() && stream.front().get() == m.get()) {
+    stream.pop_front();
+    if (!stream.empty()) schedule_start_locked(m->rank, m->now);
+  }
+}
+
+void EventBackend::Impl::fail_machine_locked(
+    const std::shared_ptr<EventMachine>& m, std::exception_ptr error) {
+  if (m->failed) return;
+  m->failed = true;
+  if (!m->work->is_completed()) {
+    emit_completion_obs_locked(*m, /*failed=*/true);
+    m->work->finish(std::move(error));
+  }
+  auto& stream = streams[static_cast<std::size_t>(m->rank)];
+  const auto it = std::find(stream.begin(), stream.end(), m);
+  if (it != stream.end()) {
+    const bool was_front = it == stream.begin();
+    stream.erase(it);
+    if (was_front && !stream.empty() && !stream.front()->started) {
+      schedule_start_locked(m->rank, vnow);
+    }
+  }
+}
+
+void EventBackend::Impl::emit_completion_obs_locked(const EventMachine& m,
+                                                    bool failed) {
+  if (!scope.enabled()) return;
+  const obs::Scope row = scope.for_rank(obs::kCommTidBase + m.rank);
+  const double queue_us = (m.start_time - m.enqueue_time) * 1e6;
+  if (scope.tracing() && !failed) {
+    if (!row_named[static_cast<std::size_t>(m.rank)]) {
+      row.thread_name("rank " + std::to_string(m.rank) + " comm");
+      row_named[static_cast<std::size_t>(m.rank)] = 1;
+    }
+    row.complete_span("comm", m.op_name, m.start_time, m.now - m.start_time,
+                      obs::ArgList()
+                          .add("tag", static_cast<std::int64_t>(m.tag))
+                          .add("queue_us", queue_us));
+  }
+  if (scope.metrics() != nullptr) {
+    row.counter_add(failed ? "comm.ops_failed" : "comm.ops_completed", 1.0);
+    row.observe("comm.queue_us", queue_us);
+    row.observe("comm.run_us", (m.now - m.start_time) * 1e6);
+  }
+}
+
+bool EventBackend::Impl::wait_for_work(Work* work,
+                                       std::weak_ptr<EventMachine> machine,
+                                       double timeout_seconds_arg) {
+  if (in_pump()) {
+    throw CommError("Work::wait: blocking wait inside an event handler");
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  return pump_until(
+      lock, [&] { return work->is_completed(); }, timeout_seconds_arg,
+      [&] {
+        // Group-timeout stall: the machine is stuck awaiting a peer
+        // that will never show up -- the event-world analogue of a
+        // mailbox recv timing out.
+        if (const auto m = machine.lock()) {
+          fail_machine_locked(
+              m, std::make_exception_ptr(CommTimeoutError(
+                     std::string(m->op_name) + ": rank " +
+                     std::to_string(m->rank) + " timed out after " +
+                     std::to_string(
+                         timeout_seconds.load(std::memory_order_relaxed)) +
+                     "s of scheduler idleness (tag=" + std::to_string(m->tag) +
+                     "); peer dead or hung")));
+        }
+      },
+      "wait", -1);
+}
+
+void EventBackend::Impl::abort_locked() {
+  aborted.store(true, std::memory_order_release);
+  const auto error = std::make_exception_ptr(
+      CommAbortedError("pending work cancelled: process group aborted"));
+  for (auto& stream : streams) {
+    for (const auto& m : stream) {
+      m->failed = true;
+      if (!m->work->is_completed()) m->work->finish(error);
+    }
+    stream.clear();
+  }
+  waiters.clear();
+  mail.clear();
+  queue.clear();
+}
+
+// --- EventBackend public surface ---
+
+EventBackend::EventBackend(const GroupOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->size = options.size;
+  impl_->timeout_seconds.store(options.timeout_seconds,
+                               std::memory_order_relaxed);
+  impl_->fabric = options.fabric;
+  impl_->row_named.assign(static_cast<std::size_t>(options.size), 0);
+  impl_->vclock.assign(static_cast<std::size_t>(options.size), 0.0);
+  impl_->dead.assign(static_cast<std::size_t>(options.size), 0);
+  impl_->streams.resize(static_cast<std::size_t>(options.size));
+}
+
+EventBackend::~EventBackend() { abort(); }
+
+void EventBackend::set_timeout(double seconds) {
+  impl_->timeout_seconds.store(seconds, std::memory_order_relaxed);
+}
+
+double EventBackend::timeout() const {
+  return impl_->timeout_seconds.load(std::memory_order_relaxed);
+}
+
+void EventBackend::set_fabric(const sim::FabricModel& fabric) {
+  if (impl_->in_pump()) {
+    impl_->fabric = fabric;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->fabric = fabric;
+}
+
+void EventBackend::set_scope(obs::Scope scope) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->scope = scope;
+}
+
+void EventBackend::abort() {
+  if (impl_->in_pump()) {
+    impl_->abort_locked();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->abort_locked();
+  }
+  impl_->cv.notify_all();
+}
+
+bool EventBackend::aborted() const {
+  return impl_->aborted.load(std::memory_order_acquire);
+}
+
+void EventBackend::send(int src, int dst, std::uint64_t tag, Payload payload,
+                        const char* op) {
+  if (aborted()) {
+    throw CommAbortedError(std::string(op) + ": process group aborted (rank=" +
+                           std::to_string(src) +
+                           ", dst=" + std::to_string(dst) +
+                           ", tag=" + std::to_string(tag) + ")");
+  }
+  Impl& b = *impl_;
+  if (b.in_pump()) {
+    b.send_locked(src, dst, tag, std::move(payload),
+                  std::max(b.vclock[static_cast<std::size_t>(src)], b.vnow));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.send_locked(src, dst, tag, std::move(payload),
+                  std::max(b.vclock[static_cast<std::size_t>(src)], b.vnow));
+  }
+  b.cv.notify_all();
+}
+
+Payload EventBackend::recv(int dst, int src, std::uint64_t tag,
+                           const char* op) {
+  Impl& b = *impl_;
+  if (b.in_pump()) {
+    throw CommError(std::string(op) +
+                    ": blocking recv inside an event handler");
+  }
+  std::unique_lock<std::mutex> lock(b.mu);
+  const Impl::Key key{dst, src, tag};
+  {
+    const auto it = b.mail.find(key);
+    if (it != b.mail.end() && !it->second.empty()) {
+      Impl::Msg msg = std::move(it->second.front());
+      it->second.pop_front();
+      auto& clock = b.vclock[static_cast<std::size_t>(dst)];
+      clock = std::max(clock, msg.time);
+      return std::move(msg.payload);
+    }
+  }
+  struct Slot {
+    bool filled = false;
+    Payload payload;
+    double time = 0.0;
+  };
+  auto slot = std::make_shared<Slot>();
+  b.waiters[key].push_back([slot](Payload payload, double time) {
+    slot->payload = std::move(payload);
+    slot->time = time;
+    slot->filled = true;
+  });
+  b.pump_until(
+      lock, [&] { return slot->filled; }, /*explicit timeout*/ 0.0,
+      [&] {
+        throw CommTimeoutError(
+            std::string(op) + ": rank " + std::to_string(dst) +
+            " timed out after " +
+            std::to_string(
+                b.timeout_seconds.load(std::memory_order_relaxed)) +
+            "s waiting for message (src=" + std::to_string(src) +
+            ", tag=" + std::to_string(tag) + "); peer dead or hung");
+      },
+      op, dst);
+  auto& clock = b.vclock[static_cast<std::size_t>(dst)];
+  clock = std::max(clock, slot->time);
+  return std::move(slot->payload);
+}
+
+void EventBackend::barrier(int rank) {
+  Impl& b = *impl_;
+  if (b.in_pump()) {
+    throw CommError("barrier: blocking barrier inside an event handler");
+  }
+  std::unique_lock<std::mutex> lock(b.mu);
+  if (aborted()) {
+    throw CommAbortedError("barrier: process group aborted (rank=" +
+                           std::to_string(rank) + ")");
+  }
+  const std::uint64_t generation = b.barrier_generation;
+  b.barrier_max = std::max(
+      b.barrier_max,
+      std::max(b.vclock[static_cast<std::size_t>(rank)], b.vnow));
+  if (++b.barrier_waiting == b.size) {
+    b.barrier_waiting = 0;
+    ++b.barrier_generation;
+    const double release = b.barrier_max;
+    b.barrier_max = 0.0;
+    for (auto& clock : b.vclock) clock = std::max(clock, release);
+    b.vnow = std::max(b.vnow, release);
+    b.cv.notify_all();
+    return;
+  }
+  b.cv.notify_all();
+  b.pump_until(
+      lock, [&] { return b.barrier_generation != generation; },
+      /*explicit timeout*/ 0.0,
+      [&] {
+        // Withdraw from the unfinished generation so the count stays
+        // consistent if the missing rank ever arrives.
+        --b.barrier_waiting;
+        throw CommTimeoutError(
+            "barrier: rank " + std::to_string(rank) + " timed out after " +
+            std::to_string(
+                b.timeout_seconds.load(std::memory_order_relaxed)) +
+            "s; some rank never arrived");
+      },
+      "barrier", rank);
+}
+
+WorkPtr EventBackend::submit(int rank, std::function<void()> op,
+                             const char* op_name, int tag) {
+  (void)rank;
+  (void)tag;
+  auto work = std::make_shared<Work>();
+  if (aborted()) {
+    work->finish(std::make_exception_ptr(
+        CommAbortedError("submit: process group aborted")));
+    return work;
+  }
+  if (impl_->in_pump()) {
+    work->finish(std::make_exception_ptr(CommError(
+        std::string(op_name) +
+        ": generic submit cannot run inside an event handler")));
+    return work;
+  }
+  // The event backend has no per-rank progress threads: generic ops run
+  // inline on the caller (any blocking comm inside pumps the
+  // scheduler). Overlap comes from the typed collectives instead.
+  try {
+    op();
+    work->finish(nullptr);
+  } catch (...) {
+    work->finish(std::current_exception());
+  }
+  return work;
+}
+
+namespace {
+
+template <typename MachineT, typename Init>
+WorkPtr launch_machine(EventBackend::Impl& b, int rank, std::uint64_t tag,
+                       const char* op_name, std::shared_ptr<OpTimes> times,
+                       Init init) {
+  auto m = std::make_shared<MachineT>();
+  m->b = &b;
+  m->rank = rank;
+  m->tag = tag;
+  m->op_name = op_name;
+  m->work = std::make_shared<Work>();
+  m->times = std::move(times);
+  init(*m);
+  WorkPtr work = m->work;
+  if (b.in_pump()) {
+    b.submit_machine_locked(std::move(m));
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(b.mu);
+      b.submit_machine_locked(std::move(m));
+    }
+    b.cv.notify_all();
+  }
+  return work;
+}
+
+}  // namespace
+
+WorkPtr EventBackend::all_reduce(int rank, std::span<double> data,
+                                 double weight, std::uint64_t tag,
+                                 const char* op_name,
+                                 std::shared_ptr<OpTimes> times) {
+  return launch_machine<RingMachine>(*impl_, rank, tag, op_name,
+                                     std::move(times), [&](RingMachine& m) {
+                                       m.data = data;
+                                       m.weight = weight;
+                                     });
+}
+
+WorkPtr EventBackend::tree_all_reduce(int rank, std::span<double> data,
+                                      std::uint64_t tag,
+                                      std::shared_ptr<OpTimes> times) {
+  return launch_machine<TreeMachine>(
+      *impl_, rank, tag, "tree_all_reduce", std::move(times),
+      [&](TreeMachine& m) { m.data = data; });
+}
+
+WorkPtr EventBackend::broadcast(int rank, std::vector<double>* data, int root,
+                                std::uint64_t tag) {
+  if (root < 0 || root >= impl_->size) {
+    throw CommError("broadcast: bad root");
+  }
+  return launch_machine<BcastMachine>(*impl_, rank, tag, "broadcast", nullptr,
+                                      [&](BcastMachine& m) {
+                                        m.data = data;
+                                        m.root = root;
+                                      });
+}
+
+WorkPtr EventBackend::all_gather(int rank, const std::vector<double>* data,
+                                 std::vector<double>* out, std::uint64_t tag) {
+  return launch_machine<GatherMachine>(*impl_, rank, tag, "all_gather",
+                                       nullptr, [&](GatherMachine& m) {
+                                         m.data = data;
+                                         m.out = out;
+                                       });
+}
+
+void EventBackend::post(int rank, double vtime, std::function<void()> fn) {
+  Impl& b = *impl_;
+  if (rank < 0 || rank >= b.size) throw CommError("post: bad rank");
+  if (aborted()) throw CommAbortedError("post: process group aborted");
+  if (b.in_pump()) {
+    b.push_event_locked(vtime, std::move(fn));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.push_event_locked(vtime, std::move(fn));
+  }
+  b.cv.notify_all();
+}
+
+void EventBackend::inject_fault(int rank, double vtime) {
+  Impl& b = *impl_;
+  if (rank < 0 || rank >= b.size) throw CommError("inject_fault: bad rank");
+  const auto fault = [&b, rank] {
+    const std::size_t r = static_cast<std::size_t>(rank);
+    if (b.dead[r]) return;
+    b.dead[r] = 1;
+    if (b.scope.tracing()) {
+      b.scope.for_rank(obs::kCommTidBase + rank)
+          .complete_span("fault", "rank_failed", b.vnow, 0.0);
+    }
+    const std::deque<std::shared_ptr<EventMachine>> doomed = b.streams[r];
+    const auto error = std::make_exception_ptr(CommError(
+        "rank " + std::to_string(rank) + " failed (injected fault)"));
+    for (const auto& m : doomed) b.fail_machine_locked(m, error);
+    // The dead rank's pending receives will never fire; drop them.
+    for (auto it = b.waiters.begin(); it != b.waiters.end();) {
+      it = std::get<0>(it->first) == rank ? b.waiters.erase(it)
+                                          : std::next(it);
+    }
+  };
+  if (b.in_pump()) {
+    b.push_event_locked(vtime, fault);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.push_event_locked(vtime, fault);
+  }
+  b.cv.notify_all();
+}
+
+EventStats EventBackend::run_until_idle() {
+  Impl& b = *impl_;
+  if (b.in_pump()) {
+    throw CommError("run_until_idle: cannot drain inside an event handler");
+  }
+  std::unique_lock<std::mutex> lock(b.mu);
+  while (!b.queue.empty()) b.run_one_locked();
+  EventStats stats;
+  // Machines still queued after a full drain are stranded: some peer
+  // never issued the matching collective.
+  std::vector<std::shared_ptr<EventMachine>> stranded;
+  for (const auto& stream : b.streams) {
+    stranded.insert(stranded.end(), stream.begin(), stream.end());
+  }
+  for (const auto& m : stranded) {
+    b.fail_machine_locked(
+        m, std::make_exception_ptr(CommTimeoutError(
+               std::string(m->op_name) + ": rank " + std::to_string(m->rank) +
+               " stranded (tag=" + std::to_string(m->tag) +
+               "): event queue ran dry before every rank joined the "
+               "collective")));
+    ++stats.works_stranded;
+  }
+  b.waiters.clear();
+  stats.events_processed = b.events;
+  stats.virtual_time = b.vnow;
+  lock.unlock();
+  b.cv.notify_all();
+  return stats;
+}
+
+double EventBackend::virtual_now() const {
+  Impl& b = *impl_;
+  if (b.in_pump()) return b.vnow;
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.vnow;
+}
+
+std::uint64_t EventBackend::events_processed() const {
+  Impl& b = *impl_;
+  if (b.in_pump()) return b.events;
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.events;
+}
+
+}  // namespace cannikin::comm

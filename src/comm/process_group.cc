@@ -1,165 +1,83 @@
 #include "comm/process_group.h"
 
-#include <algorithm>
 #include <string>
 #include <utility>
 
+#include "comm/event_backend.h"
+#include "comm/thread_backend.h"
+
 namespace cannikin::comm {
 
-namespace detail {
+namespace {
 
-using Clock = std::chrono::steady_clock;
-
-void Mailbox::put(int src, std::uint64_t tag, Payload payload,
-                  Clock::time_point ready_at) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queues_[{src, tag}].push_back({std::move(payload), ready_at});
+std::unique_ptr<Backend> make_backend(const GroupOptions& options,
+                                      ProcessGroup* group) {
+  switch (options.backend) {
+    case BackendKind::kThread:
+      return std::make_unique<ThreadBackend>(options, group);
+    case BackendKind::kEvent:
+      return std::make_unique<EventBackend>(options);
   }
-  cv_.notify_all();
+  throw CommError("ProcessGroup: unknown backend kind");
 }
 
-Payload Mailbox::take(int self_rank, int src, std::uint64_t tag,
-                      double timeout_seconds, const char* op) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto key = std::make_pair(src, tag);
-  const bool bounded = timeout_seconds > 0.0;
-  const auto deadline =
-      bounded ? Clock::now() +
-                    std::chrono::duration_cast<Clock::duration>(
-                        std::chrono::duration<double>(timeout_seconds))
-              : Clock::time_point{};
-  for (;;) {
-    if (aborted_) {
-      throw CommAbortedError(std::string(op) + ": process group aborted (rank=" +
-                             std::to_string(self_rank) +
-                             ", src=" + std::to_string(src) +
-                             ", tag=" + std::to_string(tag) + ")");
-    }
-    const auto it = queues_.find(key);
-    if (it != queues_.end() && !it->second.empty()) {
-      Message& front = it->second.front();
-      const auto now = Clock::now();
-      if (front.ready_at <= now) {
-        Payload payload = std::move(front.payload);
-        it->second.pop_front();
-        return payload;
-      }
-      // Message in flight on the simulated link: sleep until delivery
-      // (or the deadline, whichever is first) without burning CPU.
-      if (bounded) {
-        if (now >= deadline) break;
-        cv_.wait_until(lock, std::min(deadline, front.ready_at));
-      } else {
-        cv_.wait_until(lock, front.ready_at);
-      }
-      continue;
-    }
-    if (bounded) {
-      if (Clock::now() >= deadline) break;
-      cv_.wait_until(lock, deadline);
-    } else {
-      cv_.wait(lock);
-    }
-  }
-  throw CommTimeoutError(
-      std::string(op) + ": rank " + std::to_string(self_rank) +
-      " timed out after " + std::to_string(timeout_seconds) +
-      "s waiting for message (src=" + std::to_string(src) +
-      ", tag=" + std::to_string(tag) + "); peer dead or hung");
-}
-
-void Mailbox::abort() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    aborted_ = true;
-  }
-  cv_.notify_all();
-}
-
-}  // namespace detail
+}  // namespace
 
 ProcessGroup::ProcessGroup(int size, double timeout_seconds)
-    : size_(size), timeout_seconds_(timeout_seconds) {
-  if (size <= 0) throw CommError("ProcessGroup: size must be positive");
-  mailboxes_.reserve(static_cast<std::size_t>(size));
-  for (int i = 0; i < size; ++i) {
-    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
-  }
-  tag_allocators_.resize(static_cast<std::size_t>(size));
-  engines_.resize(static_cast<std::size_t>(size));
+    : ProcessGroup(GroupOptions{size, timeout_seconds, BackendKind::kThread,
+                                sim::FabricModel{}}) {}
+
+ProcessGroup::ProcessGroup(const GroupOptions& options)
+    : size_(options.size) {
+  if (size_ <= 0) throw CommError("ProcessGroup: size must be positive");
+  tag_allocators_.resize(static_cast<std::size_t>(size_));
+  backend_ = make_backend(options, this);
 }
 
 ProcessGroup::~ProcessGroup() {
-  // Safety net for error paths: fail any Work still queued and unblock
-  // an op stuck in recv, so joining the progress threads cannot hang.
-  // On the success path every engine is idle and this is a flag flip.
-  abort();
-  engines_.clear();  // joins the progress threads
+  // Safety net for error paths; the backend's own destructor performs
+  // the definitive teardown (abort + join for the thread backend).
+  backend_->abort();
 }
 
-void ProcessGroup::abort() {
-  aborted_.store(true, std::memory_order_release);
-  // Order matters: cancel the engine queues *before* waking blocked
-  // ops. The other way round, a progress thread released from recv()
-  // could drain (and "successfully" run) queued Works in the window
-  // before their cancellation.
-  {
-    std::lock_guard<std::mutex> lock(engines_mutex_);
-    const auto error = std::make_exception_ptr(
-        CommAbortedError("pending work cancelled: process group aborted"));
-    for (auto& engine : engines_) {
-      if (engine) engine->cancel_pending(error);
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(barrier_mutex_);
-    barrier_aborted_ = true;
-  }
-  barrier_cv_.notify_all();
-  for (auto& mailbox : mailboxes_) mailbox->abort();
+void ProcessGroup::set_timeout(double timeout_seconds) {
+  backend_->set_timeout(timeout_seconds);
 }
+
+double ProcessGroup::timeout() const { return backend_->timeout(); }
+
+void ProcessGroup::set_link_latency(double seconds) {
+  backend_->set_fabric(seconds > 0.0 ? sim::FabricModel::uniform_latency(seconds)
+                                     : sim::FabricModel{});
+}
+
+void ProcessGroup::set_fabric(const sim::FabricModel& fabric) {
+  backend_->set_fabric(fabric);
+}
+
+void ProcessGroup::set_scope(obs::Scope scope) {
+  scope_ = scope;
+  backend_->set_scope(scope);
+}
+
+void ProcessGroup::abort() { backend_->abort(); }
+
+bool ProcessGroup::aborted() const { return backend_->aborted(); }
 
 Communicator ProcessGroup::communicator(int rank) {
   if (rank < 0 || rank >= size_) throw CommError("communicator: bad rank");
   return Communicator(this, rank);
 }
 
-void ProcessGroup::set_scope(obs::Scope scope) {
-  std::lock_guard<std::mutex> lock(engines_mutex_);
-  scope_ = scope;
-  for (std::size_t rank = 0; rank < engines_.size(); ++rank) {
-    if (engines_[rank]) {
-      engines_[rank]->set_scope(
-          scope.for_rank(obs::kCommTidBase + static_cast<int>(rank)));
-    }
-  }
-}
-
-ProgressEngine& ProcessGroup::engine(int rank) {
-  if (rank < 0 || rank >= size_) throw CommError("engine: bad rank");
-  std::lock_guard<std::mutex> lock(engines_mutex_);
-  auto& slot = engines_[static_cast<std::size_t>(rank)];
-  if (!slot) {
-    std::exception_ptr poison;
-    if (aborted()) {
-      poison = std::make_exception_ptr(
-          CommAbortedError("submit: process group aborted"));
-    }
-    slot = std::make_unique<ProgressEngine>(std::move(poison));
-    if (scope_.enabled()) {
-      const obs::Scope engine_scope =
-          scope_.for_rank(obs::kCommTidBase + rank);
-      engine_scope.thread_name("rank " + std::to_string(rank) + " comm");
-      slot->set_scope(engine_scope);
-    }
-  }
-  return *slot;
-}
-
 TagAllocator& ProcessGroup::tags(int rank) {
   if (rank < 0 || rank >= size_) throw CommError("tags: bad rank");
   return tag_allocators_[static_cast<std::size_t>(rank)];
+}
+
+EventBackend* ProcessGroup::event_backend() {
+  return backend_->kind() == BackendKind::kEvent
+             ? static_cast<EventBackend*>(backend_.get())
+             : nullptr;
 }
 
 void ProcessGroup::send(int src, int dst, std::uint64_t tag, Payload payload,
@@ -168,19 +86,7 @@ void ProcessGroup::send(int src, int dst, std::uint64_t tag, Payload payload,
     throw CommError(std::string(op) + ": bad destination rank " +
                     std::to_string(dst));
   }
-  if (aborted()) {
-    throw CommAbortedError(std::string(op) + ": process group aborted (rank=" +
-                           std::to_string(src) +
-                           ", dst=" + std::to_string(dst) +
-                           ", tag=" + std::to_string(tag) + ")");
-  }
-  auto ready_at = detail::Clock::now();
-  if (link_latency_seconds_ > 0.0) {
-    ready_at += std::chrono::duration_cast<detail::Clock::duration>(
-        std::chrono::duration<double>(link_latency_seconds_));
-  }
-  mailboxes_[static_cast<std::size_t>(dst)]->put(src, tag, std::move(payload),
-                                                 ready_at);
+  backend_->send(src, dst, tag, std::move(payload), op);
 }
 
 Payload ProcessGroup::recv(int dst, int src, std::uint64_t tag,
@@ -189,8 +95,7 @@ Payload ProcessGroup::recv(int dst, int src, std::uint64_t tag,
     throw CommError(std::string(op) + ": bad source rank " +
                     std::to_string(src));
   }
-  return mailboxes_[static_cast<std::size_t>(dst)]->take(
-      dst, src, tag, timeout_seconds_, op);
+  return backend_->recv(dst, src, tag, op);
 }
 
 void Communicator::send(int dst, std::uint64_t tag, Payload payload,
@@ -204,49 +109,9 @@ Payload Communicator::recv(int src, std::uint64_t tag, const char* op) {
 
 WorkPtr Communicator::submit(std::function<void()> op, const char* op_name,
                              int tag) {
-  return group_->engine(rank_).submit(std::move(op), op_name, tag);
+  return group_->backend_->submit(rank_, std::move(op), op_name, tag);
 }
 
-void Communicator::barrier() {
-  std::unique_lock<std::mutex> lock(group_->barrier_mutex_);
-  if (group_->barrier_aborted_) {
-    throw CommAbortedError("barrier: process group aborted (rank=" +
-                           std::to_string(rank_) + ")");
-  }
-  const std::uint64_t generation = group_->barrier_generation_;
-  if (++group_->barrier_waiting_ == group_->size_) {
-    group_->barrier_waiting_ = 0;
-    ++group_->barrier_generation_;
-    group_->barrier_cv_.notify_all();
-    return;
-  }
-  const auto released = [&] {
-    return group_->barrier_generation_ != generation ||
-           group_->barrier_aborted_;
-  };
-  const double timeout_seconds = group_->timeout_seconds_;
-  bool completed = true;
-  if (timeout_seconds > 0.0) {
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(timeout_seconds));
-    completed = group_->barrier_cv_.wait_until(lock, deadline, released);
-  } else {
-    group_->barrier_cv_.wait(lock, released);
-  }
-  if (group_->barrier_aborted_) {
-    throw CommAbortedError("barrier: process group aborted (rank=" +
-                           std::to_string(rank_) + ")");
-  }
-  if (!completed) {
-    // Withdraw from the unfinished generation so the count stays
-    // consistent if the missing rank ever arrives.
-    --group_->barrier_waiting_;
-    throw CommTimeoutError(
-        "barrier: rank " + std::to_string(rank_) + " timed out after " +
-        std::to_string(timeout_seconds) + "s; some rank never arrived");
-  }
-}
+void Communicator::barrier() { group_->backend_->barrier(rank_); }
 
 }  // namespace cannikin::comm

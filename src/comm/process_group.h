@@ -1,24 +1,23 @@
 // In-process "process group": the communication substrate that plays the
 // role NCCL/Gloo play for PyTorch DDP in the paper.
 //
-// A ProcessGroup owns one mailbox per rank. Worker threads (one per
-// simulated GPU) obtain a Communicator handle for their rank and perform
-// point-to-point sends/receives and collectives against it. Messages are
-// tagged so that concurrent collectives (e.g. per-bucket all-reduce)
-// cannot interleave payloads; tags come from the per-rank TagAllocator
-// (Communicator::tags()) which gives each collective kind a disjoint
-// range.
+// A ProcessGroup is a façade over a pluggable comm::Backend (backend.h):
 //
-// Async engine: every rank also owns a comm progress thread
-// (ProgressEngine). The async_* collectives return immediately with a
-// Work handle and execute on that thread in submission order, so bucket
-// all-reduces overlap with the remaining backward compute. The blocking
-// collectives are thin wrappers (`async_*(...)->wait()`).
+//   * BackendKind::kThread (default, the legacy runtime) -- one mailbox
+//     and one comm progress thread (ProgressEngine) per rank; worker
+//     threads drive Communicator handles, async collectives overlap
+//     with compute on the progress threads, wall-clock delivery delays.
 //
-// An optional per-message link latency models network transmission
-// without consuming CPU: a message becomes visible to recv() only
-// `link_latency_seconds` after send() returns. This is what makes
-// compute/communication overlap measurable even on a single core.
+//   * BackendKind::kEvent -- rank virtualization: collectives are state
+//     machines multiplexed on a discrete-event scheduler in virtual
+//     time (event_backend.h), scaling the same API to thousands of
+//     virtual ranks.
+//
+// The API is backend-independent: Communicator send/recv/barrier and
+// the async_* collectives (collectives.h) behave identically, message
+// tags come from the per-rank deterministic TagAllocator either way,
+// and the same sim::FabricModel supplies delivery delays to both
+// backends (set_fabric / legacy set_link_latency).
 //
 // Fault tolerance (mirroring the NCCL watchdog / comm-abort protocol
 // real DDP relies on): the group carries an optional timeout applied to
@@ -30,93 +29,36 @@
 // whole group unwinds with CommAbortedError instead of hanging.
 #pragma once
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
-#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <stdexcept>
 #include <vector>
 
+#include "comm/backend.h"
 #include "comm/tag_allocator.h"
 #include "comm/work.h"
 
 namespace cannikin::comm {
 
-using Payload = std::vector<double>;
-
-/// Error raised for invalid rank / size arguments.
-class CommError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// A blocking receive or barrier exceeded the group's timeout: some
-/// peer rank is dead, hung, or has left the collective.
-class CommTimeoutError : public CommError {
- public:
-  using CommError::CommError;
-};
-
-/// The group was abort()ed (by this rank or a peer); the operation did
-/// not and will never complete. All further calls on the group fail.
-class CommAbortedError : public CommError {
- public:
-  using CommError::CommError;
-};
-
-namespace detail {
-
-/// Per-rank inbox. Messages are keyed by (source rank, tag); receive
-/// blocks until a matching message arrives *and* its delivery time has
-/// passed, the timeout expires, or the mailbox is aborted.
-class Mailbox {
- public:
-  void put(int src, std::uint64_t tag, Payload payload,
-           std::chrono::steady_clock::time_point ready_at);
-  /// `timeout_seconds` <= 0 waits forever. Throws CommTimeoutError on
-  /// deadline expiry and CommAbortedError after abort(). `self_rank`
-  /// and `op` (the collective or p2p operation doing the receive) are
-  /// included in error messages so a timeout is attributable from the
-  /// log alone.
-  Payload take(int self_rank, int src, std::uint64_t tag,
-               double timeout_seconds, const char* op);
-  /// Wakes every blocked take() with CommAbortedError and makes all
-  /// future takes fail immediately.
-  void abort();
-
- private:
-  struct Message {
-    Payload payload;
-    std::chrono::steady_clock::time_point ready_at;
-  };
-
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool aborted_ = false;
-  std::map<std::pair<int, std::uint64_t>, std::deque<Message>> queues_;
-};
-
-}  // namespace detail
-
 class Communicator;
+class EventBackend;
 
 /// A group of `size` ranks sharing an in-process message fabric.
 /// Thread-safe: each rank's Communicator may be driven by its own thread.
 class ProcessGroup {
  public:
+  /// Legacy constructor: thread backend, no fabric delays.
   /// `timeout_seconds` <= 0 disables the deadline (legacy blocking
   /// behaviour); a positive value bounds every recv()/barrier().
   explicit ProcessGroup(int size, double timeout_seconds = 0.0);
 
-  /// Aborts (failing any still-pending Works) and joins every progress
-  /// thread. All outstanding Works should be waited before destruction;
-  /// the abort is a safety net, not a substitute.
+  /// Full constructor: backend and network model chosen via options.
+  explicit ProcessGroup(const GroupOptions& options);
+
+  /// Aborts (failing any still-pending Works) and tears the backend
+  /// down (the thread backend joins its progress threads). All
+  /// outstanding Works should be waited before destruction; the abort
+  /// is a safety net, not a substitute.
   ~ProcessGroup();
 
   ProcessGroup(const ProcessGroup&) = delete;
@@ -126,20 +68,24 @@ class ProcessGroup {
 
   /// Deadline applied to blocking operations; set before spawning the
   /// worker threads that drive the communicators.
-  void set_timeout(double timeout_seconds) { timeout_seconds_ = timeout_seconds; }
-  double timeout() const { return timeout_seconds_; }
+  void set_timeout(double timeout_seconds);
+  double timeout() const;
 
-  /// Per-message delivery latency (seconds); models network
-  /// transmission time without burning CPU. Set before spawning the
-  /// worker threads. <= 0 (default) delivers immediately.
-  void set_link_latency(double seconds) { link_latency_seconds_ = seconds; }
-  double link_latency() const { return link_latency_seconds_; }
+  /// Legacy single-knob latency: shorthand for a uniform-latency
+  /// FabricModel (every delivery between distinct ranks delayed by
+  /// exactly `seconds`, independent of message size). Set before
+  /// spawning the worker threads. <= 0 disables delays.
+  void set_link_latency(double seconds);
+
+  /// Full per-pair network model shared by both backends (latency +
+  /// bytes/bandwidth, intra-server links via FabricModel::groups).
+  void set_fabric(const sim::FabricModel& fabric);
 
   /// Attaches an instrumentation scope to the group: every rank's comm
-  /// progress engine starts tracing its operations onto row
-  /// obs::kCommTidBase + rank, and Communicator::scope() derives worker
-  /// scopes from it. Call before spawning worker threads; engines
-  /// created later inherit it.
+  /// operations are traced onto row obs::kCommTidBase + rank (virtual
+  /// timestamps on the event backend), and Communicator::scope()
+  /// derives worker scopes from it. Call before spawning worker
+  /// threads.
   void set_scope(obs::Scope scope);
 
   /// Irreversibly poisons the group: every rank blocked in recv() or
@@ -149,18 +95,22 @@ class ProcessGroup {
   /// thread and idempotent -- this is the comm-abort path a watchdog
   /// takes when one worker is known dead.
   void abort();
-  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  bool aborted() const;
 
   /// Returns the communicator handle for `rank`; the handle borrows the
   /// group, which must outlive it.
   Communicator communicator(int rank);
 
-  /// The comm progress thread for `rank` (created on first use). Async
-  /// collectives submit their state machines here.
-  ProgressEngine& engine(int rank);
-
   /// The deterministic per-rank tag allocator for `rank`.
   TagAllocator& tags(int rank);
+
+  /// The backend this group runs on.
+  Backend& backend() { return *backend_; }
+  BackendKind backend_kind() const { return backend_->kind(); }
+
+  /// The event backend's scale-mode controls (post / inject_fault /
+  /// run_until_idle), or nullptr on the thread backend.
+  EventBackend* event_backend();
 
  private:
   friend class Communicator;
@@ -170,23 +120,9 @@ class ProcessGroup {
   Payload recv(int dst, int src, std::uint64_t tag, const char* op);
 
   int size_;
-  double timeout_seconds_ = 0.0;
-  double link_latency_seconds_ = 0.0;
-  obs::Scope scope_;  ///< set before workers spawn; engines copy it
-  std::atomic<bool> aborted_{false};
-  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  obs::Scope scope_;  ///< set before workers spawn
   std::vector<TagAllocator> tag_allocators_;
-
-  // Per-rank progress engines, created lazily under engines_mutex_.
-  std::mutex engines_mutex_;
-  std::vector<std::unique_ptr<ProgressEngine>> engines_;
-
-  // Barrier state (central counter barrier, generation-counted).
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_waiting_ = 0;
-  std::uint64_t barrier_generation_ = 0;
-  bool barrier_aborted_ = false;
+  std::unique_ptr<Backend> backend_;
 };
 
 /// Rank-local handle used to communicate within a ProcessGroup.
@@ -217,10 +153,12 @@ class Communicator {
   /// subject to the same timeout/abort semantics as recv().
   void barrier();
 
-  /// Enqueues `op` on this rank's comm progress thread; returns its
-  /// Work handle. Ops run in submission order. Prefer the async_*
-  /// collectives over raw submission. `op_name` / `tag` label the
-  /// operation in traces (pass string literals).
+  /// Enqueues `op` on this rank's comm queue; returns its Work handle.
+  /// On the thread backend ops run on the rank's progress thread in
+  /// submission order; the event backend runs them inline (see
+  /// Backend::submit). Prefer the async_* collectives over raw
+  /// submission. `op_name` / `tag` label the operation in traces (pass
+  /// string literals).
   WorkPtr submit(std::function<void()> op, const char* op_name = "op",
                  int tag = 0);
 
@@ -231,6 +169,10 @@ class Communicator {
   /// This rank's tag allocator (deterministic across ranks executing
   /// the same collective sequence).
   TagAllocator& tags() { return group_->tags(rank_); }
+
+  /// The owning group and its backend (collectives dispatch here).
+  ProcessGroup& group() const { return *group_; }
+  Backend& backend() const { return *group_->backend_; }
 
  private:
   friend class ProcessGroup;

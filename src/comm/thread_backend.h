@@ -1,0 +1,126 @@
+// ThreadBackend: the original runtime behind ProcessGroup, unchanged in
+// behavior -- one mailbox per rank, one comm progress thread
+// (ProgressEngine) per rank, wall-clock message delivery delayed by the
+// shared sim::FabricModel. Collectives submit the classic blocking
+// bodies (collectives.h detail::) to the rank's progress thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/backend.h"
+
+namespace cannikin::comm {
+
+class ProcessGroup;
+
+namespace detail {
+
+/// Per-rank inbox. Messages are keyed by (source rank, tag); receive
+/// blocks until a matching message arrives *and* its delivery time has
+/// passed, the timeout expires, or the mailbox is aborted.
+class Mailbox {
+ public:
+  void put(int src, std::uint64_t tag, Payload payload,
+           std::chrono::steady_clock::time_point ready_at);
+  /// `timeout_seconds` <= 0 waits forever. Throws CommTimeoutError on
+  /// deadline expiry and CommAbortedError after abort(). `self_rank`
+  /// and `op` (the collective or p2p operation doing the receive) are
+  /// included in error messages so a timeout is attributable from the
+  /// log alone.
+  Payload take(int self_rank, int src, std::uint64_t tag,
+               double timeout_seconds, const char* op);
+  /// Wakes every blocked take() with CommAbortedError and makes all
+  /// future takes fail immediately.
+  void abort();
+
+ private:
+  struct Message {
+    Payload payload;
+    std::chrono::steady_clock::time_point ready_at;
+  };
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool aborted_ = false;
+  std::map<std::pair<int, std::uint64_t>, std::deque<Message>> queues_;
+};
+
+}  // namespace detail
+
+class ThreadBackend final : public Backend {
+ public:
+  /// `group` is the owning ProcessGroup (used to mint Communicator
+  /// handles for the blocking collective bodies); it outlives the
+  /// backend by construction.
+  ThreadBackend(const GroupOptions& options, ProcessGroup* group);
+
+  /// Aborts (failing any still-pending Works) and joins every progress
+  /// thread.
+  ~ThreadBackend() override;
+
+  BackendKind kind() const override { return BackendKind::kThread; }
+
+  void set_timeout(double seconds) override { timeout_seconds_ = seconds; }
+  double timeout() const override { return timeout_seconds_; }
+  void set_fabric(const sim::FabricModel& fabric) override;
+  void set_scope(obs::Scope scope) override;
+
+  void abort() override;
+  bool aborted() const override {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  void send(int src, int dst, std::uint64_t tag, Payload payload,
+            const char* op) override;
+  Payload recv(int dst, int src, std::uint64_t tag, const char* op) override;
+  void barrier(int rank) override;
+
+  WorkPtr submit(int rank, std::function<void()> op, const char* op_name,
+                 int tag) override;
+
+  WorkPtr all_reduce(int rank, std::span<double> data, double weight,
+                     std::uint64_t tag, const char* op_name,
+                     std::shared_ptr<OpTimes> times) override;
+  WorkPtr tree_all_reduce(int rank, std::span<double> data, std::uint64_t tag,
+                          std::shared_ptr<OpTimes> times) override;
+  WorkPtr broadcast(int rank, std::vector<double>* data, int root,
+                    std::uint64_t tag) override;
+  WorkPtr all_gather(int rank, const std::vector<double>* data,
+                     std::vector<double>* out, std::uint64_t tag) override;
+
+  /// The comm progress thread for `rank` (created on first use).
+  ProgressEngine& engine(int rank);
+
+ private:
+  ProcessGroup* group_;
+  int size_;
+  double timeout_seconds_ = 0.0;
+  obs::Scope scope_;  ///< guarded by engines_mutex_
+  std::atomic<bool> aborted_{false};
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+
+  // Fabric guarded by fabric_mutex_ (set before workers spawn; the
+  // lock makes a late set_fabric safe rather than racy).
+  mutable std::mutex fabric_mutex_;
+  sim::FabricModel fabric_;
+
+  // Per-rank progress engines, created lazily under engines_mutex_.
+  std::mutex engines_mutex_;
+  std::vector<std::unique_ptr<ProgressEngine>> engines_;
+
+  // Barrier state (central counter barrier, generation-counted).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  bool barrier_aborted_ = false;
+};
+
+}  // namespace cannikin::comm

@@ -12,6 +12,15 @@ bool Work::is_completed() const {
 }
 
 bool Work::wait(double timeout_seconds) {
+  // An installed hook (event backend) replaces the sleep: the waiting
+  // thread pumps the backend's scheduler, which is what completes this
+  // Work. The cv path below then returns without blocking.
+  std::function<bool(double)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!done_) hook = wait_hook_;
+  }
+  if (hook && !hook(timeout_seconds)) return false;
   std::unique_lock<std::mutex> lock(mutex_);
   const auto done = [&] { return done_; };
   if (timeout_seconds > 0.0) {
@@ -30,6 +39,11 @@ bool Work::wait(double timeout_seconds) {
 std::exception_ptr Work::exception() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return error_;
+}
+
+void Work::set_wait_hook(std::function<bool(double)> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wait_hook_ = std::move(hook);
 }
 
 void Work::finish(std::exception_ptr error) {

@@ -46,14 +46,26 @@ class Work {
   /// The operation's failure, or nullptr while pending / on success.
   std::exception_ptr exception() const;
 
+  /// Backend-internal. Called by wait() *instead of* sleeping on the
+  /// condition variable: the event backend installs a hook that pumps
+  /// its scheduler until this Work completes, so a caller blocked on a
+  /// virtual-rank collective drives the simulation forward. Returns
+  /// whether the Work completed within `timeout_seconds` (<= 0 waits
+  /// forever). wait() still performs its own final done/error check, so
+  /// a hook whose backend has since been destroyed may simply return
+  /// is_completed().
+  void set_wait_hook(std::function<bool(double)> hook);
+
  private:
   friend class ProgressEngine;
+  friend class EventBackend;
   void finish(std::exception_ptr error);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool done_ = false;
   std::exception_ptr error_;
+  std::function<bool(double)> wait_hook_;  ///< guarded by mutex_
 };
 
 using WorkPtr = std::shared_ptr<Work>;

@@ -102,7 +102,11 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
                               options_.initial_total_batch,
                               controller_->current_gns());
 
-  comm::ProcessGroup group(options_.num_nodes, options_.comm_timeout_seconds);
+  comm::GroupOptions group_options;
+  group_options.size = options_.num_nodes;
+  group_options.timeout_seconds = options_.comm_timeout_seconds;
+  group_options.backend = options_.comm_backend;
+  comm::ProcessGroup group(group_options);
   if (options_.link_latency_seconds > 0.0) {
     group.set_link_latency(options_.link_latency_seconds);
   }

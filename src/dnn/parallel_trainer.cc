@@ -89,7 +89,11 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
       scaled_lr(options_.lr_scaling, options_.base_lr, total_batch,
                 options_.initial_total_batch, gns_.gns());
 
-  comm::ProcessGroup group(options_.num_nodes, options_.comm_timeout_seconds);
+  comm::GroupOptions group_options;
+  group_options.size = options_.num_nodes;
+  group_options.timeout_seconds = options_.comm_timeout_seconds;
+  group_options.backend = options_.comm_backend;
+  comm::ProcessGroup group(group_options);
   if (options_.link_latency_seconds > 0.0) {
     group.set_link_latency(options_.link_latency_seconds);
   }

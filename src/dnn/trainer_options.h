@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "comm/backend.h"
 #include "core/gns.h"
 #include "dnn/optimizer.h"
 #include "obs/scope.h"
@@ -42,6 +43,11 @@ struct CommonTrainerOptions {
   /// <= 0 delivers immediately. Slowing the simulated link is what
   /// makes compute/communication overlap visible on a single host.
   double link_latency_seconds = 0.0;
+  /// Which comm::Backend the trainer's ProcessGroup runs on. kThread
+  /// (default) is the real concurrent runtime; kEvent multiplexes the
+  /// ranks onto the discrete-event scheduler -- same collectives, same
+  /// numerics, virtual time -- which is how a laptop hosts 1k+ ranks.
+  comm::BackendKind comm_backend = comm::BackendKind::kThread;
   /// Instrumentation sinks (tracer + metrics; see obs/scope.h).
   /// Disabled by default. When attached, the trainer emits per-rank
   /// forward/backward/update spans, the comm engines trace every

@@ -94,6 +94,20 @@ class Scope {
     }
   }
 
+  /// Complete span stamped with the caller's own clock (virtual-time
+  /// backends). `begin_seconds`/`duration_seconds` land on the trace as
+  /// if they were wall times since the tracer's start.
+  void complete_span(const char* category, std::string name,
+                     double begin_seconds, double duration_seconds,
+                     ArgList args = {}) const {
+    if (tracer_ != nullptr) {
+      tracer_->complete(tid_, category, std::move(name),
+                        static_cast<std::int64_t>(begin_seconds * 1e9),
+                        static_cast<std::int64_t>(duration_seconds * 1e9),
+                        std::move(args));
+    }
+  }
+
   /// Names this scope's row in the trace viewer.
   void thread_name(const std::string& name) const {
     if (tracer_ != nullptr) tracer_->set_thread_name(tid_, name);

@@ -169,6 +169,20 @@ void Tracer::instant(int tid, const char* category, std::string name,
   record(std::move(event));
 }
 
+void Tracer::complete(int tid, const char* category, std::string name,
+                      std::int64_t timestamp_ns, std::int64_t duration_ns,
+                      ArgList args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = Phase::kComplete;
+  event.timestamp_ns = timestamp_ns;
+  event.duration_ns = duration_ns;
+  event.tid = tid;
+  event.args_json = std::move(args).json();
+  record(std::move(event));
+}
+
 void Tracer::set_thread_name(int tid, const std::string& name) {
   std::lock_guard<std::mutex> lock(registry_mutex_);
   thread_names_[tid] = name;
@@ -240,6 +254,13 @@ std::string Tracer::to_json() const {
                   static_cast<int>(event.timestamp_ns % 1000));
     out += "\",\"ts\":";
     out += ts;
+    if (event.phase == Phase::kComplete) {
+      std::snprintf(ts, sizeof(ts), "%lld.%03d",
+                    static_cast<long long>(event.duration_ns / 1000),
+                    static_cast<int>(event.duration_ns % 1000));
+      out += ",\"dur\":";
+      out += ts;
+    }
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(event.tid);
     if (!event.args_json.empty()) {

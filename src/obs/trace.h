@@ -59,6 +59,7 @@ void append_json_escaped(std::string* out, const std::string& text);
 enum class Phase : char {
   kBegin = 'B',
   kEnd = 'E',
+  kComplete = 'X',
   kInstant = 'i',
   kMetadata = 'M',
 };
@@ -68,6 +69,7 @@ struct TraceEvent {
   const char* category = "";
   Phase phase = Phase::kInstant;
   std::int64_t timestamp_ns = 0;  ///< since the tracer's construction
+  std::int64_t duration_ns = 0;   ///< kComplete only
   int tid = 0;                    ///< timeline row (rank convention)
   std::string args_json;          ///< rendered ArgList body, may be empty
 };
@@ -89,6 +91,14 @@ class Tracer {
   /// Zero-duration event on row `tid`.
   void instant(int tid, const char* category, std::string name,
                ArgList args = {});
+
+  /// Complete span with caller-supplied timestamps ('X' event). Unlike
+  /// begin()/end(), the clock is the caller's: virtual-time backends
+  /// (the event-driven comm engine) record spans stamped in simulated
+  /// seconds-since-start rather than this tracer's wall clock.
+  void complete(int tid, const char* category, std::string name,
+                std::int64_t timestamp_ns, std::int64_t duration_ns,
+                ArgList args = {});
 
   /// Names row `tid` in the viewer ("rank 0", "rank 0 comm", ...).
   /// Idempotent per tid: repeated calls (one per epoch is typical) emit

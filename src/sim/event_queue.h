@@ -1,0 +1,71 @@
+// Deterministic discrete-event queue: the scheduling core of the
+// event-driven comm backend.
+//
+// Events pop in (time, insertion-sequence) order. The sequence
+// tie-break is what makes whole-run determinism fall out for free:
+// simultaneous events (same virtual time) always replay in the order
+// they were scheduled, so two runs of the same program produce the
+// same event interleaving, the same floating-point reduction order,
+// and bitwise-identical tensors.
+//
+// Not thread-safe by itself; the event backend serializes access under
+// its scheduler mutex.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace cannikin::sim {
+
+template <typename Event>
+class EventQueue {
+ public:
+  void push(double time, Event event) {
+    heap_.push_back(Entry{time, next_seq_++, std::move(event)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Virtual time of the earliest pending event.
+  double next_time() const {
+    if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+    return heap_.front().time;
+  }
+
+  /// Removes and returns the earliest (time, seq) event.
+  std::pair<double, Event> pop() {
+    if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    return {entry.time, std::move(entry.event)};
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  struct Entry {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    Event event;
+  };
+  // std::push_heap keeps the *largest* element at front, so "later than"
+  // ordering surfaces the earliest (time, seq) entry.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cannikin::sim

@@ -46,6 +46,37 @@ double NetworkModel::hierarchical_all_reduce_time(
   return total;
 }
 
+FabricModel FabricModel::uniform_latency(double seconds) {
+  FabricModel fabric;
+  fabric.net.latency_s = seconds;
+  fabric.net.bandwidth_bytes_per_s = 0.0;        // infinite: latency only
+  fabric.net.intra_bandwidth_bytes_per_s = 0.0;  // infinite: latency only
+  fabric.enabled = true;
+  return fabric;
+}
+
+FabricModel FabricModel::from_network(NetworkModel net,
+                                      std::vector<int> groups) {
+  FabricModel fabric;
+  fabric.net = net;
+  fabric.groups = std::move(groups);
+  fabric.enabled = true;
+  return fabric;
+}
+
+double FabricModel::delay_seconds(int src, int dst, std::size_t bytes) const {
+  if (!enabled || src == dst) return 0.0;
+  double bandwidth = net.bandwidth_bytes_per_s;
+  if (!groups.empty() && src >= 0 && dst >= 0 &&
+      src < static_cast<int>(groups.size()) &&
+      dst < static_cast<int>(groups.size()) && groups[src] == groups[dst]) {
+    bandwidth = net.intra_bandwidth_bytes_per_s;
+  }
+  double delay = net.latency_s;
+  if (bandwidth > 0.0) delay += static_cast<double>(bytes) / bandwidth;
+  return delay;
+}
+
 double CommSchedule::bucket_time(int j) const {
   if (j < 0 || j >= num_buckets) {
     throw std::out_of_range("CommSchedule::bucket_time: bad index");

@@ -34,6 +34,36 @@ struct NetworkModel {
                                       const std::vector<int>& groups) const;
 };
 
+/// Per-pair message delay model shared by both comm backends.
+///
+/// The thread backend's old `set_link_latency` knob applied one fixed
+/// delay to every delivery; FabricModel generalizes that to the same
+/// cost model the planner's NetworkModel uses — per-hop latency plus a
+/// byte-dependent serialization term, with the faster intra-server
+/// bandwidth when `groups` places both endpoints on the same server.
+/// Routing both backends through one FabricModel keeps the simulated
+/// network and the executed network from drifting apart.
+struct FabricModel {
+  NetworkModel net;
+  /// Optional: `groups[r]` is rank r's server id; same-server pairs use
+  /// `net.intra_bandwidth_bytes_per_s`. Empty = every pair inter-server.
+  std::vector<int> groups;
+  bool enabled = false;
+
+  /// Legacy single-knob model: every delivery between distinct ranks is
+  /// delayed by exactly `seconds`, independent of message size.
+  static FabricModel uniform_latency(double seconds);
+
+  /// Full model: latency + bytes/bandwidth per delivery.
+  static FabricModel from_network(NetworkModel net,
+                                  std::vector<int> groups = {});
+
+  /// Delivery delay for `bytes` from `src` to `dst`. Zero when disabled
+  /// or src == dst; a non-positive bandwidth means "infinite" (latency
+  /// only), which is how uniform_latency() reproduces the legacy knob.
+  double delay_seconds(int src, int dst, std::size_t bytes) const;
+};
+
 /// Per-bucket communication schedule for a bucketized all-reduce:
 /// buckets 0..num_buckets-2 together take `t_other` (T_o), the last
 /// bucket takes `t_last` (T_u); total is T_comm.

@@ -1,0 +1,396 @@
+// Cross-backend parity suite: every collective must produce bitwise
+// identical tensors on the thread backend (real progress threads, wall
+// clock) and the event backend (virtual ranks on the discrete-event
+// scheduler), with the same TagAllocator sequences, the same abort /
+// timeout unwinding, and -- in pure virtual mode -- a fully
+// deterministic event trace. The scale tests at the bottom run the
+// collectives at 1k-10k virtual ranks, which only the event backend
+// can host.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "comm/bucket.h"
+#include "comm/collectives.h"
+#include "comm/event_backend.h"
+#include "comm/process_group.h"
+#include "comm/tag_allocator.h"
+#include "comm/work.h"
+#include "dnn/data.h"
+#include "dnn/model.h"
+#include "dnn/parallel_trainer.h"
+#include "sim/network.h"
+
+namespace cannikin::comm {
+namespace {
+
+ProcessGroup make_group(BackendKind kind, int size,
+                        double timeout_seconds = 0.0) {
+  GroupOptions options;
+  options.size = size;
+  options.timeout_seconds = timeout_seconds;
+  options.backend = kind;
+  return ProcessGroup(options);
+}
+
+// Deterministic per-rank test payload: distinct, non-round values so a
+// reordering of additions would change the bits.
+std::vector<double> rank_payload(int rank, std::size_t size) {
+  std::vector<double> data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = std::sin(static_cast<double>(rank + 1) * 0.7 +
+                       static_cast<double>(i) * 0.13) *
+              (rank % 2 == 0 ? 1.0 : -3.7);
+  }
+  return data;
+}
+
+// Runs `fn(rank, comm)` on one thread per rank and joins. Works on both
+// backends: on the event backend the blocked threads take turns pumping
+// the scheduler.
+template <typename Fn>
+void run_ranks(ProcessGroup& group, Fn fn) {
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < group.size(); ++rank) {
+    threads.emplace_back([&, rank] {
+      Communicator comm = group.communicator(rank);
+      fn(rank, comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// Submits one async collective per rank from this thread, then waits
+// them all -- the single-threaded driving style both backends support.
+struct CollectiveResult {
+  std::vector<std::vector<double>> buffers;  ///< per-rank reduced data
+  std::vector<std::vector<double>> gathered;
+};
+
+CollectiveResult run_collectives(BackendKind kind, int size,
+                                 std::size_t elements) {
+  ProcessGroup group = make_group(kind, size);
+  CollectiveResult result;
+  result.buffers.resize(static_cast<std::size_t>(size));
+  result.gathered.resize(static_cast<std::size_t>(size));
+  std::vector<double> scalars(static_cast<std::size_t>(size));
+  std::vector<std::vector<double>> bcast(static_cast<std::size_t>(size));
+  std::vector<std::vector<double>> tree(static_cast<std::size_t>(size));
+  std::vector<WorkPtr> works;
+
+  for (int rank = 0; rank < size; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    result.buffers[r] = rank_payload(rank, elements);
+    tree[r] = rank_payload(rank, elements);
+    bcast[r] = rank == 1 % size ? rank_payload(7, 5) : std::vector<double>{};
+    scalars[r] = 0.25 * rank + 0.125;
+  }
+  for (int rank = 0; rank < size; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    Communicator comm = group.communicator(rank);
+    TagAllocator& tags = comm.tags();
+    works.push_back(async_weighted_ring_all_reduce(
+        comm, result.buffers[r], 1.0 / (rank + 1),
+        tags.next(CollectiveKind::kAllReduce)));
+    works.push_back(async_tree_all_reduce(
+        comm, tree[r], tags.next(CollectiveKind::kAllReduce)));
+    works.push_back(async_broadcast(comm, &bcast[r], 1 % size,
+                                    tags.next(CollectiveKind::kBroadcast)));
+    works.push_back(async_all_reduce_scalar(
+        comm, &scalars[r], tags.next(CollectiveKind::kScalar)));
+  }
+  // all_gather uses the per-rank payload *after* reduction would be
+  // wrong -- gather the original contribution instead, sized unevenly.
+  std::vector<std::vector<double>> contributions(
+      static_cast<std::size_t>(size));
+  for (int rank = 0; rank < size; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    contributions[r] = rank_payload(rank, 1 + static_cast<std::size_t>(rank));
+    Communicator comm = group.communicator(rank);
+    works.push_back(async_all_gather(
+        comm, &contributions[r], &result.gathered[r],
+        comm.tags().next(CollectiveKind::kAllGather)));
+  }
+  for (auto& work : works) work->wait();
+
+  // Fold the remaining outputs into `buffers` so the caller compares
+  // one structure: [reduced | tree | bcast | scalar].
+  for (int rank = 0; rank < size; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    auto& buffer = result.buffers[r];
+    buffer.insert(buffer.end(), tree[r].begin(), tree[r].end());
+    buffer.insert(buffer.end(), bcast[r].begin(), bcast[r].end());
+    buffer.push_back(scalars[r]);
+  }
+  return result;
+}
+
+TEST(BackendParity, CollectivesAreBitwiseIdenticalAcrossBackends) {
+  for (const int size : {1, 2, 3, 5, 8}) {
+    // 23 elements: not divisible by any group size, so ring segments
+    // are uneven and exercise make_segments parity.
+    const CollectiveResult threaded =
+        run_collectives(BackendKind::kThread, size, 23);
+    const CollectiveResult event =
+        run_collectives(BackendKind::kEvent, size, 23);
+    for (int rank = 0; rank < size; ++rank) {
+      const auto r = static_cast<std::size_t>(rank);
+      ASSERT_EQ(threaded.buffers[r].size(), event.buffers[r].size())
+          << "size=" << size << " rank=" << rank;
+      for (std::size_t i = 0; i < threaded.buffers[r].size(); ++i) {
+        ASSERT_EQ(threaded.buffers[r][i], event.buffers[r][i])
+            << "size=" << size << " rank=" << rank << " element=" << i;
+      }
+      ASSERT_EQ(threaded.gathered[r], event.gathered[r])
+          << "size=" << size << " rank=" << rank;
+    }
+  }
+}
+
+TEST(BackendParity, TagSequencesMatchAcrossBackends) {
+  // Tags come from the backend-independent per-rank TagAllocator, so
+  // running the same collective program must allocate the same wire
+  // tags on both backends.
+  ProcessGroup threaded = make_group(BackendKind::kThread, 2);
+  ProcessGroup event = make_group(BackendKind::kEvent, 2);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(threaded.tags(0).next(CollectiveKind::kBucketAllReduce),
+              event.tags(0).next(CollectiveKind::kBucketAllReduce));
+    EXPECT_EQ(threaded.tags(1).block(CollectiveKind::kScalar, 3),
+              event.tags(1).block(CollectiveKind::kScalar, 3));
+  }
+}
+
+TEST(BackendParity, BucketReducerMatchesAcrossBackends) {
+  const std::size_t elements = 37;
+  const auto buckets = make_buckets(elements, 10);
+  std::vector<std::vector<double>> results[2];
+  const BackendKind kinds[] = {BackendKind::kThread, BackendKind::kEvent};
+  for (int which = 0; which < 2; ++which) {
+    ProcessGroup group = make_group(kinds[which], 3);
+    auto& grads = results[which];
+    grads.resize(3);
+    for (int rank = 0; rank < 3; ++rank) {
+      grads[static_cast<std::size_t>(rank)] = rank_payload(rank, elements);
+    }
+    run_ranks(group, [&](int rank, Communicator& comm) {
+      const std::uint64_t base = comm.tags().block(
+          CollectiveKind::kBucketAllReduce, buckets.size());
+      BucketReducer reducer(comm, grads[static_cast<std::size_t>(rank)],
+                            1.0 / (rank + 2), buckets, base);
+      // Mark ranges out of order and across bucket boundaries.
+      reducer.mark_ready(10, elements - 10);
+      reducer.mark_ready(0, 10);
+      const BucketReducer::Stats stats = reducer.finish();
+      EXPECT_EQ(stats.num_buckets, buckets.size());
+      EXPECT_GE(stats.total_comm_seconds, 0.0);
+    });
+  }
+  for (int rank = 0; rank < 3; ++rank) {
+    EXPECT_EQ(results[0][static_cast<std::size_t>(rank)],
+              results[1][static_cast<std::size_t>(rank)])
+        << "rank=" << rank;
+  }
+}
+
+TEST(BackendParity, ParallelTrainerEpochsMatchBitwise) {
+  // The full trainer -- bucketized weighted all-reduce, GNS scalar
+  // reduces, parameter broadcast -- run for two epochs on each backend
+  // must leave bitwise identical parameters.
+  const auto dataset = dnn::make_gaussian_mixture(240, 10, 3, 3.5, 42);
+  auto factory = [] { return dnn::make_mlp(10, 16, 1, 3); };
+  std::vector<double> params[2];
+  const BackendKind kinds[] = {BackendKind::kThread, BackendKind::kEvent};
+  for (int which = 0; which < 2; ++which) {
+    dnn::TrainerOptions options;
+    options.num_nodes = 3;
+    options.base_lr = 0.05;
+    options.lr_scaling = dnn::LrScaling::kNone;
+    options.initial_total_batch = 60;
+    options.seed = 7;
+    options.comm_backend = kinds[which];
+    dnn::ParallelTrainer trainer(&dataset, factory, options);
+    trainer.run_epoch({30, 20, 10});
+    trainer.run_epoch({20, 20, 20});
+    params[which] = trainer.params();
+  }
+  ASSERT_EQ(params[0].size(), params[1].size());
+  for (std::size_t i = 0; i < params[0].size(); ++i) {
+    ASSERT_EQ(params[0][i], params[1][i]) << "param " << i;
+  }
+}
+
+// ------------------------------------------------------ fault semantics
+
+TEST(EventBackend, AbortWakesBlockedRecvAndFailsPendingWork) {
+  ProcessGroup group = make_group(BackendKind::kEvent, 2);
+  Communicator comm0 = group.communicator(0);
+  std::vector<double> data = {1.0, 2.0};
+  // Rank 0's ring all-reduce can never finish: rank 1 never joins.
+  WorkPtr work = async_ring_all_reduce(comm0, data, 42);
+  std::thread aborter([&group] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    group.abort();
+  });
+  EXPECT_THROW(group.communicator(1).recv(0, 99), CommAbortedError);
+  aborter.join();
+  EXPECT_THROW(work->wait(), CommAbortedError);
+  EXPECT_TRUE(group.aborted());
+  EXPECT_THROW(comm0.send(1, 5, {1.0}), CommAbortedError);
+}
+
+TEST(EventBackend, GroupTimeoutSurfacesAsCommTimeoutError) {
+  ProcessGroup group = make_group(BackendKind::kEvent, 2, /*timeout=*/0.05);
+  Communicator comm0 = group.communicator(0);
+  EXPECT_THROW(comm0.recv(1, 7), CommTimeoutError);
+  std::vector<double> data = {1.0};
+  WorkPtr work = async_ring_all_reduce(comm0, data, 9);
+  EXPECT_THROW(work->wait(), CommTimeoutError);
+}
+
+TEST(EventBackend, BarrierTimesOutWhenARankNeverArrives) {
+  ProcessGroup group = make_group(BackendKind::kEvent, 3, /*timeout=*/0.05);
+  Communicator comm = group.communicator(0);
+  EXPECT_THROW(comm.barrier(), CommTimeoutError);
+}
+
+TEST(EventBackend, InjectFaultStrandsPeersAndFailsTheDeadRank) {
+  ProcessGroup group = make_group(BackendKind::kEvent, 4);
+  EventBackend* backend = group.event_backend();
+  ASSERT_NE(backend, nullptr);
+  backend->inject_fault(2, 0.0);
+
+  std::vector<std::vector<double>> data(4, std::vector<double>{1.0, 2.0});
+  std::vector<WorkPtr> works;
+  for (int rank = 0; rank < 4; ++rank) {
+    works.push_back(async_ring_all_reduce(
+        group.communicator(rank), data[static_cast<std::size_t>(rank)], 3));
+  }
+  const EventStats stats = backend->run_until_idle();
+  EXPECT_GT(stats.works_stranded, 0u);
+  EXPECT_THROW(works[2]->wait(), CommError);
+  // The survivors strand: rank 2 never forwards its ring segment.
+  EXPECT_THROW(works[1]->wait(), CommTimeoutError);
+  for (const auto& work : works) EXPECT_TRUE(work->is_completed());
+}
+
+// --------------------------------------------------- virtual-time model
+
+TEST(EventBackend, VirtualClockFollowsTheFabricModel) {
+  GroupOptions options;
+  options.size = 2;
+  options.backend = BackendKind::kEvent;
+  options.fabric = sim::FabricModel::uniform_latency(0.001);
+  ProcessGroup group(options);
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {10.0, 20.0, 30.0, 40.0};
+  WorkPtr wa = async_ring_all_reduce(group.communicator(0), a, 5);
+  WorkPtr wb = async_ring_all_reduce(group.communicator(1), b, 5);
+  wa->wait();
+  wb->wait();
+  // Two-rank ring: one reduce-scatter hop plus one all-gather hop, both
+  // directions in parallel -- exactly two serialized message delays.
+  EXPECT_DOUBLE_EQ(group.event_backend()->virtual_now(), 0.002);
+  EXPECT_EQ(a, (std::vector<double>{11.0, 22.0, 33.0, 44.0}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(EventBackend, PureVirtualModeIsDeterministic) {
+  // Same program, two fresh backends: identical tensors, identical
+  // event count, identical virtual end time.
+  auto run = [](std::vector<std::vector<double>>& out) {
+    GroupOptions options;
+    options.size = 16;
+    options.backend = BackendKind::kEvent;
+    options.fabric = sim::FabricModel::uniform_latency(1e-4);
+    ProcessGroup group(options);
+    EventBackend* backend = group.event_backend();
+    out.assign(16, {});
+    for (int rank = 0; rank < 16; ++rank) {
+      out[static_cast<std::size_t>(rank)] = rank_payload(rank, 11);
+      // Stagger the start times: rank r joins at r * 10us.
+      backend->post(rank, rank * 1e-5, [&group, &out, rank] {
+        async_ring_all_reduce(group.communicator(rank),
+                              out[static_cast<std::size_t>(rank)], 1);
+      });
+    }
+    const EventStats stats = backend->run_until_idle();
+    EXPECT_EQ(stats.works_stranded, 0u);
+    return std::pair<std::uint64_t, double>(stats.events_processed,
+                                            stats.virtual_time);
+  };
+  std::vector<std::vector<double>> first, second;
+  const auto stats1 = run(first);
+  const auto stats2 = run(second);
+  EXPECT_EQ(stats1.first, stats2.first);
+  EXPECT_DOUBLE_EQ(stats1.second, stats2.second);
+  EXPECT_EQ(first, second);
+  for (int rank = 1; rank < 16; ++rank) {
+    EXPECT_EQ(first[0], first[static_cast<std::size_t>(rank)]);
+  }
+}
+
+// ------------------------------------------------------------ at scale
+
+TEST(EventBackendScale, TreeAllReduceAtOneThousandRanks) {
+  const int n = 1000;
+  GroupOptions options;
+  options.size = n;
+  options.backend = BackendKind::kEvent;
+  options.fabric = sim::FabricModel::uniform_latency(1e-6);
+  ProcessGroup group(options);
+  EventBackend* backend = group.event_backend();
+
+  std::vector<std::vector<double>> data(static_cast<std::size_t>(n));
+  std::vector<WorkPtr> works(static_cast<std::size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    data[r] = {static_cast<double>(rank), 1.0};
+    backend->post(rank, 0.0, [&, rank, r] {
+      works[r] = async_tree_all_reduce(group.communicator(rank), data[r], 1);
+    });
+  }
+  const EventStats stats = backend->run_until_idle();
+  EXPECT_EQ(stats.works_stranded, 0u);
+  const double expected_sum = static_cast<double>(n) * (n - 1) / 2.0;
+  for (const int rank : {0, 1, 499, 998, 999}) {
+    const auto r = static_cast<std::size_t>(rank);
+    ASSERT_TRUE(works[r] && works[r]->is_completed());
+    EXPECT_DOUBLE_EQ(data[r][0], expected_sum) << "rank " << rank;
+    EXPECT_DOUBLE_EQ(data[r][1], static_cast<double>(n)) << "rank " << rank;
+  }
+  // Binomial tree: the collective finishes in O(log n) rounds of the
+  // 1us link, far under what a 1000-step ring would need.
+  EXPECT_LT(stats.virtual_time, 1000 * 1e-6);
+}
+
+TEST(EventBackendScale, BroadcastAtTenThousandRanks) {
+  const int n = 10000;
+  GroupOptions options;
+  options.size = n;
+  options.backend = BackendKind::kEvent;
+  ProcessGroup group(options);
+  EventBackend* backend = group.event_backend();
+
+  std::vector<std::vector<double>> data(static_cast<std::size_t>(n));
+  data[0] = {3.25, -1.5, 7.75};
+  for (int rank = 0; rank < n; ++rank) {
+    backend->post(rank, 0.0, [&group, &data, rank] {
+      async_broadcast(group.communicator(rank),
+                      &data[static_cast<std::size_t>(rank)], 0, 2);
+    });
+  }
+  const EventStats stats = backend->run_until_idle();
+  EXPECT_EQ(stats.works_stranded, 0u);
+  for (const int rank : {1, 5000, 9999}) {
+    EXPECT_EQ(data[static_cast<std::size_t>(rank)], data[0])
+        << "rank " << rank;
+  }
+  EXPECT_GE(stats.events_processed, static_cast<std::uint64_t>(n));
+}
+
+}  // namespace
+}  // namespace cannikin::comm

@@ -6,9 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "comm/collectives.h"
+#include "comm/process_group.h"
+#include "comm/tag_allocator.h"
 #include "dnn/adaptive_trainer.h"
 #include "dnn/data.h"
 #include "dnn/model.h"
@@ -217,6 +222,69 @@ TEST(ObsScope, ForRankRebindsRowKeepingSinks) {
 // artifact the README documents: per-bucket all-reduce spans on the
 // comm rows, backward spans on the worker rows, and controller
 // batch_decision events carrying the predicted batch time.
+TEST(ObsIntegration, CommSpansMatchAcrossBackends) {
+  // Running the same collective program on the thread backend and the
+  // event backend must leave equivalent instrumentation: the same comm
+  // span names on the same per-rank rows (tid = kCommTidBase + rank,
+  // carrying the wire tag), and the same comm.* operation counts. The
+  // event backend emits kComplete spans stamped with *virtual* time;
+  // the thread backend emits kBegin/kEnd pairs in wall time.
+  struct Observed {
+    std::multiset<std::string> spans;  ///< "tid/name" per comm span
+    double ops_completed = 0.0;
+  };
+  auto run = [](comm::BackendKind kind) {
+    Tracer tracer;
+    MetricsRegistry metrics;
+    comm::GroupOptions options;
+    options.size = 2;
+    options.backend = kind;
+    options.fabric = sim::FabricModel::uniform_latency(1e-4);
+    comm::ProcessGroup group(options);
+    group.set_scope(Scope(&tracer, &metrics, 0));
+    std::vector<std::vector<double>> data(2, {1.0, 2.0, 3.0});
+    std::vector<comm::WorkPtr> works;
+    for (int rank = 0; rank < 2; ++rank) {
+      works.push_back(comm::async_ring_all_reduce(
+          group.communicator(rank), data[static_cast<std::size_t>(rank)],
+          group.tags(rank).next(comm::CollectiveKind::kAllReduce)));
+    }
+    for (auto& work : works) work->wait();
+
+    Observed observed;
+    for (const TraceEvent& event : tracer.snapshot()) {
+      const bool opens_span = event.phase == Phase::kBegin ||
+                              event.phase == Phase::kComplete;
+      if (opens_span && std::string(event.category) == "comm") {
+        EXPECT_GE(event.tid, kCommTidBase);
+        EXPECT_NE(event.args_json.find("tag"), std::string::npos);
+        EXPECT_NE(event.args_json.find("queue_us"), std::string::npos);
+        if (event.phase == Phase::kComplete) {
+          // Virtual timestamps: the two-hop ring at 100us/hop ends at
+          // 200us of virtual time, nowhere near wall time.
+          EXPECT_LE(event.timestamp_ns + event.duration_ns, 200'000);
+          EXPECT_GT(event.duration_ns, 0);
+        }
+        observed.spans.insert(std::to_string(event.tid) + "/" + event.name);
+      }
+    }
+    observed.ops_completed = metrics.counter("comm.ops_completed");
+    EXPECT_GT(metrics.histogram("comm.run_us").count, 0u);
+    EXPECT_GT(metrics.histogram("comm.queue_us").count, 0u);
+    return observed;
+  };
+
+  const Observed threaded = run(comm::BackendKind::kThread);
+  const Observed event = run(comm::BackendKind::kEvent);
+  EXPECT_EQ(threaded.spans, event.spans);
+  EXPECT_EQ(threaded.ops_completed, event.ops_completed);
+  EXPECT_EQ(event.spans.count(std::to_string(kCommTidBase) + "/all_reduce"),
+            1u);
+  EXPECT_EQ(
+      event.spans.count(std::to_string(kCommTidBase + 1) + "/all_reduce"),
+      1u);
+}
+
 TEST(ObsIntegration, AdaptiveEpochTraceCarriesCommAndControllerEvents) {
   const auto dataset = dnn::make_gaussian_mixture(240, 10, 3, 3.5, 11);
   dnn::AdaptiveTrainerOptions options;
