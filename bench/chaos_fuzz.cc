@@ -1,0 +1,167 @@
+// Chaos fuzzer: the acceptance gate for the partition-tolerant comm
+// layer. Runs N seeded random fault schedules (default 500) against
+// the chaos harness at 256 virtual ranks in pure virtual mode, each
+// mixing crashes, partitions (soft and hard), flaky links, degraded
+// fabric, stragglers and checkpoint corruption, and checks the four
+// harness invariants on every run (no deadlock past the wall budget,
+// typed errors only, committed tensors bitwise identical, restore or
+// clean give-up). Every Kth seed is additionally replayed to prove
+// bitwise determinism.
+//
+// On any violation the offending schedule is delta-debugged down to a
+// minimal reproducer, printed, and the process exits non-zero -- this
+// binary is wired into scripts/run_chaos.sh as a CI gate.
+//
+// Everything lands in BENCH_chaos.json: scenario throughput, recovery
+// virtual-time percentiles, retry/drop counts and the rank exclusion
+// rate.
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/chaos_harness.h"
+
+namespace {
+
+using cannikin::bench::BenchReport;
+using cannikin::chaos::ChaosConfig;
+using cannikin::chaos::ChaosResult;
+using cannikin::chaos::ChaosSchedule;
+
+std::uint64_t flag_or(int argc, char** argv, const char* name,
+                      std::uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seeds = flag_or(argc, argv, "seeds", 500);
+  const std::uint64_t ranks = flag_or(argc, argv, "ranks", 256);
+  const std::uint64_t replay_every = flag_or(argc, argv, "replay-every", 25);
+
+  std::printf("== chaos_fuzz: %llu seeded schedules at %llu virtual ranks\n",
+              static_cast<unsigned long long>(seeds),
+              static_cast<unsigned long long>(ranks));
+  std::printf(
+      "   invariants: liveness, typed-errors-only, bitwise-identical "
+      "commits, restore-or-clean-give-up; every %lluth seed replayed\n\n",
+      static_cast<unsigned long long>(replay_every));
+
+  BenchReport report("chaos_fuzz");
+  std::uint64_t completed = 0, discarded = 0, exclusions = 0, rejoins = 0;
+  std::uint64_t restores = 0, corrupt_skipped = 0, typed_errors = 0;
+  std::uint64_t resends = 0, dropped = 0, give_ups = 0, replays = 0;
+  std::uint64_t member_rounds = 0;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    ChaosConfig config;
+    config.ranks = static_cast<int>(ranks);
+    config.seed = seed;
+    const ChaosSchedule schedule = cannikin::chaos::make_chaos_schedule(config);
+    const bool replay = replay_every > 0 && seed % replay_every == 0;
+    const ChaosResult result =
+        replay ? cannikin::chaos::check_replay_determinism(config, schedule)
+               : cannikin::chaos::run_chaos_schedule(config, schedule);
+    replays += replay ? 1 : 0;
+
+    if (!result.ok) {
+      std::printf("seed %llu VIOLATED:\n",
+                  static_cast<unsigned long long>(seed));
+      for (const auto& violation : result.violations) {
+        std::printf("  [%s] round %d: %s\n", violation.invariant.c_str(),
+                    violation.round, violation.detail.c_str());
+      }
+      std::printf("\nshrinking to a minimal reproducing schedule...\n");
+      const ChaosSchedule minimal =
+          cannikin::chaos::shrink_schedule(config, schedule);
+      std::printf("%s", cannikin::chaos::describe_schedule(minimal).c_str());
+      return 1;
+    }
+
+    completed += static_cast<std::uint64_t>(result.rounds_completed);
+    discarded += static_cast<std::uint64_t>(result.rounds_discarded);
+    exclusions += result.exclusions;
+    rejoins += result.rejoins;
+    restores += result.restores;
+    corrupt_skipped += result.corrupt_skipped;
+    typed_errors += result.typed_errors;
+    resends += result.resends;
+    dropped += result.messages_dropped;
+    give_ups += result.gave_up ? 1 : 0;
+    member_rounds += ranks * static_cast<std::uint64_t>(
+                                 result.rounds_completed +
+                                 result.rounds_discarded);
+    for (const double r : result.recovery_seconds) {
+      report.observe("chaos.recovery_virtual_seconds", r);
+    }
+    if (seed % 100 == 0) {
+      std::printf("  %llu/%llu seeds, 0 violations\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(seeds));
+    }
+  }
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+
+  const double scenarios_per_sec = wall > 0.0 ? seeds / wall : 0.0;
+  const double exclusion_rate =
+      member_rounds > 0 ? static_cast<double>(exclusions) / member_rounds : 0.0;
+  report.gauge("chaos.seeds", static_cast<double>(seeds));
+  report.gauge("chaos.ranks", static_cast<double>(ranks));
+  report.gauge("chaos.scenarios_per_sec", scenarios_per_sec);
+  report.gauge("chaos.exclusion_rate", exclusion_rate);
+  report.counter("chaos.rounds_completed", static_cast<double>(completed));
+  report.counter("chaos.rounds_discarded", static_cast<double>(discarded));
+  report.counter("chaos.exclusions", static_cast<double>(exclusions));
+  report.counter("chaos.rejoins", static_cast<double>(rejoins));
+  report.counter("chaos.restores", static_cast<double>(restores));
+  report.counter("chaos.corrupt_checkpoints_skipped",
+                 static_cast<double>(corrupt_skipped));
+  report.counter("chaos.typed_errors", static_cast<double>(typed_errors));
+  report.counter("chaos.replays_verified", static_cast<double>(replays));
+  report.counter("comm.retry.resends", static_cast<double>(resends));
+  report.counter("comm.retry.dropped", static_cast<double>(dropped));
+  report.counter("chaos.clean_give_ups", static_cast<double>(give_ups));
+
+  const auto recovery =
+      report.registry().histogram("chaos.recovery_virtual_seconds");
+  std::printf("\n%llu seeds, 0 violations, %.1f scenarios/sec\n",
+              static_cast<unsigned long long>(seeds), scenarios_per_sec);
+  std::printf(
+      "rounds: %llu committed, %llu discarded-and-recovered; "
+      "recovery vtime p50/p90/p99 = %.4gs / %.4gs / %.4gs (%zu samples)\n",
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(discarded), recovery.p50, recovery.p90,
+      recovery.p99, recovery.count);
+  std::printf(
+      "robustness: %llu exclusions (rate %.4f), %llu rejoins, %llu "
+      "restores, %llu corrupt ckpts skipped, %llu typed errors, %llu "
+      "clean give-ups\n",
+      static_cast<unsigned long long>(exclusions), exclusion_rate,
+      static_cast<unsigned long long>(rejoins),
+      static_cast<unsigned long long>(restores),
+      static_cast<unsigned long long>(corrupt_skipped),
+      static_cast<unsigned long long>(typed_errors),
+      static_cast<unsigned long long>(give_ups));
+  std::printf("retries: %llu resends, %llu messages dropped after budget\n",
+              static_cast<unsigned long long>(resends),
+              static_cast<unsigned long long>(dropped));
+  cannikin::bench::shape_check(
+      true, "all seeded chaos schedules held every invariant");
+  report.write("BENCH_chaos.json");
+  return 0;
+}

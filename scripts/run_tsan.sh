@@ -24,3 +24,8 @@ ctest --test-dir build-tsan -L obs --output-on-failure -j "$(nproc)"
 # suite under tsan proves the handoff (mutex + cv + wait hooks) is
 # race-free, including the 1k/10k-rank scale tests.
 ctest --test-dir build-tsan -L scale --output-on-failure -j "$(nproc)"
+
+# Chaos fuzzing + partition tolerance: quorum all-reduce drives real
+# threads through the exclude/rescale protocol, and the lossy-link
+# trainer overlaps retried sends with compute -- both are tsan bait.
+ctest --test-dir build-tsan -L chaos --output-on-failure -j "$(nproc)"

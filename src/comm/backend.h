@@ -77,8 +77,36 @@ struct GroupOptions {
   BackendKind backend = BackendKind::kThread;
   /// Per-pair delivery delays, shared by both backends. Disabled =
   /// immediate delivery (thread backend) / zero-delay events (event
-  /// backend).
+  /// backend). `fabric.faults` carries the lossy-network model
+  /// (partition / flaky drops) both backends evaluate at transmission
+  /// time.
   sim::FabricModel fabric;
+  /// Bounded retry with exponential backoff + seeded jitter on
+  /// point-to-point sends. Default max_attempts = 1 keeps legacy
+  /// single-shot behaviour; a message whose budget is exhausted
+  /// vanishes, surfacing the receiver's CommTimeoutError.
+  sim::RetryPolicy retry;
+};
+
+/// Cumulative retry/drop accounting for one backend instance. Exported
+/// as comm.retry.* metrics when a scope is attached.
+struct RetryStats {
+  std::uint64_t messages = 0;   ///< point-to-point sends planned
+  std::uint64_t resends = 0;    ///< retransmissions beyond 1st attempts
+  std::uint64_t dropped = 0;    ///< messages whose retry budget ran out
+};
+
+/// Quorum mode for all-reduce: instead of dying on unreachable ranks,
+/// a quorum-weighted all-reduce excludes them, rescales the surviving
+/// gradient weights by the surviving GNS share, and reports the
+/// exclusion so the supervisor can convert it into an elastic shrink.
+struct QuorumOptions {
+  bool enabled = false;
+  /// Minimum surviving ranks for the collective to proceed; <= 0 means
+  /// a strict majority (size / 2 + 1). Below quorum the collective
+  /// throws QuorumLostError (the minority side of a partition must not
+  /// keep training on stale gradients).
+  int min_quorum = 0;
 };
 
 /// Begin/end of one collective on one rank, in seconds. On the thread
@@ -107,7 +135,16 @@ class Backend {
   virtual void set_timeout(double seconds) = 0;
   virtual double timeout() const = 0;
   virtual void set_fabric(const sim::FabricModel& fabric) = 0;
+  virtual void set_retry(const sim::RetryPolicy& retry) = 0;
+  virtual RetryStats retry_stats() const = 0;
   virtual void set_scope(obs::Scope scope) = 0;
+
+  /// Best-effort reachability between two ranks *now*: false when the
+  /// group is aborted, either rank is known dead, or an active fabric
+  /// partition separates them. This is the ground-truth failure
+  /// detector the quorum mode consults; a real deployment would back it
+  /// with heartbeats.
+  virtual bool reachable(int a, int b) const = 0;
 
   /// Irreversibly poisons the backend: wakes every blocked operation
   /// with CommAbortedError, fails every pending Work, and makes all

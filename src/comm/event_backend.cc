@@ -60,6 +60,12 @@ struct EventBackend::Impl {
   double vnow = 0.0;
   std::uint64_t events = 0;
   sim::FabricModel fabric;
+  sim::RetryPolicy retry;
+  /// Per-(src, dst) monotone message counter feeding plan_delivery's
+  /// replayable drop/jitter hashes. A map, not an n*n matrix: at 10k
+  /// ranks only the O(n log n) tree edges ever appear.
+  std::map<std::pair<int, int>, std::uint64_t> pair_seq;
+  RetryStats retry_totals;
   obs::Scope scope;
   std::vector<char> row_named;
   std::vector<double> vclock;  ///< per-rank virtual clock
@@ -161,10 +167,25 @@ struct EventBackend::Impl {
         dead[static_cast<std::size_t>(dst)]) {
       return;  // messages to or from a failed rank vanish
     }
-    const double delivery =
-        at_time + fabric.delay_seconds(src, dst, payload.size() * sizeof(double));
+    const std::uint64_t seq = pair_seq[{src, dst}]++;
+    const sim::DeliveryPlan plan =
+        sim::plan_delivery(fabric, retry, src, dst,
+                           payload.size() * sizeof(double), at_time, seq);
+    ++retry_totals.messages;
+    retry_totals.resends += static_cast<std::uint64_t>(plan.resends);
+    if (plan.resends > 0 && scope.enabled()) {
+      scope.counter_add("comm.retry.resends", plan.resends);
+    }
+    if (!plan.delivered) {
+      // Retry budget exhausted: the message vanishes and the receiver
+      // surfaces CommTimeoutError / strands, same as a dead peer.
+      ++retry_totals.dropped;
+      if (scope.enabled()) scope.counter_add("comm.retry.dropped", 1);
+      return;
+    }
     push_event_locked(
-        delivery, [this, src, dst, tag, p = std::move(payload)]() mutable {
+        plan.delivery_seconds,
+        [this, src, dst, tag, p = std::move(payload)]() mutable {
           deliver_locked(dst, src, tag, std::move(p), vnow);
         });
   }
@@ -619,6 +640,7 @@ EventBackend::EventBackend(const GroupOptions& options)
   impl_->timeout_seconds.store(options.timeout_seconds,
                                std::memory_order_relaxed);
   impl_->fabric = options.fabric;
+  impl_->retry = options.retry;
   impl_->row_named.assign(static_cast<std::size_t>(options.size), 0);
   impl_->vclock.assign(static_cast<std::size_t>(options.size), 0.0);
   impl_->dead.assign(static_cast<std::size_t>(options.size), 0);
@@ -642,6 +664,38 @@ void EventBackend::set_fabric(const sim::FabricModel& fabric) {
   }
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->fabric = fabric;
+}
+
+void EventBackend::set_retry(const sim::RetryPolicy& retry) {
+  if (impl_->in_pump()) {
+    impl_->retry = retry;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->retry = retry;
+}
+
+RetryStats EventBackend::retry_stats() const {
+  Impl& b = *impl_;
+  if (b.in_pump()) return b.retry_totals;
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.retry_totals;
+}
+
+bool EventBackend::reachable(int a, int b) const {
+  if (aborted()) return false;
+  Impl& impl = *impl_;
+  const auto check = [&impl, a, b] {
+    if (a < 0 || b < 0 || a >= impl.size || b >= impl.size) return false;
+    if (impl.dead[static_cast<std::size_t>(a)] ||
+        impl.dead[static_cast<std::size_t>(b)]) {
+      return false;
+    }
+    return !impl.fabric.faults.partitioned(a, b, impl.vnow);
+  };
+  if (impl.in_pump()) return check();
+  std::lock_guard<std::mutex> lock(impl.mu);
+  return check();
 }
 
 void EventBackend::set_scope(obs::Scope scope) {

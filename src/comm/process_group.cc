@@ -25,7 +25,7 @@ std::unique_ptr<Backend> make_backend(const GroupOptions& options,
 
 ProcessGroup::ProcessGroup(int size, double timeout_seconds)
     : ProcessGroup(GroupOptions{size, timeout_seconds, BackendKind::kThread,
-                                sim::FabricModel{}}) {}
+                                sim::FabricModel{}, sim::RetryPolicy{}}) {}
 
 ProcessGroup::ProcessGroup(const GroupOptions& options)
     : size_(options.size) {
@@ -53,6 +53,27 @@ void ProcessGroup::set_link_latency(double seconds) {
 
 void ProcessGroup::set_fabric(const sim::FabricModel& fabric) {
   backend_->set_fabric(fabric);
+}
+
+void ProcessGroup::set_retry(const sim::RetryPolicy& retry) {
+  backend_->set_retry(retry);
+}
+
+RetryStats ProcessGroup::retry_stats() const { return backend_->retry_stats(); }
+
+bool ProcessGroup::reachable(int a, int b) const {
+  if (a < 0 || a >= size_ || b < 0 || b >= size_) return false;
+  return backend_->reachable(a, b);
+}
+
+std::vector<int> ProcessGroup::reachable_ranks(int from) const {
+  std::vector<int> out;
+  if (from < 0 || from >= size_) return out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    if (r == from || backend_->reachable(from, r)) out.push_back(r);
+  }
+  return out;
 }
 
 void ProcessGroup::set_scope(obs::Scope scope) {

@@ -78,8 +78,26 @@ class ProcessGroup {
   void set_link_latency(double seconds);
 
   /// Full per-pair network model shared by both backends (latency +
-  /// bytes/bandwidth, intra-server links via FabricModel::groups).
+  /// bytes/bandwidth, intra-server links via FabricModel::groups,
+  /// lossy-link faults via FabricModel::faults).
   void set_fabric(const sim::FabricModel& fabric);
+
+  /// Bounded retry/backoff policy for point-to-point sends (see
+  /// sim::RetryPolicy). Default is single-shot.
+  void set_retry(const sim::RetryPolicy& retry);
+  RetryStats retry_stats() const;
+
+  /// Quorum mode for quorum_weighted_all_reduce (quorum.h): excluded
+  /// unreachable ranks instead of dying. Off by default.
+  void set_quorum(const QuorumOptions& quorum) { quorum_ = quorum; }
+  const QuorumOptions& quorum() const { return quorum_; }
+
+  /// Best-effort reachability between two ranks now (backend failure
+  /// detector: abort, dead ranks, active partitions).
+  bool reachable(int a, int b) const;
+
+  /// Ranks currently reachable from `from`, `from` included, ascending.
+  std::vector<int> reachable_ranks(int from) const;
 
   /// Attaches an instrumentation scope to the group: every rank's comm
   /// operations are traced onto row obs::kCommTidBase + rank (virtual
@@ -120,7 +138,8 @@ class ProcessGroup {
   Payload recv(int dst, int src, std::uint64_t tag, const char* op);
 
   int size_;
-  obs::Scope scope_;  ///< set before workers spawn
+  obs::Scope scope_;        ///< set before workers spawn
+  QuorumOptions quorum_{};  ///< set before workers spawn
   std::vector<TagAllocator> tag_allocators_;
   std::unique_ptr<Backend> backend_;
 };

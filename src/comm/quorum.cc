@@ -1,0 +1,147 @@
+#include "comm/quorum.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace cannikin::comm {
+
+namespace {
+
+int effective_min_quorum(const QuorumOptions& options, int size) {
+  if (options.min_quorum > 0) return std::min(options.min_quorum, size);
+  return size / 2 + 1;  // strict majority
+}
+
+void check_quorum(int survivors, int min_quorum, int rank, const char* when) {
+  if (survivors >= min_quorum) return;
+  throw QuorumLostError(
+      "quorum_all_reduce: rank " + std::to_string(rank) + " has only " +
+      std::to_string(survivors) + " reachable ranks (" + when +
+      "), below quorum " + std::to_string(min_quorum) +
+      "; refusing to reduce on a minority partition");
+}
+
+}  // namespace
+
+QuorumOutcome quorum_weighted_all_reduce(Communicator comm,
+                                         std::span<double> data, double weight,
+                                         std::uint64_t tag) {
+  ProcessGroup& group = comm.group();
+  const QuorumOptions& options = group.quorum();
+  if (!options.enabled) {
+    throw CommError(
+        "quorum_all_reduce: quorum mode is off; enable it with "
+        "ProcessGroup::set_quorum");
+  }
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int min_quorum = effective_min_quorum(options, size);
+  const std::uint64_t gather_tag = tag * 2;
+  const std::uint64_t result_tag = tag * 2 + 1;
+
+  // The backend's failure detector decides who participates. Within one
+  // partition side every rank computes the same S (the detector is
+  // ground truth about the cut); crashed-but-not-detected peers are
+  // caught by the per-peer timeout below.
+  std::vector<int> reachable = group.reachable_ranks(rank);
+  check_quorum(static_cast<int>(reachable.size()), min_quorum, rank,
+               "detector");
+  const int coordinator = reachable.front();
+
+  QuorumOutcome outcome;
+  for (int r = 0; r < size; ++r) {
+    if (!std::binary_search(reachable.begin(), reachable.end(), r)) {
+      outcome.excluded.push_back(r);
+    }
+  }
+
+  if (rank != coordinator) {
+    Payload contribution(data.size() + 1);
+    contribution[0] = weight;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      contribution[i + 1] = weight * data[i];
+    }
+    comm.send(coordinator, gather_tag, std::move(contribution),
+              "quorum_all_reduce");
+    // Waits for the coordinator's result under the group timeout. If
+    // our contribution was lost (flaky link) the coordinator excluded
+    // us and this surfaces CommTimeoutError -- the caller must treat
+    // the step as failed, exactly like a plain collective timeout.
+    Payload result = comm.recv(coordinator, result_tag, "quorum_all_reduce");
+    if (result.size() < 2 + data.size()) {
+      throw CommError("quorum_all_reduce: malformed result payload");
+    }
+    const double weight_sum = result[0];
+    const auto excluded_count = static_cast<std::size_t>(result[1]);
+    if (result.size() != 2 + excluded_count + data.size()) {
+      throw CommError("quorum_all_reduce: malformed result payload");
+    }
+    outcome.excluded.clear();
+    for (std::size_t i = 0; i < excluded_count; ++i) {
+      outcome.excluded.push_back(static_cast<int>(result[2 + i]));
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = result[2 + excluded_count + i];
+    }
+    outcome.surviving_weight = weight_sum;
+    outcome.rescale = weight_sum != 0.0 ? 1.0 / weight_sum : 1.0;
+    return outcome;
+  }
+
+  // Coordinator: accumulate own contribution, then collect each
+  // expected peer under the group timeout, excluding the ones that
+  // never show up. Ascending peer order keeps the floating-point sum
+  // deterministic.
+  std::vector<double> acc(data.begin(), data.end());
+  for (double& v : acc) v *= weight;
+  double weight_sum = weight;
+  std::vector<int> survivors{rank};
+  for (int r : reachable) {
+    if (r == rank) continue;
+    try {
+      Payload contribution = comm.recv(r, gather_tag, "quorum_all_reduce");
+      if (contribution.size() != acc.size() + 1) {
+        throw CommError("quorum_all_reduce: malformed contribution from rank " +
+                        std::to_string(r));
+      }
+      weight_sum += contribution[0];
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] += contribution[i + 1];
+      }
+      survivors.push_back(r);
+    } catch (const CommTimeoutError&) {
+      // The detector said reachable but the contribution never arrived
+      // (crash between detection and send, or its retry budget ran
+      // out): exclude it from this step.
+      outcome.excluded.push_back(r);
+    }
+  }
+  std::sort(outcome.excluded.begin(), outcome.excluded.end());
+  check_quorum(static_cast<int>(survivors.size()), min_quorum, rank,
+               "collect");
+  if (weight_sum == 0.0) {
+    throw CommError("quorum_all_reduce: surviving weight sum is zero");
+  }
+  for (double& v : acc) v /= weight_sum;
+
+  Payload result(2 + outcome.excluded.size() + acc.size());
+  result[0] = weight_sum;
+  result[1] = static_cast<double>(outcome.excluded.size());
+  for (std::size_t i = 0; i < outcome.excluded.size(); ++i) {
+    result[2 + i] = static_cast<double>(outcome.excluded[i]);
+  }
+  std::copy(acc.begin(), acc.end(), result.begin() + 2 +
+                                        static_cast<std::ptrdiff_t>(
+                                            outcome.excluded.size()));
+  for (int r : survivors) {
+    if (r == rank) continue;
+    comm.send(r, result_tag, result, "quorum_all_reduce");
+  }
+  std::copy(acc.begin(), acc.end(), data.begin());
+  outcome.surviving_weight = weight_sum;
+  outcome.rescale = 1.0 / weight_sum;
+  return outcome;
+}
+
+}  // namespace cannikin::comm

@@ -96,7 +96,9 @@ ThreadBackend::ThreadBackend(const GroupOptions& options, ProcessGroup* group)
     : group_(group),
       size_(options.size),
       timeout_seconds_(options.timeout_seconds),
-      fabric_(options.fabric) {
+      fabric_(options.fabric),
+      retry_(options.retry),
+      epoch_(detail::Clock::now()) {
   mailboxes_.reserve(static_cast<std::size_t>(size_));
   for (int i = 0; i < size_; ++i) {
     mailboxes_.push_back(std::make_unique<detail::Mailbox>());
@@ -117,7 +119,30 @@ void ThreadBackend::set_fabric(const sim::FabricModel& fabric) {
   fabric_ = fabric;
 }
 
+void ThreadBackend::set_retry(const sim::RetryPolicy& retry) {
+  std::lock_guard<std::mutex> lock(fabric_mutex_);
+  retry_ = retry;
+}
+
+RetryStats ThreadBackend::retry_stats() const {
+  std::lock_guard<std::mutex> lock(fabric_mutex_);
+  return retry_stats_;
+}
+
+bool ThreadBackend::reachable(int a, int b) const {
+  if (aborted()) return false;
+  std::lock_guard<std::mutex> lock(fabric_mutex_);
+  const double now = std::chrono::duration<double>(
+                         detail::Clock::now() - epoch_)
+                         .count();
+  return !fabric_.faults.partitioned(a, b, now);
+}
+
 void ThreadBackend::set_scope(obs::Scope scope) {
+  {
+    std::lock_guard<std::mutex> lock(fabric_mutex_);
+    retry_scope_ = scope;
+  }
   std::lock_guard<std::mutex> lock(engines_mutex_);
   scope_ = scope;
   for (std::size_t rank = 0; rank < engines_.size(); ++rank) {
@@ -178,15 +203,31 @@ void ThreadBackend::send(int src, int dst, std::uint64_t tag, Payload payload,
                            ", dst=" + std::to_string(dst) +
                            ", tag=" + std::to_string(tag) + ")");
   }
-  double delay = 0.0;
+  const auto now_tp = detail::Clock::now();
+  sim::DeliveryPlan plan;
+  double now = 0.0;
   {
     std::lock_guard<std::mutex> lock(fabric_mutex_);
-    delay = fabric_.delay_seconds(src, dst, payload.size() * sizeof(double));
+    now = std::chrono::duration<double>(now_tp - epoch_).count();
+    const std::uint64_t seq = pair_seq_[{src, dst}]++;
+    plan = sim::plan_delivery(fabric_, retry_, src, dst,
+                              payload.size() * sizeof(double), now, seq);
+    ++retry_stats_.messages;
+    retry_stats_.resends += static_cast<std::uint64_t>(plan.resends);
+    if (!plan.delivered) ++retry_stats_.dropped;
+    if (retry_scope_.enabled() && plan.resends > 0) {
+      retry_scope_.counter_add("comm.retry.resends", plan.resends);
+    }
+    if (retry_scope_.enabled() && !plan.delivered) {
+      retry_scope_.counter_add("comm.retry.dropped", 1);
+    }
   }
-  auto ready_at = detail::Clock::now();
-  if (delay > 0.0) {
-    ready_at += std::chrono::duration_cast<detail::Clock::duration>(
-        std::chrono::duration<double>(delay));
+  if (!plan.delivered) return;  // budget exhausted: the message vanishes
+  auto ready_at = now_tp;
+  if (plan.delivery_seconds > now) {
+    ready_at = epoch_ + std::chrono::duration_cast<detail::Clock::duration>(
+                            std::chrono::duration<double>(
+                                plan.delivery_seconds));
   }
   mailboxes_[static_cast<std::size_t>(dst)]->put(src, tag, std::move(payload),
                                                  ready_at);

@@ -70,7 +70,10 @@ class ThreadBackend final : public Backend {
   void set_timeout(double seconds) override { timeout_seconds_ = seconds; }
   double timeout() const override { return timeout_seconds_; }
   void set_fabric(const sim::FabricModel& fabric) override;
+  void set_retry(const sim::RetryPolicy& retry) override;
+  RetryStats retry_stats() const override;
   void set_scope(obs::Scope scope) override;
+  bool reachable(int a, int b) const override;
 
   void abort() override;
   bool aborted() const override {
@@ -106,10 +109,17 @@ class ThreadBackend final : public Backend {
   std::atomic<bool> aborted_{false};
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
 
-  // Fabric guarded by fabric_mutex_ (set before workers spawn; the
-  // lock makes a late set_fabric safe rather than racy).
+  // Fabric + retry state guarded by fabric_mutex_ (set before workers
+  // spawn; the lock makes a late set_fabric safe rather than racy).
+  // LinkFaults timestamps are wall seconds since `epoch_`, matching the
+  // clock plan_delivery sees.
   mutable std::mutex fabric_mutex_;
   sim::FabricModel fabric_;
+  sim::RetryPolicy retry_;
+  std::map<std::pair<int, int>, std::uint64_t> pair_seq_;
+  RetryStats retry_stats_;
+  obs::Scope retry_scope_;  ///< copy of scope_ for the send path
+  std::chrono::steady_clock::time_point epoch_;
 
   // Per-rank progress engines, created lazily under engines_mutex_.
   std::mutex engines_mutex_;

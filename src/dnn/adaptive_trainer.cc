@@ -106,8 +106,10 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
   group_options.size = options_.num_nodes;
   group_options.timeout_seconds = options_.comm_timeout_seconds;
   group_options.backend = options_.comm_backend;
+  group_options.fabric = options_.comm_fabric;
+  group_options.retry = options_.comm_retry;
   comm::ProcessGroup group(group_options);
-  if (options_.link_latency_seconds > 0.0) {
+  if (!options_.comm_fabric.enabled && options_.link_latency_seconds > 0.0) {
     group.set_link_latency(options_.link_latency_seconds);
   }
   if (options_.obs.enabled()) group.set_scope(options_.obs);

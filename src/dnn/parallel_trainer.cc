@@ -93,8 +93,10 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
   group_options.size = options_.num_nodes;
   group_options.timeout_seconds = options_.comm_timeout_seconds;
   group_options.backend = options_.comm_backend;
+  group_options.fabric = options_.comm_fabric;
+  group_options.retry = options_.comm_retry;
   comm::ProcessGroup group(group_options);
-  if (options_.link_latency_seconds > 0.0) {
+  if (!options_.comm_fabric.enabled && options_.link_latency_seconds > 0.0) {
     group.set_link_latency(options_.link_latency_seconds);
   }
   if (options_.obs.enabled()) group.set_scope(options_.obs);

@@ -17,6 +17,7 @@
 #include "core/gns.h"
 #include "dnn/optimizer.h"
 #include "obs/scope.h"
+#include "sim/network.h"
 
 namespace cannikin::dnn {
 
@@ -48,6 +49,16 @@ struct CommonTrainerOptions {
   /// ranks onto the discrete-event scheduler -- same collectives, same
   /// numerics, virtual time -- which is how a laptop hosts 1k+ ranks.
   comm::BackendKind comm_backend = comm::BackendKind::kThread;
+  /// Full per-pair network model for the trainer's ProcessGroup,
+  /// including lossy-link faults (`comm_fabric.faults`: partitions and
+  /// probabilistic drops). When enabled it supersedes
+  /// link_latency_seconds. Training over a lossy fabric relies on
+  /// comm_retry to deliver every gradient message; no epoch is
+  /// discarded as long as the retry budget holds.
+  sim::FabricModel comm_fabric;
+  /// Bounded retry with exponential backoff + seeded jitter on
+  /// point-to-point sends (sim::RetryPolicy). Default single-shot.
+  sim::RetryPolicy comm_retry;
   /// Instrumentation sinks (tracer + metrics; see obs/scope.h).
   /// Disabled by default. When attached, the trainer emits per-rank
   /// forward/backward/update spans, the comm engines trace every

@@ -10,6 +10,22 @@
 // comm engine) record a handful of values per batch, far below
 // contention range. Histograms keep raw samples (capped) so percentile
 // queries use the exact nearest-rank definition.
+//
+// Metric-name families emitted by the subsystems (all dot-separated,
+// subsystem-first, so one registry's dump groups naturally):
+//   comm.retry.resends / comm.retry.dropped -- point-to-point
+//     retransmissions beyond first attempts, and messages whose retry
+//     budget ran out (both backends; see sim::RetryPolicy);
+//   sched.checkpoint.skipped_corrupt -- corrupt checkpoint files the
+//     store CRC-rejected and skipped during load_latest;
+//   sched.checkpoint.corrupted -- kCheckpointCorrupt faults injected;
+//   sched.partition_shrinks / sched.partition_heals -- quorum
+//     exclusions converted into elastic shrinks, and post-heal
+//     re-admissions;
+//   chaos.* -- per-run chaos-harness accounting (rounds committed /
+//     discarded, exclusions, rejoins, restores, typed errors) plus the
+//     chaos_fuzz sweep gauges (scenarios_per_sec, exclusion_rate,
+//     recovery_virtual_seconds histogram).
 #pragma once
 
 #include <cstddef>

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/logging.h"
+
 namespace cannikin::sched {
 
 namespace fs = std::filesystem;
@@ -166,13 +168,37 @@ std::optional<Checkpoint> CheckpointStore::load_latest(
   for (const std::string& path : list()) {
     try {
       return Checkpoint::deserialize(read_file(path));
-    } catch (const common::SerializeError&) {
+    } catch (const common::SerializeError& error) {
       // Corrupt, truncated, or wrong-version file: fall back to the
-      // next-newest good checkpoint.
+      // next-newest good checkpoint -- but never silently, or an
+      // operator cannot tell routine restores from storage rot.
+      LOG_WARN << "CheckpointStore: skipping corrupt checkpoint " << path
+               << " (" << error.what() << ")";
+      scope_.counter_add("sched.checkpoint.skipped_corrupt", 1);
       if (skipped != nullptr) skipped->push_back(path);
     }
   }
   return std::nullopt;
+}
+
+std::string CheckpointStore::flip_bit_in_latest(std::uint64_t salt) const {
+  const std::vector<std::string> paths = list();
+  if (paths.empty()) return {};
+  const std::string& path = paths.front();
+  std::string bytes;
+  try {
+    bytes = read_file(path);
+  } catch (const common::SerializeError&) {
+    return {};
+  }
+  if (bytes.empty()) return {};
+  const std::size_t byte_index = salt % bytes.size();
+  bytes[byte_index] ^= static_cast<char>(1 << (salt / bytes.size() % 8));
+  // In-place overwrite, deliberately *not* the atomic temp+rename
+  // protocol: we are simulating storage rot, not a clean writer.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
 }
 
 void CheckpointStore::prune() const {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "obs/scope.h"
 
 namespace cannikin::sched {
 
@@ -70,6 +71,10 @@ class CheckpointStore {
   const std::string& dir() const { return dir_; }
   int keep_last() const { return keep_last_; }
 
+  /// Instrumentation: load_latest bumps `sched.checkpoint.skipped_corrupt`
+  /// (and logs the path) for every corrupt file it skips.
+  void set_scope(obs::Scope scope) { scope_ = scope; }
+
   /// Atomically persists `ckpt`; returns the final file path. Prunes
   /// checkpoints beyond keep_last afterwards.
   std::string save(const Checkpoint& ckpt);
@@ -83,11 +88,18 @@ class CheckpointStore {
   std::optional<Checkpoint> load_latest(
       std::vector<std::string>* skipped = nullptr) const;
 
+  /// Fault-injection hook (kCheckpointCorrupt): XORs one bit into the
+  /// newest checkpoint file on disk, which the framed format's CRC
+  /// must catch at the next load. `salt` varies the flipped bit.
+  /// Returns the damaged path, or empty when no checkpoint exists.
+  std::string flip_bit_in_latest(std::uint64_t salt = 0) const;
+
  private:
   void prune() const;
 
   std::string dir_;
   int keep_last_;
+  obs::Scope scope_;
   std::uint64_t seq_ = 0;  ///< tie-breaker for same-epoch checkpoints
 };
 

@@ -24,6 +24,13 @@ constexpr double kCrashPerNodeSeconds = 0.05;
 constexpr double kRejoinSeconds = 0.5;
 constexpr double kRejoinPerNodeSeconds = 0.05;
 
+// Modeled cost of a quorum exclusion after a network partition: the
+// surviving majority rebuilds its process group around the reachable
+// set and keeps training -- no checkpoint reload, no cold restart,
+// which is the whole point of degrading instead of dying.
+constexpr double kPartitionShrinkSeconds = 0.75;
+constexpr double kPartitionPerNodeSeconds = 0.05;
+
 }  // namespace
 
 ElasticCannikinJob::ElasticCannikinJob(const workloads::Workload* workload,
@@ -256,6 +263,74 @@ const RecoveryReport& ElasticCannikinJob::apply_fault(
       pending_recovery_overhead_ += report.overhead_seconds;
       recovery_overhead_ += report.overhead_seconds;
       ++node_rejoins_;
+      break;
+    }
+    case sim::FaultKind::kNetworkPartition: {
+      if (event.severity >= 1.0) {
+        // Heal: re-admit the nodes the quorum excluded at onset.
+        std::vector<int> grown = allocation_;
+        int readmitted = 0;
+        for (int id : partitioned_nodes_) {
+          if (local_index(id) < 0) {
+            grown.push_back(id);
+            ++readmitted;
+          }
+        }
+        partitioned_nodes_.clear();
+        if (readmitted == 0) break;
+        const int warm_before = warm_reallocations_;
+        set_allocation(grown);
+        report.warm = warm_reallocations_ > warm_before;
+        report.overhead_seconds =
+            kRejoinSeconds +
+            kRejoinPerNodeSeconds * static_cast<double>(grown.size());
+        pending_recovery_overhead_ += report.overhead_seconds;
+        recovery_overhead_ += report.overhead_seconds;
+        node_rejoins_ += readmitted;
+        break;
+      }
+      // Onset: the quorum excludes the minority side. The survivors
+      // keep training on their rescaled gradient share -- an elastic
+      // shrink, not a restart.
+      std::vector<int> survivors;
+      std::vector<int> excluded;
+      for (int id : allocation_) {
+        const bool cut = std::find(event.partition.begin(),
+                                   event.partition.end(),
+                                   id) != event.partition.end();
+        (cut ? excluded : survivors).push_back(id);
+      }
+      if (excluded.empty()) break;  // partition missed this job's nodes
+      if (survivors.empty()) {
+        throw std::runtime_error(
+            "apply_fault: partition cut off every allocated node");
+      }
+      for (int id : excluded) partitioned_nodes_.push_back(id);
+      const int warm_before = warm_reallocations_;
+      set_allocation(survivors);
+      report.warm = warm_reallocations_ > warm_before;
+      report.overhead_seconds =
+          kPartitionShrinkSeconds +
+          kPartitionPerNodeSeconds * static_cast<double>(survivors.size());
+      pending_recovery_overhead_ += report.overhead_seconds;
+      recovery_overhead_ += report.overhead_seconds;
+      ++partition_shrinks_;
+      break;
+    }
+    case sim::FaultKind::kLinkFlaky: {
+      // Lossy links: with bounded retry every message costs an expected
+      // 1/(1-p) transmissions, so the epoch-level model sees effective
+      // throughput scaled by (1-p). Severity 0 is the auto-recovery
+      // marker (healthy links).
+      network_scale_ = std::max(0.01, 1.0 - event.severity);
+      if (job_) job_->set_network_scale(network_scale_);
+      break;
+    }
+    case sim::FaultKind::kCheckpointCorrupt: {
+      // Storage rot, not a cluster fault: the supervisor damages the
+      // store (CheckpointStore::flip_bit_in_latest) and the CRC-skip
+      // path absorbs it at the next restore. Nothing changes on the
+      // live job; the report keeps it visible in recovery traces.
       break;
     }
   }

@@ -73,6 +73,15 @@ class ElasticCannikinJob {
   ///    the perf model triggers re-learning without a restart.
   ///  - network degrade: the interconnect's bandwidth scale changes
   ///    (and persists across future reallocations).
+  ///  - network partition: onset (`severity` < 1) shrinks the
+  ///    allocation to the nodes outside `event.partition` (the quorum's
+  ///    exclusion, far cheaper than a crash restart); the heal marker
+  ///    (`severity` >= 1) re-admits them warm.
+  ///  - link flaky: effective network throughput scales by
+  ///    (1 - severity), the expected retransmission overhead of
+  ///    retry-on-drop; severity 0 restores healthy links.
+  ///  - checkpoint corrupt: no-op on the live job (the supervisor
+  ///    damages the store); recorded for trace continuity.
   ///  - node recover: the node re-joins at contention `severity`; the
   ///    allocation grows back (survivors keep their ranks, the node is
   ///    appended) and the controller warm-starts from the banked
@@ -102,6 +111,12 @@ class ElasticCannikinJob {
   int crash_recoveries() const { return crash_recoveries_; }
   /// Nodes re-admitted via kNodeRecover events.
   int node_rejoins() const { return node_rejoins_; }
+  /// Quorum exclusions handled as elastic shrinks (kNetworkPartition).
+  int partition_shrinks() const { return partition_shrinks_; }
+  /// Nodes currently excluded by an unhealed partition.
+  const std::vector<int>& partitioned_nodes() const {
+    return partitioned_nodes_;
+  }
   const std::vector<RecoveryReport>& recoveries() const { return recoveries_; }
   /// Total modeled fault-recovery overhead charged so far (seconds).
   double recovery_overhead_seconds() const { return recovery_overhead_; }
@@ -138,6 +153,8 @@ class ElasticCannikinJob {
   double network_scale_ = 1.0;  ///< persists across reallocations
   int crash_recoveries_ = 0;
   int node_rejoins_ = 0;
+  int partition_shrinks_ = 0;
+  std::vector<int> partitioned_nodes_;  ///< cut off, awaiting heal
   double recovery_overhead_ = 0.0;
   double pending_recovery_overhead_ = 0.0;  ///< charged to next run_epoch
   std::vector<RecoveryReport> recoveries_;

@@ -53,6 +53,7 @@ FaultRecoveryTrace run_with_faults(ElasticCannikinJob& job,
   }
   trace.drift_resets = job.drift_resets();
   trace.recovery_overhead_seconds = job.recovery_overhead_seconds();
+  trace.partition_shrinks = job.partition_shrinks();
   return trace;
 }
 

@@ -44,6 +44,8 @@ struct FaultRecoveryTrace {
   int epochs_lost_to_rollback = 0;
   int node_rejoins = 0;
   int warm_rejoins = 0;  ///< re-joins warm-started from banked models
+  int partition_shrinks = 0;  ///< quorum exclusions handled elastically
+  int checkpoint_corruptions = 0;  ///< kCheckpointCorrupt events injected
   double checkpoint_write_seconds = 0.0;  ///< measured wall clock
   double restore_seconds = 0.0;           ///< measured wall clock
   double backoff_seconds = 0.0;           ///< charged retry waits

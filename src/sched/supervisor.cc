@@ -34,6 +34,9 @@ TrainingSupervisor::TrainingSupervisor(const workloads::Workload* workload,
     throw std::invalid_argument(
         "TrainingSupervisor: max_restore_attempts must be >= 1");
   }
+  // Corrupt checkpoints skipped during restore show up as
+  // sched.checkpoint.skipped_corrupt on the supervisor's row.
+  store_.set_scope(obs_);
 }
 
 void TrainingSupervisor::start(const std::vector<int>& allocation) {
@@ -215,8 +218,30 @@ FaultRecoveryTrace run_with_faults(TrainingSupervisor& supervisor,
                             ? "sched.rejoins"
                             : "sched.faults",
                         1.0);
+        if (event.kind == sim::FaultKind::kNetworkPartition) {
+          obs.counter_add(event.severity >= 1.0 ? "sched.partition_heals"
+                                                : "sched.partition_shrinks",
+                          1.0);
+        }
       }
 
+      if (event.kind == sim::FaultKind::kCheckpointCorrupt) {
+        // Storage rot: damage the newest checkpoint on disk. The next
+        // restore exercises the CRC-skip path (load_latest falls back
+        // to the previous good file and counts the skip).
+        const std::string damaged = supervisor.store().flip_bit_in_latest(
+            static_cast<std::uint64_t>(epoch) * 131 + 17);
+        ++supervisor.stats_.checkpoint_corruptions;
+        if (obs.tracing()) {
+          obs.instant("sched", "checkpoint_corrupt",
+                      obs::ArgList().add("epoch", epoch).add(
+                          "path", damaged.empty() ? "<none>" : damaged));
+        }
+        if (obs.metrics() != nullptr) {
+          obs.counter_add("sched.checkpoint.corrupted", 1.0);
+        }
+        continue;
+      }
       if (event.kind == sim::FaultKind::kNodeCrash &&
           options.crash_policy == CrashPolicy::kCheckpointRestore) {
         if (!supervisor.handle_crash(event, epoch, &trace, &charged_seconds)) {
@@ -305,6 +330,7 @@ FaultRecoveryTrace run_with_faults(TrainingSupervisor& supervisor,
         job.recovery_overhead_seconds() + stats.restore_seconds +
         stats.backoff_seconds;
     trace.node_rejoins = job.node_rejoins();
+    trace.partition_shrinks = job.partition_shrinks();
   } else {
     trace.crash_recoveries = stats.restores;
     trace.recovery_overhead_seconds =
@@ -318,6 +344,7 @@ FaultRecoveryTrace run_with_faults(TrainingSupervisor& supervisor,
       ++trace.warm_rejoins;
     }
   }
+  trace.checkpoint_corruptions = stats.checkpoint_corruptions;
   trace.checkpoints_written = stats.checkpoints_written;
   trace.restores = stats.restores;
   trace.restore_attempts = stats.restore_attempts;

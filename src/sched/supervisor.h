@@ -78,6 +78,7 @@ struct SupervisorStats {
   int restores = 0;          ///< successful checkpoint restores
   int restore_attempts = 0;  ///< attempts including failures
   int epochs_lost_to_rollback = 0;
+  int checkpoint_corruptions = 0;  ///< kCheckpointCorrupt events injected
   double checkpoint_write_seconds = 0.0;  ///< measured wall clock
   double restore_seconds = 0.0;           ///< measured wall clock
   double backoff_seconds = 0.0;  ///< policy waits charged to the trace

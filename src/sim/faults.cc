@@ -20,8 +20,16 @@ const char* fault_kind_name(FaultKind kind) {
       return "network-degrade";
     case FaultKind::kNodeRecover:
       return "node-recover";
+    case FaultKind::kNetworkPartition:
+      return "network-partition";
+    case FaultKind::kLinkFlaky:
+      return "link-flaky";
+    case FaultKind::kCheckpointCorrupt:
+      return "checkpoint-corrupt";
   }
-  return "?";
+  // Out-of-range values (corrupted storage, future kinds replayed by an
+  // old binary) must not crash a diagnostic path.
+  return "unknown";
 }
 
 std::string FaultEvent::describe() const {
@@ -33,6 +41,15 @@ std::string FaultEvent::describe() const {
   } else if (kind == FaultKind::kNetworkDegrade) {
     std::snprintf(buf, sizeof(buf), "epoch %d: network %s x%.2f", epoch,
                   severity >= 1.0 ? "recovers" : "degrades", severity);
+  } else if (kind == FaultKind::kNetworkPartition) {
+    std::snprintf(buf, sizeof(buf), "epoch %d: partition %s (%zu nodes cut)",
+                  epoch, severity >= 1.0 ? "heals" : "opens",
+                  partition.size());
+  } else if (kind == FaultKind::kLinkFlaky) {
+    std::snprintf(buf, sizeof(buf), "epoch %d: links %s p=%.2f", epoch,
+                  severity <= 0.0 ? "recover" : "flaky", severity);
+  } else if (kind == FaultKind::kCheckpointCorrupt) {
+    std::snprintf(buf, sizeof(buf), "epoch %d: checkpoint corrupted", epoch);
   } else {
     std::snprintf(buf, sizeof(buf), "epoch %d: node %d %s contention=%.2f",
                   epoch, node,
@@ -42,22 +59,64 @@ std::string FaultEvent::describe() const {
   return buf;
 }
 
-void FaultInjector::schedule(const FaultEvent& event) {
+namespace {
+
+// Kinds that strike the whole fabric rather than one node.
+bool is_network_wide(FaultKind kind) {
+  return kind == FaultKind::kNetworkDegrade ||
+         kind == FaultKind::kNetworkPartition ||
+         kind == FaultKind::kLinkFlaky ||
+         kind == FaultKind::kCheckpointCorrupt;
+}
+
+bool is_transient(FaultKind kind) {
+  return kind == FaultKind::kTransientStraggler ||
+         kind == FaultKind::kNetworkDegrade ||
+         kind == FaultKind::kNetworkPartition ||
+         kind == FaultKind::kLinkFlaky;
+}
+
+}  // namespace
+
+void FaultInjector::validate(const FaultEvent& event) {
   if (event.epoch < 0) {
     throw std::invalid_argument("FaultInjector: event epoch must be >= 0");
   }
-  if (event.kind != FaultKind::kNetworkDegrade && event.node < 0) {
+  if (!is_network_wide(event.kind) && event.node < 0) {
     throw std::invalid_argument("FaultInjector: node faults need a node id");
   }
-  if (event.kind != FaultKind::kNodeCrash && event.severity <= 0.0) {
+  if (event.kind != FaultKind::kNodeCrash &&
+      event.kind != FaultKind::kNetworkPartition &&
+      event.kind != FaultKind::kCheckpointCorrupt && event.severity <= 0.0) {
     throw std::invalid_argument("FaultInjector: severity must be positive");
   }
-  const bool transient = event.kind == FaultKind::kTransientStraggler ||
-                         event.kind == FaultKind::kNetworkDegrade;
-  if (event.duration_epochs > 0 && !transient) {
+  if (event.duration_epochs > 0 && !is_transient(event.kind)) {
     throw std::invalid_argument(
         "FaultInjector: only transient kinds take a duration");
   }
+  if (event.kind == FaultKind::kNetworkPartition) {
+    if (event.partition.empty()) {
+      throw std::invalid_argument(
+          "FaultInjector: a partition needs its minority-side node list");
+    }
+    if (event.duration_epochs <= 0) {
+      throw std::invalid_argument(
+          "FaultInjector: a partition needs a heal time (duration_epochs > "
+          "0); a never-healing partition is a crash of one side");
+    }
+  } else if (!event.partition.empty()) {
+    throw std::invalid_argument(
+        "FaultInjector: only kNetworkPartition carries a partition list");
+  }
+  if (event.kind == FaultKind::kLinkFlaky &&
+      (event.severity <= 0.0 || event.severity > 1.0)) {
+    throw std::invalid_argument(
+        "FaultInjector: flaky drop probability must be in (0, 1]");
+  }
+}
+
+void FaultInjector::schedule(const FaultEvent& event) {
+  validate(event);
 
   const auto insert_sorted = [this](FaultEvent e) {
     const auto pos = std::upper_bound(
@@ -69,11 +128,21 @@ void FaultInjector::schedule(const FaultEvent& event) {
   };
 
   insert_sorted(event);
-  if (transient && event.duration_epochs > 0 && event.severity < 1.0) {
+  if (is_transient(event.kind) && event.duration_epochs > 0) {
     FaultEvent recovery = event;
     recovery.epoch = event.epoch + event.duration_epochs;
-    recovery.severity = 1.0;
     recovery.duration_epochs = 0;
+    if (event.kind == FaultKind::kLinkFlaky) {
+      // Drop probability 0 = healthy links; a severity-1.0 marker would
+      // read as "drop everything".
+      recovery.severity = 0.0;
+    } else {
+      recovery.severity = 1.0;
+      if (event.severity >= 1.0 &&
+          event.kind != FaultKind::kNetworkPartition) {
+        return;  // onset was already healthy; nothing to undo
+      }
+    }
     insert_sorted(recovery);
   }
 }
@@ -129,7 +198,9 @@ std::vector<FaultEvent> FaultInjector::apply_due(int epoch,
   std::vector<FaultEvent> elastic_events;
   for (const auto& event : due(epoch)) {
     if (event.kind == FaultKind::kNodeCrash ||
-        event.kind == FaultKind::kNodeRecover) {
+        event.kind == FaultKind::kNodeRecover ||
+        event.kind == FaultKind::kNetworkPartition ||
+        event.kind == FaultKind::kCheckpointCorrupt) {
       elastic_events.push_back(event);
     } else {
       apply(event, job);
@@ -147,11 +218,23 @@ void FaultInjector::apply(const FaultEvent& event, ClusterJob& job) {
     case FaultKind::kNetworkDegrade:
       job.set_network_scale(event.severity);
       return;
+    case FaultKind::kLinkFlaky: {
+      // With bounded retry the sender transmits each message an expected
+      // 1/(1-p) times, so effective network throughput scales by (1-p).
+      // Clamp so p = 1 (every attempt dropped) degrades to a crawl
+      // instead of an invalid zero-bandwidth network.
+      const double scale = std::max(0.01, 1.0 - event.severity);
+      job.set_network_scale(scale);
+      return;
+    }
     case FaultKind::kNodeCrash:
     case FaultKind::kNodeRecover:
+    case FaultKind::kNetworkPartition:
+    case FaultKind::kCheckpointCorrupt:
       throw std::logic_error(
-          "FaultInjector: crash/recover events need an elastic runtime "
-          "(ElasticCannikinJob::apply_fault)");
+          "FaultInjector: crash/recover/partition/corrupt events need an "
+          "elastic runtime (ElasticCannikinJob::apply_fault or the "
+          "TrainingSupervisor)");
   }
 }
 

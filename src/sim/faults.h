@@ -40,6 +40,24 @@ enum class FaultKind {
   /// node warm-starts from the banked per-type models, so re-joining
   /// costs no bootstrap epochs.
   kNodeRecover,
+  /// The network bipartitions: the nodes listed in `partition` are cut
+  /// off from the rest until the partition heals `duration_epochs`
+  /// later (must be > 0 — a partition without a scheduled heal is a
+  /// permanent crash of one side and should be modelled as such). The
+  /// runtime excludes the minority side via quorum and re-admits it at
+  /// heal time; at the comm layer the cut is a sim::LinkFaults
+  /// bipartition both backends evaluate at transmission time.
+  kNetworkPartition,
+  /// Links turn lossy: every transmission attempt is dropped with
+  /// probability `severity` (must be in (0, 1]) until recovery
+  /// `duration_epochs` later. Senders ride it out with bounded
+  /// retry/backoff; the epoch-level model scales network throughput by
+  /// the expected retransmission overhead.
+  kLinkFlaky,
+  /// A stored checkpoint is bit-flipped on disk. Exercises the
+  /// CRC-skip path: CheckpointStore::load_latest must skip the corrupt
+  /// file and fall back to the previous one (or report none).
+  kCheckpointCorrupt,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -54,6 +72,9 @@ struct FaultEvent {
   int node = -1;            ///< target node; ignored for network events
   double severity = 0.5;
   int duration_epochs = 0;  ///< > 0 on transient kinds: auto-recovery
+  /// kNetworkPartition only: job-local node ids on the minority (cut
+  /// off) side. Must be a non-empty strict subset of the allocation.
+  std::vector<int> partition;
 
   /// Human-readable one-liner for traces ("epoch 5: node 2 crash").
   std::string describe() const;
@@ -65,6 +86,13 @@ struct FaultEvent {
 class FaultInjector {
  public:
   FaultInjector() = default;
+
+  /// Validates `event`, throwing std::invalid_argument on a malformed
+  /// one: negative epoch, node faults without a node id, non-positive
+  /// severity where one is needed, durations on non-transient kinds, a
+  /// partition without a heal time or member list, or a flaky drop
+  /// probability outside (0, 1].
+  static void validate(const FaultEvent& event);
 
   /// Validates and inserts `event` (plus its recovery event when the
   /// kind is transient and duration_epochs > 0).

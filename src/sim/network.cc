@@ -46,6 +46,93 @@ double NetworkModel::hierarchical_all_reduce_time(
   return total;
 }
 
+namespace {
+
+// splitmix64 finalizer (Vigna): the per-attempt drop/jitter draws are a
+// pure hash of (seed, src, dst, attempt), so replaying a schedule never
+// depends on hidden RNG state or evaluation order.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ mix64(v));
+}
+
+// Uniform double in [0, 1) from the top 53 bits of a hash.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool LinkFaults::partitioned(int src, int dst, double at_seconds) const {
+  if (!enabled || partition_side.empty() || src == dst) return false;
+  auto side = [this](int rank) {
+    if (rank < 0 || rank >= static_cast<int>(partition_side.size())) return 0;
+    return partition_side[rank];
+  };
+  if (side(src) == side(dst)) return false;
+  if (at_seconds < partition_start_seconds) return false;
+  return partition_heal_seconds < 0.0 || at_seconds < partition_heal_seconds;
+}
+
+bool LinkFaults::dropped(int src, int dst, std::uint64_t attempt_id) const {
+  if (!enabled || drop_probability <= 0.0 || src == dst) return false;
+  std::uint64_t h = mix64(seed);
+  h = hash_combine(h, static_cast<std::uint64_t>(src));
+  h = hash_combine(h, static_cast<std::uint64_t>(dst));
+  h = hash_combine(h, attempt_id);
+  return to_unit(h) < drop_probability;
+}
+
+DeliveryPlan plan_delivery(const FabricModel& fabric,
+                           const RetryPolicy& retry, int src, int dst,
+                           std::size_t bytes, double now_seconds,
+                           std::uint64_t message_seq) {
+  DeliveryPlan plan;
+  const double delay = fabric.delay_seconds(src, dst, bytes);
+  if (!fabric.faults.any() || src == dst) {
+    plan.delivery_seconds = now_seconds + delay;
+    return plan;
+  }
+  const int budget = std::max(1, retry.max_attempts);
+  double at = now_seconds;
+  double backoff = retry.backoff_initial_seconds;
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    // One attempt-unique id drives both the drop draw and the jitter
+    // draw for the following backoff.
+    std::uint64_t h = mix64(retry.seed);
+    h = hash_combine(h, message_seq);
+    h = hash_combine(h, static_cast<std::uint64_t>(attempt));
+    const bool lost =
+        fabric.faults.partitioned(src, dst, at) ||
+        fabric.faults.dropped(src, dst, h);
+    if (!lost) {
+      plan.delivered = true;
+      plan.attempts = attempt + 1;
+      plan.resends = attempt;
+      plan.delivery_seconds = at + delay;
+      return plan;
+    }
+    if (attempt + 1 >= budget) break;
+    // Seeded jitter in [1 - f, 1 + f] keeps retransmission storms from
+    // synchronizing while staying replayable.
+    const double jitter =
+        1.0 + retry.jitter_fraction * (2.0 * to_unit(mix64(h)) - 1.0);
+    at += std::max(0.0, backoff * jitter);
+    backoff *= retry.backoff_multiplier;
+  }
+  plan.delivered = false;
+  plan.attempts = budget;
+  plan.resends = budget - 1;
+  plan.delivery_seconds = at;
+  return plan;
+}
+
 FabricModel FabricModel::uniform_latency(double seconds) {
   FabricModel fabric;
   fabric.net.latency_s = seconds;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace cannikin::sim {
@@ -34,6 +35,76 @@ struct NetworkModel {
                                       const std::vector<int>& groups) const;
 };
 
+/// Lossy-link behaviour layered under the FabricModel's delay model:
+/// a scheduled bipartition (no frame crosses the cut until the heal
+/// time) and per-attempt random message drops. Both comm backends
+/// consult the same LinkFaults at *transmission* time, so the thread
+/// backend (wall clock) and the event backend (virtual clock) see one
+/// network. Drop decisions are a pure hash of (seed, src, dst,
+/// attempt id) -- no hidden RNG state -- which is what keeps a replay
+/// of the same seed bitwise identical.
+struct LinkFaults {
+  bool enabled = false;
+  /// `side[r]` is rank r's partition side; frames between different
+  /// sides are dropped while the partition is active. Empty = no
+  /// partition. Ranks beyond the vector are side 0.
+  std::vector<int> partition_side;
+  double partition_start_seconds = 0.0;
+  /// Partition heals at this time; < 0 means it never heals.
+  double partition_heal_seconds = -1.0;
+  /// Probability that any single transmission attempt is dropped.
+  double drop_probability = 0.0;
+  std::uint64_t seed = 0;
+
+  /// Anything to evaluate at all? (Fast-path guard for the backends.)
+  bool any() const {
+    return enabled && (!partition_side.empty() || drop_probability > 0.0);
+  }
+  /// True when a frame from `src` to `dst` crosses an active cut at
+  /// `at_seconds`.
+  bool partitioned(int src, int dst, double at_seconds) const;
+  /// Deterministic per-attempt drop decision (`attempt_id` must be
+  /// unique per transmission attempt on the (src, dst) link).
+  bool dropped(int src, int dst, std::uint64_t attempt_id) const;
+};
+
+/// Bounded resend policy for point-to-point sends: on a dropped frame
+/// the sender retransmits after an exponentially growing, seeded-jitter
+/// backoff, up to `max_attempts` total transmissions. A message whose
+/// budget is exhausted vanishes -- the receiver then surfaces the
+/// existing CommTimeoutError, exactly as if the peer were dead.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< 1 = no retry (legacy behaviour)
+  double backoff_initial_seconds = 1e-4;
+  double backoff_multiplier = 2.0;
+  /// Each backoff is scaled by a deterministic factor in
+  /// [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_fraction = 0.2;
+  std::uint64_t seed = 0;
+};
+
+/// Outcome of planning one message's transmission attempts up front
+/// (the fabric is simulated, so the full retransmission schedule is
+/// knowable at send time; an ack-clocked implementation would discover
+/// the same delivery time incrementally).
+struct DeliveryPlan {
+  bool delivered = true;
+  double delivery_seconds = 0.0;  ///< same clock as `now_seconds`
+  int attempts = 1;               ///< transmissions tried
+  int resends = 0;                ///< attempts - 1 when delivered
+};
+
+struct FabricModel;
+
+/// Plans the delivery of a `bytes`-sized message sent at `now_seconds`
+/// from `src` to `dst` under `fabric` (delays + LinkFaults) and
+/// `retry`. `message_seq` must be a per-(src, dst) monotone counter so
+/// each message's drop/jitter draws are independent yet replayable.
+DeliveryPlan plan_delivery(const FabricModel& fabric,
+                           const RetryPolicy& retry, int src, int dst,
+                           std::size_t bytes, double now_seconds,
+                           std::uint64_t message_seq);
+
 /// Per-pair message delay model shared by both comm backends.
 ///
 /// The thread backend's old `set_link_latency` knob applied one fixed
@@ -48,6 +119,9 @@ struct FabricModel {
   /// Optional: `groups[r]` is rank r's server id; same-server pairs use
   /// `net.intra_bandwidth_bytes_per_s`. Empty = every pair inter-server.
   std::vector<int> groups;
+  /// Lossy-link faults (partition / flaky drops) evaluated by both
+  /// backends at transmission time; see plan_delivery().
+  LinkFaults faults;
   bool enabled = false;
 
   /// Legacy single-knob model: every delivery between distinct ranks is

@@ -392,5 +392,102 @@ TEST(EventBackendScale, BroadcastAtTenThousandRanks) {
   EXPECT_GE(stats.events_processed, static_cast<std::uint64_t>(n));
 }
 
+// --------------------------------------- partition tolerance parity
+
+// Both backends share the same LinkFaults + RetryPolicy model, so a
+// partition that heals inside the retry budget must be invisible to
+// the result (identical tensors), and one that never heals must
+// surface the identical typed error on every rank.
+GroupOptions partition_options(BackendKind kind, double heal_seconds,
+                               double timeout_seconds) {
+  GroupOptions options;
+  options.size = 4;
+  options.timeout_seconds = timeout_seconds;
+  options.backend = kind;
+  options.fabric = sim::FabricModel::uniform_latency(1e-4);
+  options.fabric.faults.enabled = true;
+  options.fabric.faults.partition_side = {0, 0, 1, 1};
+  options.fabric.faults.partition_start_seconds = 0.0;
+  options.fabric.faults.partition_heal_seconds = heal_seconds;
+  options.retry.max_attempts = 6;
+  options.retry.backoff_initial_seconds = 0.005;
+  options.retry.backoff_multiplier = 2.0;
+  options.retry.jitter_fraction = 0.0;
+  options.retry.seed = 5;
+  return options;
+}
+
+TEST(BackendParity, PartitionThenHealYieldsIdenticalTensors) {
+  // Heal at t=0.05: cross-cut frames sent at t~0 are retried at
+  // +0.005/.015/.035/.075 and the post-heal attempt delivers. The
+  // reduced tensors must match bitwise across backends and equal the
+  // fault-free reference.
+  std::vector<std::vector<double>> results[2];
+  RetryStats stats[2];
+  const BackendKind kinds[] = {BackendKind::kThread, BackendKind::kEvent};
+  for (int which = 0; which < 2; ++which) {
+    ProcessGroup group(partition_options(kinds[which], 0.05, 10.0));
+    auto& data = results[which];
+    data.resize(4);
+    for (int rank = 0; rank < 4; ++rank) {
+      data[static_cast<std::size_t>(rank)] = rank_payload(rank, 6);
+    }
+    run_ranks(group, [&data](int rank, Communicator comm) {
+      async_tree_all_reduce(comm, data[static_cast<std::size_t>(rank)], 1)
+          ->wait();
+    });
+    stats[which] = group.retry_stats();
+  }
+
+  ProcessGroup clean = make_group(BackendKind::kThread, 4);
+  std::vector<std::vector<double>> reference(4);
+  for (int rank = 0; rank < 4; ++rank) {
+    reference[static_cast<std::size_t>(rank)] = rank_payload(rank, 6);
+  }
+  run_ranks(clean, [&reference](int rank, Communicator comm) {
+    async_tree_all_reduce(comm, reference[static_cast<std::size_t>(rank)], 1)
+        ->wait();
+  });
+
+  for (int rank = 0; rank < 4; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    EXPECT_EQ(results[0][r], results[1][r]) << "rank " << rank;
+    EXPECT_EQ(results[0][r], reference[r]) << "rank " << rank;
+  }
+  // The partition really was crossed by retransmissions on both sides.
+  EXPECT_GT(stats[0].resends, 0u);
+  EXPECT_GT(stats[1].resends, 0u);
+  EXPECT_EQ(stats[0].dropped, 0u);
+  EXPECT_EQ(stats[1].dropped, 0u);
+}
+
+TEST(BackendParity, PartitionThatNeverHealsTimesOutIdentically) {
+  // heal < 0: the cut outlives the retry budget, cross-cut messages
+  // vanish, and every rank of both backends must surface the same
+  // typed error -- CommTimeoutError after the group deadline.
+  for (const BackendKind kind : {BackendKind::kThread, BackendKind::kEvent}) {
+    ProcessGroup group(partition_options(kind, -1.0, 0.5));
+    std::vector<std::string> errors(4, "none");
+    std::vector<std::vector<double>> data(4);
+    for (int rank = 0; rank < 4; ++rank) {
+      data[static_cast<std::size_t>(rank)] = rank_payload(rank, 6);
+    }
+    run_ranks(group, [&](int rank, Communicator comm) {
+      const auto r = static_cast<std::size_t>(rank);
+      try {
+        async_tree_all_reduce(comm, data[r], 1)->wait();
+      } catch (const CommTimeoutError&) {
+        errors[r] = "timeout";
+      } catch (const CommError&) {
+        errors[r] = "comm";
+      }
+    });
+    for (int rank = 0; rank < 4; ++rank) {
+      EXPECT_EQ(errors[static_cast<std::size_t>(rank)], "timeout")
+          << "backend " << static_cast<int>(kind) << " rank " << rank;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cannikin::comm

@@ -432,5 +432,119 @@ TEST(HarnessFaults, StragglerEventsFlowThroughRunToTarget) {
             1.2 * trace.epochs[2].avg_batch_time);
 }
 
+// ------------------------------------ partition / flaky / corrupt kinds
+
+TEST(FaultInjector, ValidatesPartitionAndFlakyEvents) {
+  sim::FaultInjector injector;
+  // A partition needs its minority-side node list...
+  EXPECT_THROW(injector.schedule({0, sim::FaultKind::kNetworkPartition, -1,
+                                  0.5, /*duration=*/2}),
+               std::invalid_argument);
+  // ...and a scheduled heal; a never-healing partition is a crash.
+  EXPECT_THROW(
+      injector.schedule({0, sim::FaultKind::kNetworkPartition, -1, 0.5,
+                         /*duration=*/0, /*partition=*/{1, 2}}),
+      std::invalid_argument);
+  // Only kNetworkPartition carries a partition list.
+  EXPECT_THROW(injector.schedule({0, sim::FaultKind::kNodeCrash, 1, 0.5,
+                                  /*duration=*/0, /*partition=*/{1}}),
+               std::invalid_argument);
+  // Flaky severity is a drop probability: must lie in (0, 1].
+  EXPECT_THROW(
+      injector.schedule({0, sim::FaultKind::kLinkFlaky, -1, 1.5,
+                         /*duration=*/2}),
+      std::invalid_argument);
+  EXPECT_TRUE(injector.empty());
+}
+
+TEST(FaultInjector, KindNamesCoverNewKindsAndUnknownFallsBack) {
+  EXPECT_STREQ(sim::fault_kind_name(sim::FaultKind::kNetworkPartition),
+               "network-partition");
+  EXPECT_STREQ(sim::fault_kind_name(sim::FaultKind::kLinkFlaky),
+               "link-flaky");
+  EXPECT_STREQ(sim::fault_kind_name(sim::FaultKind::kCheckpointCorrupt),
+               "checkpoint-corrupt");
+  // Out-of-range values (corrupted storage, kinds from a newer binary)
+  // must not crash the diagnostic path.
+  EXPECT_STREQ(sim::fault_kind_name(static_cast<sim::FaultKind>(999)),
+               "unknown");
+}
+
+TEST(FaultInjector, PartitionExpandsIntoOnsetAndHeal) {
+  sim::FaultInjector injector;
+  injector.schedule({3, sim::FaultKind::kNetworkPartition, -1, 0.5,
+                     /*duration=*/2, /*partition=*/{8, 9}});
+
+  ASSERT_EQ(injector.events().size(), 2u);
+  const auto onset = injector.due(3);
+  ASSERT_EQ(onset.size(), 1u);
+  EXPECT_LT(onset[0].severity, 1.0);
+  EXPECT_EQ(onset[0].partition, (std::vector<int>{8, 9}));
+  const auto heal = injector.due(5);
+  ASSERT_EQ(heal.size(), 1u);
+  EXPECT_DOUBLE_EQ(heal[0].severity, 1.0);
+  // The heal marker keeps the member list so the elastic runtime knows
+  // which side to re-admit.
+  EXPECT_EQ(heal[0].partition, (std::vector<int>{8, 9}));
+}
+
+TEST(FaultInjector, FlakyLinksRecoverToZeroDropProbability) {
+  sim::FaultInjector injector;
+  injector.schedule({2, sim::FaultKind::kLinkFlaky, -1, 0.25,
+                     /*duration=*/3});
+  const auto recovery = injector.due(5);
+  ASSERT_EQ(recovery.size(), 1u);
+  // Severity is a drop probability here, so the auto-generated recovery
+  // marker is 0.0 (healthy links) -- the usual 1.0 would read as "drop
+  // every message".
+  EXPECT_DOUBLE_EQ(recovery[0].severity, 0.0);
+}
+
+TEST(ElasticRecovery, PartitionShrinksThenHealReadmitsWarm) {
+  const auto& workload = workloads::by_name("cifar10");
+  sched::ElasticCannikinJob job(&workload, sim::cluster_b(),
+                                sim::NoiseConfig{}, 3);
+  job.set_allocation({0, 4, 8, 9});
+  for (int epoch = 0; epoch < 6; ++epoch) job.run_epoch();
+
+  // Onset: the quorum excluded {8, 9}; the survivors keep training on
+  // their rescaled gradient share -- an elastic shrink, not a restart.
+  const auto& shrink = job.apply_fault(
+      {6, sim::FaultKind::kNetworkPartition, -1, 0.5, 0, {8, 9}});
+  EXPECT_EQ(job.allocation(), (std::vector<int>{0, 4}));
+  EXPECT_EQ(job.partition_shrinks(), 1);
+  EXPECT_EQ(job.partitioned_nodes(), (std::vector<int>{8, 9}));
+  EXPECT_GT(shrink.overhead_seconds, 0.0);
+  EXPECT_GT(job.run_epoch(), 0.0);
+
+  // Heal: the cut-off side re-joins warm (its types were learned
+  // before the cut, so no bootstrap epochs are re-paid).
+  const auto& heal = job.apply_fault(
+      {8, sim::FaultKind::kNetworkPartition, -1, 1.0, 0, {8, 9}});
+  EXPECT_EQ(job.allocation().size(), 4u);
+  EXPECT_TRUE(job.partitioned_nodes().empty());
+  EXPECT_EQ(job.node_rejoins(), 2);
+  EXPECT_TRUE(heal.warm);
+}
+
+TEST(ElasticRecovery, FlakyLinksSlowEpochsUntilRecovery) {
+  const auto& workload = workloads::by_name("cifar10");
+  sched::ElasticCannikinJob job(&workload, sim::cluster_b(),
+                                sim::NoiseConfig{}, 3);
+  job.set_allocation({0, 4, 8, 9});
+  for (int epoch = 0; epoch < 6; ++epoch) job.run_epoch();
+
+  const double healthy = job.run_epoch();
+  // Drop probability 0.5: every message costs an expected two
+  // transmissions, so effective network throughput halves.
+  job.apply_fault({7, sim::FaultKind::kLinkFlaky, -1, 0.5, 0, {}});
+  const double flaky = job.run_epoch();
+  EXPECT_GT(flaky, healthy);
+
+  // The auto-recovery marker (severity 0) restores healthy links.
+  job.apply_fault({8, sim::FaultKind::kLinkFlaky, -1, 0.0, 0, {}});
+  EXPECT_LT(job.run_epoch(), flaky);
+}
+
 }  // namespace
 }  // namespace cannikin

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "sched/fault_recovery.h"
 #include "sched/supervisor.h"
 #include "sim/cluster.h"
@@ -198,6 +200,32 @@ TEST(Supervisor, RetentionBoundsCheckpointFiles) {
   EXPECT_TRUE(trace.reached_target);
   EXPECT_GT(trace.checkpoints_written, 2);
   EXPECT_LE(supervisor.store().list().size(), 2u);
+}
+
+// Satellite: a kCheckpointCorrupt fault damages the newest checkpoint
+// on disk; a crash in the same epoch forces a restore, which must
+// CRC-skip the damaged file, fall back to the previous good one, and
+// report the skip through sched.checkpoint.skipped_corrupt.
+TEST(Supervisor, CorruptCheckpointIsSkippedAtRestore) {
+  TempDir dir("cannikin-supervisor-corrupt");
+  obs::MetricsRegistry metrics;
+  sched::SupervisorOptions options;
+  options.obs = obs::Scope(nullptr, &metrics);
+  sched::TrainingSupervisor supervisor =
+      make_supervisor(dir.str(), std::move(options));
+  supervisor.start({0, 4, 8, 9});
+
+  sim::FaultInjector faults;
+  faults.schedule({/*epoch=*/9, sim::FaultKind::kCheckpointCorrupt, -1});
+  faults.schedule({/*epoch=*/9, sim::FaultKind::kNodeCrash, /*node=*/4});
+  const auto trace = supervisor.run(faults, kMaxEpochs);
+
+  EXPECT_EQ(trace.checkpoint_corruptions, 1);
+  EXPECT_EQ(trace.restores, 1);
+  EXPECT_FALSE(trace.gave_up);
+  EXPECT_TRUE(trace.reached_target);
+  EXPECT_GE(metrics.counter("sched.checkpoint.skipped_corrupt"), 1.0);
+  EXPECT_EQ(metrics.counter("sched.checkpoint.corrupted"), 1.0);
 }
 
 TEST(Supervisor, StartGuards) {
