@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Compute-kernel performance gate: builds and runs the micro_perf bench
+# binary, which writes BENCH_dnn.json and exits non-zero if the
+# optimized GEMM fails to beat the naive reference by at least 3x at
+# 256x256x256 (the acceptance target is 5x; 3x is the hard floor that
+# catches a silently de-vectorized build). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)" --target micro_perf
+
+# Skip the google-benchmark suites (nothing matches '$^'); the kernel
+# section and its gate run unconditionally after them.
+./build/bench/micro_perf --benchmark_filter='$^'
+
+echo "dnn bench gate passed (see BENCH_dnn.json)"

@@ -29,3 +29,8 @@ ctest --test-dir build-tsan -L scale --output-on-failure -j "$(nproc)"
 # threads through the exclude/rescale protocol, and the lossy-link
 # trainer overlaps retried sends with compute -- both are tsan bait.
 ctest --test-dir build-tsan -L chaos --output-on-failure -j "$(nproc)"
+
+# Compute kernels: the intra-rank thread pool (generation-counted
+# condition variable, caller-executes-chunk-0) plus the threaded
+# parity sweep across pool sizes is the newest shared-state surface.
+ctest --test-dir build-tsan -L dnn --output-on-failure -j "$(nproc)"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <ctime>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -11,6 +12,8 @@
 #include "comm/collectives.h"
 #include "comm/process_group.h"
 #include "core/hetero_dataloader.h"
+#include "dnn/kernels/arena.h"
+#include "dnn/kernels/thread_pool.h"
 #include "dnn/loss.h"
 
 namespace cannikin::dnn {
@@ -21,6 +24,21 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+// Per-thread CPU time for the a(b)/P(b) compute measurements. On this
+// in-process testbed many ranks share a few physical cores, so wall
+// clock charges a rank for time spent descheduled while its peers
+// compute -- a bias, not just jitter, that corrupts the learned q/k
+// slopes. Thread CPU time counts only the compute the rank itself
+// performed, which is what wall clock would read on a real deployment
+// where each worker owns its device. Communication phases keep wall
+// clock: waiting is exactly what they measure.
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
 double squared_norm(const std::vector<double>& v) {
@@ -132,7 +150,16 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
 
   auto worker = [&](int rank) {
     comm::Communicator comm = group.communicator(rank);
+    // Kernel context precedes the model so every layer's borrowed
+    // pointer stays valid for the model's whole lifetime.
+    kernels::ThreadPool pool(options_.kernel_threads);
+    kernels::Arena arena;
+    const kernels::Context kctx{&kernels::kernel(options_.kernel_kind),
+                                pool.size() > 1 ? &pool : nullptr,
+                                options_.kernel_use_arena ? arena.resource()
+                                                          : nullptr};
     Model model = factory_();
+    model.set_context(&kctx);
     model.set_flat_params(params_);
     Optimizer& optimizer = *optimizers_[static_cast<std::size_t>(rank)];
     const int throttle =
@@ -151,7 +178,15 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
               .add("throttle", throttle));
     }
 
+    // Steady-state buffers: sized once, reused every batch so the hot
+    // loop performs no heap allocation of its own.
+    std::vector<double> gradient(params_.size(), 0.0);
+    std::vector<double> local_params(params_.size(), 0.0);
+    std::vector<double> stats(4, 0.0);
     for (int batch = 0; batch < num_batches; ++batch) {
+      // All arena tensors from the previous batch are dead by now;
+      // recycle the bump allocator instead of growing it.
+      arena.reset();
       // Identical allocation sequence on every rank keeps tags matched.
       const std::uint64_t bucket_tag =
           comm.tags().block(comm::CollectiveKind::kBucketAllReduce,
@@ -169,7 +204,7 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
       const double weight =
           static_cast<double>(local_b) / static_cast<double>(actual_total);
 
-      std::vector<double> gradient(params_.size(), 0.0);
+      std::fill(gradient.begin(), gradient.end(), 0.0);
       comm::BucketReducer reducer(comm, std::span<double>(gradient), weight,
                                   buckets, bucket_tag);
 
@@ -177,7 +212,7 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
       double local_loss = 0.0, local_correct = 0.0;
       double local_norm_sq = 0.0;
 
-      const auto a_start = std::chrono::steady_clock::now();
+      const double a_start = thread_cpu_seconds();
       obs::SpanGuard forward_span;
       if (scope.tracing()) {
         forward_span = scope.span(
@@ -187,18 +222,18 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
       Tensor outputs;
       LossResult loss;
       if (local_b > 0) {
-        const Tensor inputs = train_->gather(indices);
+        const Tensor inputs = train_->gather(indices, kctx.resource());
         // Throttle: repeat the forward computation, keeping the last.
         for (int rep = 0; rep < throttle; ++rep) {
           outputs = model.forward(inputs);
         }
         if (options_.task == TaskKind::kClassification) {
           const auto labels = train_->gather_labels(indices);
-          loss = softmax_cross_entropy(outputs, labels);
+          loss = softmax_cross_entropy(outputs, labels, &kctx);
           local_correct = accuracy(outputs, labels) * local_b;
         } else {
           const auto targets = train_->gather_targets(indices);
-          loss = bce_with_logits(outputs, targets);
+          loss = bce_with_logits(outputs, targets, &kctx);
           for (std::size_t i = 0; i < targets.size(); ++i) {
             if ((outputs[i] > 0.0) == (targets[i] > 0.5)) {
               local_correct += 1.0;
@@ -207,14 +242,14 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
         }
         local_loss = loss.value;
       }
-      a_time[static_cast<std::size_t>(rank)] += seconds_since(a_start);
+      a_time[static_cast<std::size_t>(rank)] += thread_cpu_seconds() - a_start;
       forward_span.close();
 
       // Throttle reps 0..throttle-2 are pure compute (their gradients
       // are discarded, like DDP's no_sync); only the final rep streams
       // gradients into the reducer so buckets overlap with the tail of
       // the real backward pass.
-      const auto p_start = std::chrono::steady_clock::now();
+      const double p_start = thread_cpu_seconds();
       obs::SpanGuard backward_span;
       if (scope.tracing()) {
         backward_span = scope.span("trainer", "backward",
@@ -235,7 +270,7 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
                          reducer.mark_ready(offset, length);
                        });
       }
-      p_time[static_cast<std::size_t>(rank)] += seconds_since(p_start);
+      p_time[static_cast<std::size_t>(rank)] += thread_cpu_seconds() - p_start;
       backward_span.close();
 
       const comm::BucketReducer::Stats comm_stats = reducer.finish();
@@ -247,8 +282,10 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
           comm_stats.last_bucket_seconds;
 
       const double global_norm_sq = squared_norm(gradient);
-      std::vector<double> stats{static_cast<double>(local_b), local_norm_sq,
-                                local_loss * local_b, local_correct};
+      stats[0] = static_cast<double>(local_b);
+      stats[1] = local_norm_sq;
+      stats[2] = local_loss * local_b;
+      stats[3] = local_correct;
       const auto all_stats = comm::all_gather(comm, stats, gather_tag);
 
       obs::SpanGuard update_span;
@@ -256,9 +293,9 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
         update_span = scope.span("trainer", "update",
                                  obs::ArgList().add("batch", batch));
       }
-      std::vector<double> new_params = model.flat_params();
-      optimizer.step(new_params, gradient, lr);
-      model.set_flat_params(new_params);
+      model.copy_flat_params(local_params);
+      optimizer.step(local_params, gradient, lr, &kctx);
+      model.set_flat_params(std::span<const double>(local_params));
       update_span.close();
 
       if (rank == 0) {
@@ -343,16 +380,22 @@ AdaptiveEpochReport AdaptiveTrainer::run_epoch() {
 
 double AdaptiveTrainer::evaluate_accuracy(
     const InMemoryDataset& dataset) const {
+  kernels::Arena arena;
+  const kernels::Context kctx{&kernels::kernel(options_.kernel_kind), nullptr,
+                              options_.kernel_use_arena ? arena.resource()
+                                                        : nullptr};
   Model model = factory_();
+  model.set_context(&kctx);
   model.set_flat_params(params_);
   std::vector<std::size_t> indices(dataset.size());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   double correct = 0.0;
   const std::size_t chunk = 256;
   for (std::size_t begin = 0; begin < indices.size(); begin += chunk) {
+    arena.reset();
     const std::size_t end = std::min(begin + chunk, indices.size());
     std::span<const std::size_t> slice(indices.data() + begin, end - begin);
-    const Tensor outputs = model.forward(dataset.gather(slice));
+    const Tensor outputs = model.forward(dataset.gather(slice, kctx.resource()));
     if (options_.task == TaskKind::kClassification) {
       correct += accuracy(outputs, dataset.gather_labels(slice)) *
                  static_cast<double>(slice.size());

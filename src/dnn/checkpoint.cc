@@ -58,7 +58,7 @@ Tensor load_tensor(common::BinaryReader& in) {
         std::to_string(data.size()) + " vs " + std::to_string(expected) + ")");
   }
   Tensor tensor(shape);
-  tensor.storage() = data;
+  tensor.storage().assign(data.begin(), data.end());
   return tensor;
 }
 

@@ -1,5 +1,7 @@
 #include "dnn/data.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -29,11 +31,14 @@ InMemoryDataset::InMemoryDataset(std::vector<std::size_t> sample_shape,
   }
 }
 
-Tensor InMemoryDataset::gather(std::span<const std::size_t> indices) const {
-  std::vector<std::size_t> shape;
-  shape.push_back(indices.size());
-  shape.insert(shape.end(), sample_shape_.begin(), sample_shape_.end());
-  Tensor out(shape);
+Tensor InMemoryDataset::gather(std::span<const std::size_t> indices,
+                               std::pmr::memory_resource* mr) const {
+  std::array<std::size_t, Tensor::kMaxRank> shape{};
+  shape[0] = indices.size();
+  std::copy(sample_shape_.begin(), sample_shape_.end(), shape.begin() + 1);
+  Tensor out(
+      std::span<const std::size_t>(shape.data(), 1 + sample_shape_.size()),
+      0.0, mr);
   for (std::size_t row = 0; row < indices.size(); ++row) {
     const std::size_t index = indices[row];
     if (index >= size_) throw std::out_of_range("gather: bad index");

@@ -33,8 +33,10 @@ class InMemoryDataset {
   int label(std::size_t index) const { return labels_.at(index); }
   double target(std::size_t index) const { return targets_.at(index); }
 
-  /// Assembles the batch tensor (batch, *sample_shape) for the indices.
-  Tensor gather(std::span<const std::size_t> indices) const;
+  /// Assembles the batch tensor (batch, *sample_shape) for the
+  /// indices; `mr` selects the tensor's memory resource (null = heap).
+  Tensor gather(std::span<const std::size_t> indices,
+                std::pmr::memory_resource* mr = nullptr) const;
   std::vector<int> gather_labels(std::span<const std::size_t> indices) const;
   std::vector<double> gather_targets(
       std::span<const std::size_t> indices) const;

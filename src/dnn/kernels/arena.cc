@@ -1,0 +1,32 @@
+#include "dnn/kernels/arena.h"
+
+#include <algorithm>
+
+namespace cannikin::dnn::kernels {
+
+Arena::Arena(std::size_t initial_bytes)
+    : buffer_(std::max<std::size_t>(initial_bytes, 64)) {
+  mono_.emplace(buffer_.data(), buffer_.size(), &upstream_);
+}
+
+void Arena::reset() {
+  peak_bytes_ = std::max(peak_bytes_, cycle_bytes_);
+  mono_.reset();  // releases any overflow chunks back upstream
+  if (upstream_.count != grown_at_count_) {
+    // The last cycle spilled to the heap: grow the owned buffer with
+    // headroom so the steady state stops touching the heap entirely.
+    std::size_t want = buffer_.size();
+    while (want < cycle_bytes_ + cycle_bytes_ / 2) want *= 2;
+    buffer_.assign(want, std::byte{0});
+    grown_at_count_ = upstream_.count;
+  }
+  mono_.emplace(buffer_.data(), buffer_.size(), &upstream_);
+  cycle_bytes_ = 0;
+}
+
+void* Arena::do_allocate(std::size_t bytes, std::size_t alignment) {
+  cycle_bytes_ += bytes;
+  return mono_->allocate(bytes, alignment);
+}
+
+}  // namespace cannikin::dnn::kernels

@@ -1,0 +1,85 @@
+// Reusable per-rank bump allocator for per-step tensor workspaces.
+//
+// Training touches the same set of activation/workspace shapes every
+// step; a monotonic_buffer_resource over one owned buffer turns all of
+// those allocations into pointer bumps. reset() recycles the whole
+// cycle in O(1), and grows the owned buffer geometrically whenever the
+// last cycle overflowed to the heap -- so after a warmup step or two,
+// steady-state training performs zero heap allocations per step.
+//
+// Lifetime rules (see DESIGN.md "Compute kernels"):
+//   * The Arena outlives every container allocated from it (it IS the
+//     memory_resource handed to tensors; deallocation is a no-op, so
+//     destroying an arena-backed tensor after reset() is safe).
+//   * reset() invalidates the *contents* of everything allocated since
+//     the previous reset. Holders (layer caches) must be freshly
+//     re-assigned before their next read -- never read-after-reset.
+//   * One arena per rank thread; not thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <memory_resource>
+#include <optional>
+#include <vector>
+
+namespace cannikin::dnn::kernels {
+
+class Arena : public std::pmr::memory_resource {
+ public:
+  explicit Arena(std::size_t initial_bytes = 1 << 16);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// The resource to thread through Tensor/layer workspaces. Stable
+  /// address across reset().
+  std::pmr::memory_resource* resource() { return this; }
+
+  /// Recycles every allocation handed out since the last reset. If the
+  /// previous cycle overflowed the owned buffer, the buffer grows (a
+  /// heap trip, warmup only) so the next cycle fits.
+  void reset();
+
+  /// Bytes requested in the current cycle.
+  std::size_t cycle_bytes() const { return cycle_bytes_; }
+  /// Largest completed cycle seen so far.
+  std::size_t peak_bytes() const { return peak_bytes_; }
+  /// Heap allocations taken when the buffer overflowed; stops growing
+  /// once the buffer has warmed up to the workload.
+  std::size_t upstream_allocations() const { return upstream_.count; }
+
+ protected:
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override;
+  void do_deallocate(void*, std::size_t, std::size_t) override {}
+  bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+ private:
+  struct CountingUpstream : std::pmr::memory_resource {
+    std::size_t count = 0;
+    void* do_allocate(std::size_t bytes, std::size_t alignment) override {
+      ++count;
+      return std::pmr::new_delete_resource()->allocate(bytes, alignment);
+    }
+    void do_deallocate(void* p, std::size_t bytes,
+                       std::size_t alignment) override {
+      std::pmr::new_delete_resource()->deallocate(p, bytes, alignment);
+    }
+    bool do_is_equal(
+        const std::pmr::memory_resource& other) const noexcept override {
+      return this == &other;
+    }
+  };
+
+  std::vector<std::byte> buffer_;
+  CountingUpstream upstream_;
+  // optional so reset() can re-emplace over the (possibly regrown)
+  // buffer while the Arena itself keeps a stable address.
+  std::optional<std::pmr::monotonic_buffer_resource> mono_;
+  std::size_t cycle_bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::size_t grown_at_count_ = 0;
+};
+
+}  // namespace cannikin::dnn::kernels

@@ -1,0 +1,14 @@
+// Internal: per-TU backend singletons, linked into the registry in
+// kernels.cc. The naive and optimized TUs compile with different flags
+// (see src/dnn/CMakeLists.txt), which is why each lives in its own
+// translation unit.
+#pragma once
+
+#include "dnn/kernels/kernels.h"
+
+namespace cannikin::dnn::kernels::detail {
+
+const KernelBackend& naive_backend();
+const KernelBackend& optimized_backend();
+
+}  // namespace cannikin::dnn::kernels::detail

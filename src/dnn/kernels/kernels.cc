@@ -1,0 +1,37 @@
+#include "dnn/kernels/kernels.h"
+
+#include "dnn/kernels/backends.h"
+#include "dnn/kernels/thread_pool.h"
+
+namespace cannikin::dnn::kernels {
+
+const KernelBackend& kernel(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kNaive:
+      return detail::naive_backend();
+    case KernelKind::kOptimized:
+      return detail::optimized_backend();
+  }
+  return detail::naive_backend();
+}
+
+const char* kernel_kind_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kNaive:
+      return "naive";
+    case KernelKind::kOptimized:
+      return "optimized";
+  }
+  return "naive";
+}
+
+bool Context::deterministic() const {
+  return pool == nullptr || pool->size() <= 1;
+}
+
+const Context& default_context() {
+  static const Context ctx{};  // naive backend, serial, heap memory
+  return ctx;
+}
+
+}  // namespace cannikin::dnn::kernels

@@ -1,0 +1,123 @@
+// Compute-kernel layer for the DNN training substrate.
+//
+// One KernelBackend interface, two implementations:
+//   * kNaive     -- the original scalar loops, retained verbatim as the
+//                   reference semantics (and the reference the parity
+//                   fuzzer checks against).
+//   * kOptimized -- cache-blocked, vectorization-friendly loops with
+//                   fused linear+bias+activation epilogues and optional
+//                   intra-rank threading.
+//
+// Determinism contract (see DESIGN.md "Compute kernels"): on the
+// serial path the optimized kernels preserve the naive per-element
+// accumulation order exactly, so results are BITWISE identical to the
+// reference -- flipping the backend never changes a training
+// trajectory. The threaded path partitions rows statically with
+// disjoint outputs and the same per-element order, so it is bitwise
+// stable across thread counts too; the documented contract still only
+// promises <= 2 ulp there, leaving room for future kernels that trade
+// exact order for speed.
+#pragma once
+
+#include <cstddef>
+#include <memory_resource>
+
+namespace cannikin::dnn::kernels {
+
+class ThreadPool;
+
+/// Activation fused into Linear's epilogue (and used standalone by the
+/// elementwise layers).
+enum class Activation { kNone, kReLU, kTanh };
+
+enum class KernelKind { kNaive, kOptimized };
+
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+  virtual const char* name() const = 0;
+
+  /// C(m,n) = A(m,k) * B(k,n); C is overwritten.
+  virtual void matmul_nn(const double* a, const double* b, double* c,
+                         std::size_t m, std::size_t k, std::size_t n,
+                         ThreadPool* pool) const = 0;
+
+  /// C(m,n) = act(A(m,k) * W(n,k)^T [+ bias]); C is overwritten.
+  /// bias (length n) may be null; act == kNone with null bias is a
+  /// plain matmul_transposed. `scratch` backs packing buffers and must
+  /// not be null (pass std::pmr::get_default_resource() when no arena
+  /// is threaded through).
+  virtual void linear(const double* a, const double* w, const double* bias,
+                      double* c, std::size_t m, std::size_t k, std::size_t n,
+                      Activation act, ThreadPool* pool,
+                      std::pmr::memory_resource* scratch) const = 0;
+
+  /// C(m,n) += A(k,m)^T * B(k,n)  (accumulating transposed_matmul; the
+  /// Linear weight-gradient update).
+  virtual void matmul_tn_acc(const double* a, const double* b, double* c,
+                             std::size_t m, std::size_t k, std::size_t n,
+                             ThreadPool* pool) const = 0;
+
+  /// out[j] += sum_r a(r,j) over an (m,n) matrix (bias gradient).
+  virtual void col_sum_acc(const double* a, double* out, std::size_t m,
+                           std::size_t n, ThreadPool* pool) const = 0;
+
+  /// y = act(x) elementwise over count values (kNone copies).
+  virtual void activation_forward(Activation act, const double* x, double* y,
+                                  std::size_t count,
+                                  ThreadPool* pool) const = 0;
+
+  /// dx = dy * act'(y) where y is the cached *post*-activation output
+  /// (kReLU: y <= 0 gates; kTanh: 1 - y^2; kNone copies dy).
+  virtual void activation_backward(Activation act, const double* y,
+                                   const double* dy, double* dx,
+                                   std::size_t count,
+                                   ThreadPool* pool) const = 0;
+
+  /// SGD with momentum and (coupled) weight decay, in place.
+  virtual void sgd_step(double* params, const double* grads, double* velocity,
+                        std::size_t count, double lr, double momentum,
+                        double weight_decay, ThreadPool* pool) const = 0;
+
+  /// Adam/AdamW in place; bc1/bc2 are the bias-correction denominators
+  /// 1 - beta^t, `decoupled` selects AdamW-style weight decay.
+  virtual void adam_step(double* params, const double* grads, double* m,
+                         double* v, std::size_t count, double lr, double beta1,
+                         double beta2, double bc1, double bc2, double eps,
+                         double weight_decay, bool decoupled,
+                         ThreadPool* pool) const = 0;
+};
+
+/// Process-lifetime singleton for each kind.
+const KernelBackend& kernel(KernelKind kind);
+const char* kernel_kind_name(KernelKind kind);
+
+/// Execution context threaded through Tensor/layers/loss/optimizer: the
+/// backend, the intra-rank pool (null = serial) and the workspace
+/// memory resource (null = heap). One per rank thread; borrowed, never
+/// owned by the layers it is handed to.
+struct Context {
+  const KernelBackend* backend = nullptr;  ///< null = naive reference
+  ThreadPool* pool = nullptr;
+  std::pmr::memory_resource* memory = nullptr;
+
+  const KernelBackend& k() const {
+    return backend != nullptr ? *backend : kernel(KernelKind::kNaive);
+  }
+  std::pmr::memory_resource* resource() const {
+    return memory != nullptr ? memory : std::pmr::get_default_resource();
+  }
+  /// True when execution is single-threaded, i.e. the bitwise-exact
+  /// deterministic tier.
+  bool deterministic() const;
+};
+
+/// Naive backend, serial, heap memory -- the reference semantics every
+/// layer falls back to when no context is attached.
+const Context& default_context();
+
+inline const Context& ctx_or_default(const Context* ctx) {
+  return ctx != nullptr ? *ctx : default_context();
+}
+
+}  // namespace cannikin::dnn::kernels

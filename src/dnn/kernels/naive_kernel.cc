@@ -1,0 +1,153 @@
+// Reference kernel backend: the original scalar loops, transplanted
+// unchanged from tensor.cc / layers.cc / optimizer.cc. This TU is the
+// semantic ground truth the conformance suite compares against --
+// do not "improve" these loops; change the optimized backend instead.
+//
+// Compiled with -ffp-contract=off so the compiler cannot fuse
+// multiply-adds and silently change rounding between backends.
+#include <cmath>
+#include <cstring>
+
+#include "dnn/kernels/backends.h"
+#include "dnn/kernels/thread_pool.h"
+
+namespace cannikin::dnn::kernels {
+namespace {
+
+class NaiveKernel final : public KernelBackend {
+ public:
+  const char* name() const override { return "naive"; }
+
+  void matmul_nn(const double* a, const double* b, double* c, std::size_t m,
+                 std::size_t k, std::size_t n,
+                 ThreadPool* /*pool*/) const override {
+    std::memset(c, 0, m * n * sizeof(double));
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double v = a[r * k + kk];
+        if (v == 0.0) continue;
+        const double* brow = b + kk * n;
+        double* crow = c + r * n;
+        for (std::size_t col = 0; col < n; ++col) crow[col] += v * brow[col];
+      }
+    }
+  }
+
+  void linear(const double* a, const double* w, const double* bias, double* c,
+              std::size_t m, std::size_t k, std::size_t n, Activation act,
+              ThreadPool* /*pool*/,
+              std::pmr::memory_resource* /*scratch*/) const override {
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t col = 0; col < n; ++col) {
+        double total = 0.0;
+        const double* arow = a + r * k;
+        const double* wrow = w + col * k;
+        for (std::size_t kk = 0; kk < k; ++kk) total += arow[kk] * wrow[kk];
+        if (bias != nullptr) total += bias[col];
+        c[r * n + col] = apply(act, total);
+      }
+    }
+  }
+
+  void matmul_tn_acc(const double* a, const double* b, double* c,
+                     std::size_t m, std::size_t k, std::size_t n,
+                     ThreadPool* /*pool*/) const override {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double* arow = a + kk * m;
+      const double* brow = b + kk * n;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double v = arow[r];
+        if (v == 0.0) continue;
+        double* crow = c + r * n;
+        for (std::size_t col = 0; col < n; ++col) crow[col] += v * brow[col];
+      }
+    }
+  }
+
+  void col_sum_acc(const double* a, double* out, std::size_t m, std::size_t n,
+                   ThreadPool* /*pool*/) const override {
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* arow = a + r * n;
+      for (std::size_t col = 0; col < n; ++col) out[col] += arow[col];
+    }
+  }
+
+  void activation_forward(Activation act, const double* x, double* y,
+                          std::size_t count,
+                          ThreadPool* /*pool*/) const override {
+    for (std::size_t i = 0; i < count; ++i) y[i] = apply(act, x[i]);
+  }
+
+  void activation_backward(Activation act, const double* y, const double* dy,
+                           double* dx, std::size_t count,
+                           ThreadPool* /*pool*/) const override {
+    switch (act) {
+      case Activation::kNone:
+        for (std::size_t i = 0; i < count; ++i) dx[i] = dy[i];
+        break;
+      case Activation::kReLU:
+        // y <= 0 iff the pre-activation input was <= 0, so gating on
+        // the cached output matches the original input-mask semantics
+        // bitwise.
+        for (std::size_t i = 0; i < count; ++i) {
+          dx[i] = y[i] <= 0.0 ? 0.0 : dy[i];
+        }
+        break;
+      case Activation::kTanh:
+        for (std::size_t i = 0; i < count; ++i) {
+          dx[i] = dy[i] * (1.0 - y[i] * y[i]);
+        }
+        break;
+    }
+  }
+
+  void sgd_step(double* params, const double* grads, double* velocity,
+                std::size_t count, double lr, double momentum,
+                double weight_decay, ThreadPool* /*pool*/) const override {
+    for (std::size_t i = 0; i < count; ++i) {
+      const double g = grads[i] + weight_decay * params[i];
+      velocity[i] = momentum * velocity[i] + g;
+      params[i] -= lr * velocity[i];
+    }
+  }
+
+  void adam_step(double* params, const double* grads, double* m, double* v,
+                 std::size_t count, double lr, double beta1, double beta2,
+                 double bc1, double bc2, double eps, double weight_decay,
+                 bool decoupled, ThreadPool* /*pool*/) const override {
+    for (std::size_t i = 0; i < count; ++i) {
+      double g = grads[i];
+      if (!decoupled) g += weight_decay * params[i];
+      m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+      v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      params[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      if (decoupled) params[i] -= lr * weight_decay * params[i];
+    }
+  }
+
+ private:
+  static double apply(Activation act, double x) {
+    switch (act) {
+      case Activation::kNone:
+        return x;
+      case Activation::kReLU:
+        return x > 0.0 ? x : 0.0;
+      case Activation::kTanh:
+        return std::tanh(x);
+    }
+    return x;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+const KernelBackend& naive_backend() {
+  static const NaiveKernel backend;
+  return backend;
+}
+}  // namespace detail
+
+}  // namespace cannikin::dnn::kernels

@@ -1,0 +1,83 @@
+#include "dnn/kernels/thread_pool.h"
+
+#include <algorithm>
+
+namespace cannikin::dnn::kernels {
+
+ThreadPool::ThreadPool(int threads) : size_(std::max(threads, 1)) {
+  if (size_ > 1) {
+    workers_.reserve(static_cast<std::size_t>(size_) - 1);
+    for (std::size_t i = 0; i + 1 < static_cast<std::size_t>(size_); ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t min_per_chunk = std::max<std::size_t>(grain, 1);
+  std::size_t chunks = std::min<std::size_t>(static_cast<std::size_t>(size_),
+                                             n / min_per_chunk);
+  if (workers_.empty() || chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  // Round the chunk size up, then recompute the chunk count so every
+  // chunk is non-empty (e.g. n=5, 4 threads -> 3 chunks of <= 2).
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  chunks = (n + chunk - 1) / chunk;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    job_n_ = n;
+    chunk_size_ = chunk;
+    num_chunks_ = chunks;
+    remaining_ = chunks - 1;  // workers run chunks 1..chunks-1
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  body(0, std::min(chunk, n));  // the caller takes chunk 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0, end = 0;
+    bool has_chunk = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const std::size_t chunk_index = worker_index + 1;
+      if (chunk_index < num_chunks_) {
+        body = body_;
+        begin = chunk_index * chunk_size_;
+        end = std::min(job_n_, begin + chunk_size_);
+        has_chunk = true;
+      }
+    }
+    if (has_chunk) {
+      (*body)(begin, end);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace cannikin::dnn::kernels

@@ -1,0 +1,74 @@
+// Intra-rank thread pool for batch-parallel forward/backward.
+//
+// One pool per rank thread, owned by the trainer worker. parallel_for
+// statically partitions [0, n) into at most size() contiguous chunks
+// with disjoint outputs, so a kernel that preserves its per-element
+// accumulation order stays bitwise identical across thread counts --
+// the property the kernel conformance suite asserts.
+//
+// Not reentrant and not shareable across threads: exactly one thread
+// (the owner) may call parallel_for at a time.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cannikin::dnn::kernels {
+
+class ThreadPool {
+ public:
+  /// threads <= 1 spawns no workers; parallel_for then runs inline.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  /// Runs body(begin, end) over a static contiguous partition of
+  /// [0, n). `grain` is the minimum items per chunk: when n < 2*grain
+  /// (or the pool is serial) the body runs inline on the caller.
+  /// The caller always executes chunk 0 itself.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  // Current job; written under mutex_ before the generation bump, read
+  // by workers after they observe the new generation.
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t chunk_size_ = 0;
+  std::size_t num_chunks_ = 0;
+  std::size_t remaining_ = 0;
+};
+
+/// Runs `body(begin, end)` over [0, n), using the pool when present.
+/// The template avoids materializing a std::function (and its heap
+/// allocation) on the serial path, which is what the zero-alloc
+/// steady-state contract of the arena-backed trainers relies on.
+template <typename Body>
+void for_range(ThreadPool* pool, std::size_t n, std::size_t grain,
+               Body&& body) {
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(n, grain, body);
+  } else {
+    body(std::size_t{0}, n);
+  }
+}
+
+}  // namespace cannikin::dnn::kernels

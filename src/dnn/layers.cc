@@ -4,13 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dnn/kernels/thread_pool.h"
+
 namespace cannikin::dnn {
 
 // ---------------------------------------------------------------- Linear
 
-Linear::Linear(std::size_t in_features, std::size_t out_features)
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               kernels::Activation act)
     : in_(in_features),
       out_(out_features),
+      act_(act),
       weight_(Tensor::matrix(out_features, in_features)),
       bias_(Tensor::matrix(1, out_features)),
       weight_grad_(Tensor::matrix(out_features, in_features)),
@@ -24,11 +28,14 @@ Tensor Linear::forward(const Tensor& input) {
   if (input.rank() != 2 || input.dim(1) != in_) {
     throw std::invalid_argument("Linear::forward: bad input shape");
   }
-  cached_input_ = input;
-  Tensor out = matmul_transposed(input, weight_);  // (batch, out)
+  const kernels::Context& kc = kctx();
+  cached_input_.assign(input, kc.resource());
   const std::size_t batch = input.dim(0);
-  for (std::size_t r = 0; r < batch; ++r) {
-    for (std::size_t c = 0; c < out_; ++c) out.at(r, c) += bias_[c];
+  Tensor out({batch, out_}, 0.0, kc.resource());
+  kc.k().linear(input.data(), weight_.data(), bias_.data(), out.data(), batch,
+                in_, out_, act_, kc.pool, kc.resource());
+  if (act_ != kernels::Activation::kNone) {
+    cached_output_.assign(out, kc.resource());
   }
   return out;
 }
@@ -37,15 +44,24 @@ Tensor Linear::backward(const Tensor& grad_output) {
   // grad_output: (batch, out). Parameter gradients accumulate the sum
   // over the batch; the loss is mean-reduced, so the caller's grads are
   // already scaled by 1/batch (Eq. 1's per-sample averaging).
-  Tensor dw = transposed_matmul(grad_output, cached_input_);  // (out, in)
-  for (std::size_t i = 0; i < dw.size(); ++i) weight_grad_[i] += dw[i];
+  const kernels::Context& kc = kctx();
   const std::size_t batch = grad_output.dim(0);
-  for (std::size_t r = 0; r < batch; ++r) {
-    for (std::size_t c = 0; c < out_; ++c) {
-      bias_grad_[c] += grad_output.at(r, c);
-    }
+  const Tensor* delta = &grad_output;
+  Tensor delta_local;
+  if (act_ != kernels::Activation::kNone) {
+    delta_local = Tensor({batch, out_}, 0.0, kc.resource());
+    kc.k().activation_backward(act_, cached_output_.data(),
+                               grad_output.data(), delta_local.data(),
+                               grad_output.size(), kc.pool);
+    delta = &delta_local;
   }
-  return matmul(grad_output, weight_);  // (batch, in)
+  kc.k().matmul_tn_acc(delta->data(), cached_input_.data(),
+                       weight_grad_.data(), out_, batch, in_, kc.pool);
+  kc.k().col_sum_acc(delta->data(), bias_grad_.data(), batch, out_, kc.pool);
+  Tensor grad_input({batch, in_}, 0.0, kc.resource());
+  kc.k().matmul_nn(delta->data(), weight_.data(), grad_input.data(), batch,
+                   out_, in_, kc.pool);
+  return grad_input;
 }
 
 std::size_t Linear::num_params() const { return weight_.size() + bias_.size(); }
@@ -87,36 +103,40 @@ void Linear::init(Rng& rng) {
 // ------------------------------------------------------------------ ReLU
 
 Tensor ReLU::forward(const Tensor& input) {
-  cached_input_ = input;
-  Tensor out = input;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = std::max(out[i], 0.0);
-  }
+  const kernels::Context& kc = kctx();
+  Tensor out(input.shape(), 0.0, kc.resource());
+  kc.k().activation_forward(kernels::Activation::kReLU, input.data(),
+                            out.data(), input.size(), kc.pool);
+  cached_output_.assign(out, kc.resource());
   return out;
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
-  Tensor out = grad_output;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    if (cached_input_[i] <= 0.0) out[i] = 0.0;
-  }
+  const kernels::Context& kc = kctx();
+  Tensor out(grad_output.shape(), 0.0, kc.resource());
+  kc.k().activation_backward(kernels::Activation::kReLU,
+                             cached_output_.data(), grad_output.data(),
+                             out.data(), grad_output.size(), kc.pool);
   return out;
 }
 
 // ------------------------------------------------------------------ Tanh
 
 Tensor Tanh::forward(const Tensor& input) {
-  Tensor out = input;
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
-  cached_output_ = out;
+  const kernels::Context& kc = kctx();
+  Tensor out(input.shape(), 0.0, kc.resource());
+  kc.k().activation_forward(kernels::Activation::kTanh, input.data(),
+                            out.data(), input.size(), kc.pool);
+  cached_output_.assign(out, kc.resource());
   return out;
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
-  Tensor out = grad_output;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] *= 1.0 - cached_output_[i] * cached_output_[i];
-  }
+  const kernels::Context& kc = kctx();
+  Tensor out(grad_output.shape(), 0.0, kc.resource());
+  kc.k().activation_backward(kernels::Activation::kTanh, cached_output_.data(),
+                             grad_output.data(), out.data(),
+                             grad_output.size(), kc.pool);
   return out;
 }
 
@@ -141,14 +161,15 @@ Tensor Conv2d::forward(const Tensor& input) {
   if (input.rank() != 4 || input.dim(1) != in_c_) {
     throw std::invalid_argument("Conv2d::forward: bad input shape");
   }
-  cached_input_ = input;
+  const kernels::Context& kc = kctx();
+  cached_input_.assign(input, kc.resource());
   const std::size_t batch = input.dim(0), h = input.dim(2), w = input.dim(3);
   if (h + 2 * pad_ < k_ || w + 2 * pad_ < k_) {
     throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
   }
   const std::size_t oh = h + 2 * pad_ - k_ + 1;
   const std::size_t ow = w + 2 * pad_ - k_ + 1;
-  Tensor out({batch, out_c_, oh, ow});
+  Tensor out({batch, out_c_, oh, ow}, 0.0, kc.resource());
 
   auto in_at = [&](std::size_t n, std::size_t c, long y, long x) -> double {
     if (y < 0 || x < 0 || y >= static_cast<long>(h) ||
@@ -159,67 +180,116 @@ Tensor Conv2d::forward(const Tensor& input) {
                  static_cast<std::size_t>(x)];
   };
 
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          double total = bias_[oc];
-          for (std::size_t ic = 0; ic < in_c_; ++ic) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                total += weight_[((oc * in_c_ + ic) * k_ + ky) * k_ + kx] *
-                         in_at(n, ic, static_cast<long>(oy + ky) -
-                                          static_cast<long>(pad_),
-                               static_cast<long>(ox + kx) -
-                                   static_cast<long>(pad_));
+  // Batch-parallel: each sample's outputs are disjoint, and every
+  // output element is one independent accumulation chain, so this is
+  // bitwise identical across thread counts.
+  kernels::for_range(
+      kc.pool, batch, 1, [&](std::size_t nb, std::size_t ne) {
+        for (std::size_t n = nb; n < ne; ++n) {
+          for (std::size_t oc = 0; oc < out_c_; ++oc) {
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              for (std::size_t ox = 0; ox < ow; ++ox) {
+                double total = bias_[oc];
+                for (std::size_t ic = 0; ic < in_c_; ++ic) {
+                  for (std::size_t ky = 0; ky < k_; ++ky) {
+                    for (std::size_t kx = 0; kx < k_; ++kx) {
+                      total +=
+                          weight_[((oc * in_c_ + ic) * k_ + ky) * k_ + kx] *
+                          in_at(n, ic,
+                                static_cast<long>(oy + ky) -
+                                    static_cast<long>(pad_),
+                                static_cast<long>(ox + kx) -
+                                    static_cast<long>(pad_));
+                    }
+                  }
+                }
+                out[((n * out_c_ + oc) * oh + oy) * ow + ox] = total;
               }
             }
           }
-          out[((n * out_c_ + oc) * oh + oy) * ow + ox] = total;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  const kernels::Context& kc = kctx();
   const Tensor& input = cached_input_;
   const std::size_t batch = input.dim(0), h = input.dim(2), w = input.dim(3);
   const std::size_t oh = grad_output.dim(2), ow = grad_output.dim(3);
-  Tensor grad_input({batch, in_c_, h, w});
+  Tensor grad_input({batch, in_c_, h, w}, 0.0, kc.resource());
 
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          const double g =
-              grad_output[((n * out_c_ + oc) * oh + oy) * ow + ox];
-          if (g == 0.0) continue;
-          bias_grad_[oc] += g;
-          for (std::size_t ic = 0; ic < in_c_; ++ic) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const long y = static_cast<long>(oy + ky) -
-                             static_cast<long>(pad_);
-              if (y < 0 || y >= static_cast<long>(h)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const long x = static_cast<long>(ox + kx) -
-                               static_cast<long>(pad_);
-                if (x < 0 || x >= static_cast<long>(w)) continue;
-                const std::size_t in_idx =
-                    ((n * in_c_ + ic) * h + static_cast<std::size_t>(y)) * w +
-                    static_cast<std::size_t>(x);
-                const std::size_t w_idx =
-                    ((oc * in_c_ + ic) * k_ + ky) * k_ + kx;
-                weight_grad_[w_idx] += g * input[in_idx];
-                grad_input[in_idx] += g * weight_[w_idx];
+  // Two passes with different parallel axes, each writing disjoint
+  // accumulators: pass 1 over output channels (weight/bias grads are
+  // per-oc), pass 2 over samples (grad_input is per-n). Within one
+  // accumulator the contribution order matches the original single
+  // interleaved loop -- (n, oy, ox) ascending for fixed oc, (oc, oy,
+  // ox) ascending for fixed n -- so the split is bitwise neutral.
+  kernels::for_range(
+      kc.pool, out_c_, 1, [&](std::size_t ocb, std::size_t oce) {
+        for (std::size_t oc = ocb; oc < oce; ++oc) {
+          for (std::size_t n = 0; n < batch; ++n) {
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              for (std::size_t ox = 0; ox < ow; ++ox) {
+                const double g =
+                    grad_output[((n * out_c_ + oc) * oh + oy) * ow + ox];
+                if (g == 0.0) continue;
+                bias_grad_[oc] += g;
+                for (std::size_t ic = 0; ic < in_c_; ++ic) {
+                  for (std::size_t ky = 0; ky < k_; ++ky) {
+                    const long y = static_cast<long>(oy + ky) -
+                                   static_cast<long>(pad_);
+                    if (y < 0 || y >= static_cast<long>(h)) continue;
+                    for (std::size_t kx = 0; kx < k_; ++kx) {
+                      const long x = static_cast<long>(ox + kx) -
+                                     static_cast<long>(pad_);
+                      if (x < 0 || x >= static_cast<long>(w)) continue;
+                      const std::size_t in_idx =
+                          ((n * in_c_ + ic) * h + static_cast<std::size_t>(y)) *
+                              w +
+                          static_cast<std::size_t>(x);
+                      weight_grad_[((oc * in_c_ + ic) * k_ + ky) * k_ + kx] +=
+                          g * input[in_idx];
+                    }
+                  }
+                }
               }
             }
           }
         }
-      }
-    }
-  }
+      });
+  kernels::for_range(
+      kc.pool, batch, 1, [&](std::size_t nb, std::size_t ne) {
+        for (std::size_t n = nb; n < ne; ++n) {
+          for (std::size_t oc = 0; oc < out_c_; ++oc) {
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              for (std::size_t ox = 0; ox < ow; ++ox) {
+                const double g =
+                    grad_output[((n * out_c_ + oc) * oh + oy) * ow + ox];
+                if (g == 0.0) continue;
+                for (std::size_t ic = 0; ic < in_c_; ++ic) {
+                  for (std::size_t ky = 0; ky < k_; ++ky) {
+                    const long y = static_cast<long>(oy + ky) -
+                                   static_cast<long>(pad_);
+                    if (y < 0 || y >= static_cast<long>(h)) continue;
+                    for (std::size_t kx = 0; kx < k_; ++kx) {
+                      const long x = static_cast<long>(ox + kx) -
+                                     static_cast<long>(pad_);
+                      if (x < 0 || x >= static_cast<long>(w)) continue;
+                      const std::size_t in_idx =
+                          ((n * in_c_ + ic) * h + static_cast<std::size_t>(y)) *
+                              w +
+                          static_cast<std::size_t>(x);
+                      grad_input[in_idx] +=
+                          g * weight_[((oc * in_c_ + ic) * k_ + ky) * k_ + kx];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
   return grad_input;
 }
 
@@ -265,10 +335,11 @@ Tensor AvgPool2x2::forward(const Tensor& input) {
   if (input.rank() != 4 || input.dim(2) % 2 != 0 || input.dim(3) % 2 != 0) {
     throw std::invalid_argument("AvgPool2x2: need even (batch,C,H,W)");
   }
-  cached_shape_ = input.shape();
+  std::copy(input.shape().begin(), input.shape().end(),
+            cached_shape_.begin());
   const std::size_t batch = input.dim(0), c = input.dim(1), h = input.dim(2),
                     w = input.dim(3);
-  Tensor out({batch, c, h / 2, w / 2});
+  Tensor out({batch, c, h / 2, w / 2}, 0.0, mr());
   for (std::size_t n = 0; n < batch; ++n) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       for (std::size_t y = 0; y < h / 2; ++y) {
@@ -290,7 +361,7 @@ Tensor AvgPool2x2::forward(const Tensor& input) {
 Tensor AvgPool2x2::backward(const Tensor& grad_output) {
   const std::size_t batch = cached_shape_[0], c = cached_shape_[1],
                     h = cached_shape_[2], w = cached_shape_[3];
-  Tensor grad_input({batch, c, h, w});
+  Tensor grad_input({batch, c, h, w}, 0.0, mr());
   for (std::size_t n = 0; n < batch; ++n) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       for (std::size_t y = 0; y < h / 2; ++y) {
@@ -312,13 +383,16 @@ Tensor AvgPool2x2::backward(const Tensor& grad_output) {
 // --------------------------------------------------------------- Flatten
 
 Tensor Flatten::forward(const Tensor& input) {
-  cached_shape_ = input.shape();
+  cached_rank_ = input.rank();
+  std::copy(input.shape().begin(), input.shape().end(),
+            cached_shape_.begin());
   const std::size_t batch = input.dim(0);
   return input.reshaped({batch, input.size() / batch});
 }
 
 Tensor Flatten::backward(const Tensor& grad_output) {
-  return grad_output.reshaped(cached_shape_);
+  return grad_output.reshaped(
+      std::span<const std::size_t>(cached_shape_.data(), cached_rank_));
 }
 
 }  // namespace cannikin::dnn

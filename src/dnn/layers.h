@@ -5,13 +5,24 @@
 // exposes them through a flat span protocol so the model can assemble
 // the flat gradient vector that the bucketized all-reduce and the GNS
 // estimators consume.
+//
+// Compute dispatches through a borrowed kernels::Context (backend +
+// intra-rank pool + workspace memory resource) attached via
+// set_context(); with no context attached every layer runs the naive
+// reference kernels on the heap, preserving the original semantics.
+// Parameters and gradient accumulators always live on the heap (they
+// persist across steps); only per-step activations/caches go to the
+// context's resource, and a cache written before an Arena::reset() is
+// never read after it (forward always re-assigns before backward).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "common/rng.h"
+#include "dnn/kernels/kernels.h"
 #include "dnn/tensor.h"
 
 namespace cannikin::dnn {
@@ -33,12 +44,27 @@ class Layer {
   virtual void copy_grads(std::span<double> out) const { (void)out; }
   virtual void zero_grads() {}
   virtual void init(Rng& rng) { (void)rng; }
+
+  /// Attaches the execution context (borrowed; must outlive the layer's
+  /// use of it). Null restores the naive/heap default.
+  void set_context(const kernels::Context* ctx) { ctx_ = ctx; }
+
+ protected:
+  const kernels::Context& kctx() const { return kernels::ctx_or_default(ctx_); }
+  std::pmr::memory_resource* mr() const { return kctx().resource(); }
+
+ private:
+  const kernels::Context* ctx_ = nullptr;
 };
 
-/// Fully connected layer: Y = X W^T + bias, X is (batch, in).
+/// Fully connected layer: Y = act(X W^T + bias), X is (batch, in).
+/// The activation epilogue (default kNone) is fused into the forward
+/// kernel; backward folds the activation derivative into the incoming
+/// gradient before the parameter-gradient GEMMs.
 class Linear : public Layer {
  public:
-  Linear(std::size_t in_features, std::size_t out_features);
+  Linear(std::size_t in_features, std::size_t out_features,
+         kernels::Activation act = kernels::Activation::kNone);
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
@@ -51,15 +77,18 @@ class Linear : public Layer {
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
+  kernels::Activation activation() const { return act_; }
 
  private:
   std::size_t in_;
   std::size_t out_;
+  kernels::Activation act_;
   Tensor weight_;       // (out, in)
   Tensor bias_;         // (1, out)
   Tensor weight_grad_;  // accumulated mean-of-batch gradient
   Tensor bias_grad_;
   Tensor cached_input_;
+  Tensor cached_output_;  // post-activation; only cached when fused
 };
 
 /// Elementwise rectifier.
@@ -69,7 +98,7 @@ class ReLU : public Layer {
   Tensor backward(const Tensor& grad_output) override;
 
  private:
-  Tensor cached_input_;
+  Tensor cached_output_;
 };
 
 /// Elementwise hyperbolic tangent (used by the NeuMF-style model).
@@ -83,7 +112,8 @@ class Tanh : public Layer {
 };
 
 /// 2-D convolution over (batch, C, H, W) tensors, stride 1, zero
-/// padding `pad`. Naive direct loops: models here are tiny.
+/// padding `pad`. Direct loops, batch/channel-parallel via the
+/// context's pool; models here are tiny.
 class Conv2d : public Layer {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels,
@@ -114,7 +144,7 @@ class AvgPool2x2 : public Layer {
   Tensor backward(const Tensor& grad_output) override;
 
  private:
-  std::vector<std::size_t> cached_shape_;
+  std::array<std::size_t, 4> cached_shape_{};
 };
 
 /// Flattens (batch, ...) to (batch, features).
@@ -124,7 +154,8 @@ class Flatten : public Layer {
   Tensor backward(const Tensor& grad_output) override;
 
  private:
-  std::vector<std::size_t> cached_shape_;
+  std::array<std::size_t, Tensor::kMaxRank> cached_shape_{};
+  std::size_t cached_rank_ = 0;
 };
 
 }  // namespace cannikin::dnn

@@ -22,9 +22,9 @@ Tensor Embedding::forward(const Tensor& input) {
   if (input.rank() != 2) {
     throw std::invalid_argument("Embedding: input must be (batch, slots)");
   }
-  cached_ids_ = input;
+  cached_ids_.assign(input, mr());
   const std::size_t batch = input.dim(0), slots = input.dim(1);
-  Tensor out = Tensor::matrix(batch, slots * dim_);
+  Tensor out = Tensor::matrix(batch, slots * dim_, 0.0, mr());
   for (std::size_t r = 0; r < batch; ++r) {
     for (std::size_t slot = 0; slot < slots; ++slot) {
       const auto id = static_cast<long>(input.at(r, slot));
@@ -52,9 +52,7 @@ Tensor Embedding::backward(const Tensor& grad_output) {
     }
   }
   // Ids are not differentiable; propagate zeros.
-  Tensor grad_input = cached_ids_;
-  grad_input.fill(0.0);
-  return grad_input;
+  return Tensor(cached_ids_.shape(), 0.0, mr());
 }
 
 std::size_t Embedding::num_params() const { return table_.size(); }
@@ -86,10 +84,11 @@ Tensor MaxPool2x2::forward(const Tensor& input) {
   if (input.rank() != 4 || input.dim(2) % 2 != 0 || input.dim(3) % 2 != 0) {
     throw std::invalid_argument("MaxPool2x2: need even (batch,C,H,W)");
   }
-  cached_shape_ = input.shape();
+  std::copy(input.shape().begin(), input.shape().end(),
+            cached_shape_.begin());
   const std::size_t batch = input.dim(0), c = input.dim(1), h = input.dim(2),
                     w = input.dim(3);
-  Tensor out({batch, c, h / 2, w / 2});
+  Tensor out({batch, c, h / 2, w / 2}, 0.0, mr());
   argmax_.assign(out.size(), 0);
   for (std::size_t n = 0; n < batch; ++n) {
     for (std::size_t ch = 0; ch < c; ++ch) {
@@ -119,7 +118,9 @@ Tensor MaxPool2x2::forward(const Tensor& input) {
 }
 
 Tensor MaxPool2x2::backward(const Tensor& grad_output) {
-  Tensor grad_input(cached_shape_);
+  Tensor grad_input(
+      std::span<const std::size_t>(cached_shape_.data(), cached_shape_.size()),
+      0.0, mr());
   for (std::size_t i = 0; i < grad_output.size(); ++i) {
     grad_input[argmax_[i]] += grad_output[i];
   }
@@ -135,11 +136,12 @@ Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
 }
 
 Tensor Dropout::forward(const Tensor& input) {
+  Tensor out;
+  out.assign(input, mr());
   if (!training_ || rate_ == 0.0) {
     mask_.assign(input.size(), 1.0);
-    return input;
+    return out;
   }
-  Tensor out = input;
   mask_.resize(input.size());
   const double keep = 1.0 - rate_;
   for (std::size_t i = 0; i < input.size(); ++i) {
@@ -150,7 +152,8 @@ Tensor Dropout::forward(const Tensor& input) {
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {
-  Tensor out = grad_output;
+  Tensor out;
+  out.assign(grad_output, mr());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] *= mask_[i];
   return out;
 }
@@ -172,8 +175,8 @@ Tensor LayerNorm::forward(const Tensor& input) {
     throw std::invalid_argument("LayerNorm: bad input shape");
   }
   const std::size_t batch = input.dim(0);
-  Tensor out = input;
-  cached_normalized_ = Tensor::matrix(batch, features_);
+  Tensor out = Tensor::matrix(batch, features_, 0.0, mr());
+  cached_normalized_ = Tensor::matrix(batch, features_, 0.0, mr());
   cached_inv_std_.resize(batch);
   for (std::size_t r = 0; r < batch; ++r) {
     double mean = 0.0;
@@ -198,7 +201,7 @@ Tensor LayerNorm::forward(const Tensor& input) {
 
 Tensor LayerNorm::backward(const Tensor& grad_output) {
   const std::size_t batch = grad_output.dim(0);
-  Tensor grad_input = Tensor::matrix(batch, features_);
+  Tensor grad_input = Tensor::matrix(batch, features_, 0.0, mr());
   const double inv_n = 1.0 / static_cast<double>(features_);
   for (std::size_t r = 0; r < batch; ++r) {
     // dL/dx for y = gain * (x - mean) * inv_std + bias (standard

@@ -43,7 +43,7 @@ class MaxPool2x2 : public Layer {
   Tensor backward(const Tensor& grad_output) override;
 
  private:
-  std::vector<std::size_t> cached_shape_;
+  std::array<std::size_t, 4> cached_shape_{};
   std::vector<std::size_t> argmax_;  // flat input index per output cell
 };
 

@@ -7,13 +7,15 @@
 namespace cannikin::dnn {
 
 LossResult softmax_cross_entropy(const Tensor& logits,
-                                 const std::vector<int>& labels) {
+                                 const std::vector<int>& labels,
+                                 const kernels::Context* ctx) {
   if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
     throw std::invalid_argument("softmax_cross_entropy: shape mismatch");
   }
   const std::size_t batch = logits.dim(0), classes = logits.dim(1);
   LossResult result;
-  result.grad = Tensor::matrix(batch, classes);
+  result.grad = Tensor::matrix(batch, classes, 0.0,
+                               kernels::ctx_or_default(ctx).resource());
   const double inv_batch = 1.0 / static_cast<double>(batch);
 
   for (std::size_t r = 0; r < batch; ++r) {
@@ -62,13 +64,15 @@ double accuracy(const Tensor& logits, const std::vector<int>& labels) {
   return static_cast<double>(correct) / static_cast<double>(batch);
 }
 
-LossResult mse(const Tensor& predictions, const Tensor& targets) {
+LossResult mse(const Tensor& predictions, const Tensor& targets,
+               const kernels::Context* ctx) {
   if (predictions.size() != targets.size()) {
     throw std::invalid_argument("mse: size mismatch");
   }
   const std::size_t batch = predictions.dim(0);
   LossResult result;
-  result.grad = predictions;
+  result.grad = Tensor(predictions.shape(), 0.0,
+                       kernels::ctx_or_default(ctx).resource());
   const double scale = 2.0 / static_cast<double>(predictions.size());
   for (std::size_t i = 0; i < predictions.size(); ++i) {
     const double diff = predictions[i] - targets[i];
@@ -81,12 +85,14 @@ LossResult mse(const Tensor& predictions, const Tensor& targets) {
 }
 
 LossResult bce_with_logits(const Tensor& logits,
-                           const std::vector<double>& targets) {
+                           const std::vector<double>& targets,
+                           const kernels::Context* ctx) {
   if (logits.size() != targets.size()) {
     throw std::invalid_argument("bce_with_logits: size mismatch");
   }
   LossResult result;
-  result.grad = logits;
+  result.grad = Tensor(logits.shape(), 0.0,
+                       kernels::ctx_or_default(ctx).resource());
   const double inv_batch = 1.0 / static_cast<double>(logits.size());
   for (std::size_t i = 0; i < logits.size(); ++i) {
     const double z = logits[i];

@@ -3,10 +3,15 @@
 // Mean reduction matches Eq. (1): every node's local gradient is the
 // average over its local mini batch, so the Eq. (9) weighted aggregate
 // reproduces the full-batch average gradient exactly.
+//
+// The optional kernels::Context only selects where the gradient tensor
+// is allocated (arena vs heap); the loss math itself is scalar and
+// identical across backends.
 #pragma once
 
 #include <vector>
 
+#include "dnn/kernels/kernels.h"
 #include "dnn/tensor.h"
 
 namespace cannikin::dnn {
@@ -18,16 +23,19 @@ struct LossResult {
 
 /// Softmax + cross entropy from raw logits (batch, classes).
 LossResult softmax_cross_entropy(const Tensor& logits,
-                                 const std::vector<int>& labels);
+                                 const std::vector<int>& labels,
+                                 const kernels::Context* ctx = nullptr);
 
 /// Fraction of rows whose argmax equals the label.
 double accuracy(const Tensor& logits, const std::vector<int>& labels);
 
 /// Mean squared error against targets of identical shape.
-LossResult mse(const Tensor& predictions, const Tensor& targets);
+LossResult mse(const Tensor& predictions, const Tensor& targets,
+               const kernels::Context* ctx = nullptr);
 
 /// Sigmoid + binary cross entropy from logits (batch, 1).
 LossResult bce_with_logits(const Tensor& logits,
-                           const std::vector<double>& targets);
+                           const std::vector<double>& targets,
+                           const kernels::Context* ctx = nullptr);
 
 }  // namespace cannikin::dnn

@@ -5,8 +5,14 @@
 namespace cannikin::dnn {
 
 Model& Model::add(std::unique_ptr<Layer> layer) {
+  layer->set_context(ctx_);
   layers_.push_back(std::move(layer));
   return *this;
+}
+
+void Model::set_context(const kernels::Context* ctx) {
+  ctx_ = ctx;
+  for (auto& layer : layers_) layer->set_context(ctx);
 }
 
 void Model::init(Rng& rng) {
@@ -20,15 +26,20 @@ std::size_t Model::num_params() const {
 }
 
 Tensor Model::forward(const Tensor& input) {
-  Tensor current = input;
-  for (auto& layer : layers_) current = layer->forward(current);
+  if (layers_.empty()) return input;
+  Tensor current = layers_.front()->forward(input);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    current = layers_[i]->forward(current);
+  }
   return current;
 }
 
 void Model::backward(const Tensor& loss_grad) {
-  Tensor current = loss_grad;
+  const Tensor* upstream = &loss_grad;
+  Tensor current;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    current = (*it)->backward(current);
+    current = (*it)->backward(*upstream);
+    upstream = &current;
   }
 }
 
@@ -37,19 +48,21 @@ void Model::backward(const Tensor& loss_grad, std::span<double> flat_grads,
   if (flat_grads.size() != num_params()) {
     throw std::invalid_argument("backward: flat gradient size mismatch");
   }
-  std::vector<std::size_t> offsets(layers_.size());
+  offsets_.resize(layers_.size());
   std::size_t offset = 0;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    offsets[i] = offset;
+    offsets_[i] = offset;
     offset += layers_[i]->num_params();
   }
-  Tensor current = loss_grad;
+  const Tensor* upstream = &loss_grad;
+  Tensor current;
   for (std::size_t i = layers_.size(); i-- > 0;) {
-    current = layers_[i]->backward(current);
+    current = layers_[i]->backward(*upstream);
+    upstream = &current;
     const std::size_t n = layers_[i]->num_params();
     if (n == 0) continue;
-    layers_[i]->copy_grads({flat_grads.data() + offsets[i], n});
-    if (on_ready) on_ready(offsets[i], n);
+    layers_[i]->copy_grads({flat_grads.data() + offsets_[i], n});
+    if (on_ready) on_ready(offsets_[i], n);
   }
 }
 
@@ -59,6 +72,14 @@ void Model::zero_grads() {
 
 std::vector<double> Model::flat_params() const {
   std::vector<double> out(num_params());
+  copy_flat_params(out);
+  return out;
+}
+
+void Model::copy_flat_params(std::span<double> out) const {
+  if (out.size() != num_params()) {
+    throw std::invalid_argument("copy_flat_params: size mismatch");
+  }
   std::size_t offset = 0;
   for (const auto& layer : layers_) {
     const std::size_t n = layer->num_params();
@@ -66,10 +87,9 @@ std::vector<double> Model::flat_params() const {
     layer->copy_params({out.data() + offset, n});
     offset += n;
   }
-  return out;
 }
 
-void Model::set_flat_params(const std::vector<double>& params) {
+void Model::set_flat_params(std::span<const double> params) {
   if (params.size() != num_params()) {
     throw std::invalid_argument("set_flat_params: size mismatch");
   }
@@ -99,8 +119,11 @@ Model make_mlp(std::size_t input_dim, std::size_t hidden_dim,
   Model model;
   std::size_t in = input_dim;
   for (std::size_t i = 0; i < depth; ++i) {
-    model.add(std::make_unique<Linear>(in, hidden_dim));
-    model.add(std::make_unique<ReLU>());
+    // Fused linear+ReLU: same parameters, init order and gradient
+    // layout as the former Linear/ReLU pair (ReLU had no params), one
+    // kernel launch instead of two.
+    model.add(
+        std::make_unique<Linear>(in, hidden_dim, kernels::Activation::kReLU));
     in = hidden_dim;
   }
   model.add(std::make_unique<Linear>(in, classes));
@@ -130,8 +153,8 @@ Model make_mlp_regressor(std::size_t input_dim, std::size_t hidden_dim,
   Model model;
   std::size_t in = input_dim;
   for (std::size_t i = 0; i < depth; ++i) {
-    model.add(std::make_unique<Linear>(in, hidden_dim));
-    model.add(std::make_unique<Tanh>());
+    model.add(
+        std::make_unique<Linear>(in, hidden_dim, kernels::Activation::kTanh));
     in = hidden_dim;
   }
   model.add(std::make_unique<Linear>(in, 1));

@@ -29,6 +29,10 @@ class Model {
   /// Appends a layer; returns *this for chaining.
   Model& add(std::unique_ptr<Layer> layer);
 
+  /// Attaches the kernel execution context (borrowed) to every layer,
+  /// present and future. Null restores the naive/heap default.
+  void set_context(const kernels::Context* ctx);
+
   /// Initializes all parameterized layers.
   void init(Rng& rng);
 
@@ -50,13 +54,22 @@ class Model {
   void zero_grads();
 
   std::vector<double> flat_params() const;
-  void set_flat_params(const std::vector<double>& params);
+  /// Allocation-free variant: `out` must have num_params() elements.
+  void copy_flat_params(std::span<double> out) const;
+  void set_flat_params(std::span<const double> params);
+  void set_flat_params(const std::vector<double>& params) {
+    set_flat_params(std::span<const double>(params));
+  }
   std::vector<double> flat_grads() const;
 
   std::size_t num_layers() const { return layers_.size(); }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  const kernels::Context* ctx_ = nullptr;
+  // Flat-offset scratch for the streamed backward; a member so the
+  // steady state reuses its capacity instead of allocating per step.
+  std::vector<std::size_t> offsets_;
 };
 
 /// A small MLP classifier: input -> hidden (ReLU) x depth -> classes.

@@ -13,18 +13,16 @@ Sgd::Sgd(double momentum, double weight_decay)
 }
 
 void Sgd::step(std::span<double> params, std::span<const double> grads,
-               double lr) {
+               double lr, const kernels::Context* ctx) {
   if (params.size() != grads.size()) {
     throw std::invalid_argument("Sgd::step: size mismatch");
   }
   if (velocity_.size() != params.size()) {
     velocity_.assign(params.size(), 0.0);
   }
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    const double g = grads[i] + weight_decay_ * params[i];
-    velocity_[i] = momentum_ * velocity_[i] + g;
-    params[i] -= lr * velocity_[i];
-  }
+  const kernels::Context& kc = kernels::ctx_or_default(ctx);
+  kc.k().sgd_step(params.data(), grads.data(), velocity_.data(), params.size(),
+                  lr, momentum_, weight_decay_, kc.pool);
 }
 
 void Sgd::reset() { velocity_.clear(); }
@@ -51,7 +49,7 @@ Adam::Adam(double beta1, double beta2, double eps, double weight_decay,
       decoupled_(decoupled) {}
 
 void Adam::step(std::span<double> params, std::span<const double> grads,
-                double lr) {
+                double lr, const kernels::Context* ctx) {
   if (params.size() != grads.size()) {
     throw std::invalid_argument("Adam::step: size mismatch");
   }
@@ -63,16 +61,10 @@ void Adam::step(std::span<double> params, std::span<const double> grads,
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    double g = grads[i];
-    if (!decoupled_) g += weight_decay_ * params[i];
-    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * g;
-    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * g * g;
-    const double m_hat = m_[i] / bc1;
-    const double v_hat = v_[i] / bc2;
-    params[i] -= lr * m_hat / (std::sqrt(v_hat) + eps_);
-    if (decoupled_) params[i] -= lr * weight_decay_ * params[i];
-  }
+  const kernels::Context& kc = kernels::ctx_or_default(ctx);
+  kc.k().adam_step(params.data(), grads.data(), m_.data(), v_.data(),
+                   params.size(), lr, beta1_, beta2_, bc1, bc2, eps_,
+                   weight_decay_, decoupled_, kc.pool);
 }
 
 void Adam::reset() {

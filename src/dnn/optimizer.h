@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "dnn/kernels/kernels.h"
+
 namespace cannikin::dnn {
 
 /// Snapshot of an optimizer's mutable state: the moment/velocity slot
@@ -21,9 +23,16 @@ struct OptimizerState {
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
-  /// Applies one update in place; `grads` has the same length as params.
+  /// Applies one update in place; `grads` has the same length as
+  /// params. The context selects the update kernel (null = naive
+  /// reference); the element-wise math is identical either way.
   virtual void step(std::span<double> params, std::span<const double> grads,
-                    double lr) = 0;
+                    double lr, const kernels::Context* ctx) = 0;
+  /// Convenience overload on the default (naive, serial) context.
+  void step(std::span<double> params, std::span<const double> grads,
+            double lr) {
+    step(params, grads, lr, nullptr);
+  }
   virtual void reset() = 0;
 
   /// Checkpoint support: capture and restore the mutable slot state.
@@ -36,8 +45,9 @@ class Optimizer {
 class Sgd : public Optimizer {
  public:
   explicit Sgd(double momentum = 0.9, double weight_decay = 0.0);
+  using Optimizer::step;
   void step(std::span<double> params, std::span<const double> grads,
-            double lr) override;
+            double lr, const kernels::Context* ctx) override;
   void reset() override;
   OptimizerState state() const override;
   void set_state(const OptimizerState& state) override;
@@ -52,8 +62,9 @@ class Adam : public Optimizer {
  public:
   Adam(double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8,
        double weight_decay = 0.0, bool decoupled = false);
+  using Optimizer::step;
   void step(std::span<double> params, std::span<const double> grads,
-            double lr) override;
+            double lr, const kernels::Context* ctx) override;
   void reset() override;
   OptimizerState state() const override;
   void set_state(const OptimizerState& state) override;

@@ -12,6 +12,8 @@
 #include "comm/collectives.h"
 #include "comm/process_group.h"
 #include "core/hetero_dataloader.h"
+#include "dnn/kernels/arena.h"
+#include "dnn/kernels/thread_pool.h"
 #include "dnn/loss.h"
 
 namespace cannikin::dnn {
@@ -110,7 +112,17 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
   std::vector<PhaseAccum> accums(static_cast<std::size_t>(options_.num_nodes));
 
   auto worker_body = [&](int rank, comm::Communicator& comm) {
+    // Kernel context: declared before the model so it outlives every
+    // layer holding a pointer to it. The arena recycles all per-step
+    // tensor workspaces; after warmup no step touches the heap.
+    kernels::ThreadPool pool(options_.kernel_threads);
+    kernels::Arena arena;
+    const kernels::Context kctx{&kernels::kernel(options_.kernel_kind),
+                                pool.size() > 1 ? &pool : nullptr,
+                                options_.kernel_use_arena ? arena.resource()
+                                                          : nullptr};
     Model model = factory_();
+    model.set_context(&kctx);
     model.set_flat_params(params_);
     Optimizer& optimizer = *optimizers_[static_cast<std::size_t>(rank)];
     PhaseAccum& accum = accums[static_cast<std::size_t>(rank)];
@@ -124,7 +136,15 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
                                   .add("num_batches", num_batches));
     }
 
+    // Steady-state buffers: sized once, reused every batch.
+    std::vector<double> gradient(params_.size(), 0.0);
+    std::vector<double> local_params(params_.size(), 0.0);
+    std::vector<double> stats(4, 0.0);
+
     for (int batch = 0; batch < num_batches; ++batch) {
+      // Recycle every tensor workspace handed out last step (layer
+      // caches are re-assigned by the next forward before any read).
+      arena.reset();
       if (rank == options_.inject_failure_rank &&
           batch >= options_.inject_failure_step) {
         // Simulated worker death: stop participating without notice.
@@ -154,7 +174,7 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
       const double weight =
           static_cast<double>(local_b) / static_cast<double>(actual_total);
 
-      std::vector<double> gradient(params_.size(), 0.0);
+      std::fill(gradient.begin(), gradient.end(), 0.0);
       comm::BucketReducer reducer(comm, std::span<double>(gradient), weight,
                                   buckets, bucket_tag);
 
@@ -170,16 +190,16 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
               "trainer", "forward",
               obs::ArgList().add("batch", batch).add("local_b", local_b));
         }
-        const Tensor inputs = train_->gather(indices);
+        const Tensor inputs = train_->gather(indices, kctx.resource());
         const Tensor outputs = model.forward(inputs);
         LossResult loss;
         if (options_.task == Task::kClassification) {
           const auto labels = train_->gather_labels(indices);
-          loss = softmax_cross_entropy(outputs, labels);
+          loss = softmax_cross_entropy(outputs, labels, &kctx);
           local_correct = accuracy(outputs, labels) * local_b;
         } else {
           const auto targets = train_->gather_targets(indices);
-          loss = bce_with_logits(outputs, targets);
+          loss = bce_with_logits(outputs, targets, &kctx);
           for (std::size_t i = 0; i < targets.size(); ++i) {
             const bool predicted = outputs[i] > 0.0;
             if (predicted == (targets[i] > 0.5)) local_correct += 1.0;
@@ -221,8 +241,10 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
       const double global_norm_sq = squared_norm(gradient);
 
       // Statistics: gather per-node batch sizes, norms and losses.
-      std::vector<double> stats{static_cast<double>(local_b), local_norm_sq,
-                                local_loss * local_b, local_correct};
+      stats[0] = static_cast<double>(local_b);
+      stats[1] = local_norm_sq;
+      stats[2] = local_loss * local_b;
+      stats[3] = local_correct;
       const std::vector<double> all_stats =
           comm::all_gather(comm, stats, gather_tag);
 
@@ -233,9 +255,9 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
         update_span = scope.span("trainer", "update",
                                  obs::ArgList().add("batch", batch));
       }
-      std::vector<double> new_params = model.flat_params();
-      optimizer.step(new_params, gradient, lr);
-      model.set_flat_params(new_params);
+      model.copy_flat_params(local_params);
+      optimizer.step(local_params, gradient, lr, &kctx);
+      model.set_flat_params(std::span<const double>(local_params));
       accum.a_seconds += seconds_since(update_begin);
       update_span.close();
 
@@ -351,7 +373,12 @@ EpochResult ParallelTrainer::run_epoch(const std::vector<int>& local_batches) {
 
 double ParallelTrainer::evaluate_accuracy(
     const InMemoryDataset& dataset) const {
+  kernels::Arena arena;
+  const kernels::Context kctx{
+      &kernels::kernel(options_.kernel_kind), nullptr,
+      options_.kernel_use_arena ? arena.resource() : nullptr};
   Model model = factory_();
+  model.set_context(&kctx);
   model.set_flat_params(params_);
   std::vector<std::size_t> indices(dataset.size());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
@@ -359,9 +386,11 @@ double ParallelTrainer::evaluate_accuracy(
   double correct = 0.0;
   const std::size_t chunk = 256;
   for (std::size_t begin = 0; begin < indices.size(); begin += chunk) {
+    arena.reset();
     const std::size_t end = std::min(begin + chunk, indices.size());
     std::span<const std::size_t> slice(indices.data() + begin, end - begin);
-    const Tensor outputs = model.forward(dataset.gather(slice));
+    const Tensor outputs =
+        model.forward(dataset.gather(slice, kctx.resource()));
     if (options_.task == Task::kClassification) {
       const auto labels = dataset.gather_labels(slice);
       correct += accuracy(outputs, labels) * static_cast<double>(slice.size());
@@ -376,7 +405,12 @@ double ParallelTrainer::evaluate_accuracy(
 }
 
 double ParallelTrainer::evaluate_loss(const InMemoryDataset& dataset) const {
+  kernels::Arena arena;
+  const kernels::Context kctx{
+      &kernels::kernel(options_.kernel_kind), nullptr,
+      options_.kernel_use_arena ? arena.resource() : nullptr};
   Model model = factory_();
+  model.set_context(&kctx);
   model.set_flat_params(params_);
   std::vector<std::size_t> indices(dataset.size());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
@@ -384,14 +418,17 @@ double ParallelTrainer::evaluate_loss(const InMemoryDataset& dataset) const {
   double total = 0.0;
   const std::size_t chunk = 256;
   for (std::size_t begin = 0; begin < indices.size(); begin += chunk) {
+    arena.reset();
     const std::size_t end = std::min(begin + chunk, indices.size());
     std::span<const std::size_t> slice(indices.data() + begin, end - begin);
-    const Tensor outputs = model.forward(dataset.gather(slice));
+    const Tensor outputs =
+        model.forward(dataset.gather(slice, kctx.resource()));
     LossResult loss;
     if (options_.task == Task::kClassification) {
-      loss = softmax_cross_entropy(outputs, dataset.gather_labels(slice));
+      loss =
+          softmax_cross_entropy(outputs, dataset.gather_labels(slice), &kctx);
     } else {
-      loss = bce_with_logits(outputs, dataset.gather_targets(slice));
+      loss = bce_with_logits(outputs, dataset.gather_targets(slice), &kctx);
     }
     total += loss.value * static_cast<double>(slice.size());
   }

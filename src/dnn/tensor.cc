@@ -1,33 +1,49 @@
 #include "dnn/tensor.h"
 
-#include <numeric>
+#include <algorithm>
+
+#include "dnn/kernels/kernels.h"
 
 namespace cannikin::dnn {
 
 namespace {
 
-std::size_t shape_size(const std::vector<std::size_t>& shape) {
+std::size_t shape_size(std::span<const std::size_t> shape) {
   std::size_t total = 1;
   for (std::size_t d : shape) total *= d;
   return shape.empty() ? 0 : total;
 }
 
-}  // namespace
-
-Tensor::Tensor(std::vector<std::size_t> shape, double fill)
-    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {
-  if (shape_.empty()) {
-    throw std::invalid_argument("Tensor: empty shape");
-  }
+std::pmr::memory_resource* or_default(std::pmr::memory_resource* mr) {
+  return mr != nullptr ? mr : std::pmr::get_default_resource();
 }
 
-Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+}  // namespace
+
+Tensor::Tensor(std::span<const std::size_t> shape, double fill,
+               std::pmr::memory_resource* mr)
+    : data_(shape_size(shape), fill, or_default(mr)) {
+  if (shape.empty() || shape.size() > kMaxRank) {
+    throw std::invalid_argument("Tensor: shape rank must be in [1, 8]");
+  }
+  rank_ = shape.size();
+  std::copy(shape.begin(), shape.end(), shape_.begin());
+}
+
+void Tensor::assign(const Tensor& other, std::pmr::memory_resource* mr) {
+  if (this == &other) return;
+  shape_ = other.shape_;
+  rank_ = other.rank_;
+  data_.~vector();
+  new (&data_) std::pmr::vector<double>(other.data_, or_default(mr));
+}
+
+Tensor Tensor::reshaped(std::span<const std::size_t> shape) const {
   if (shape_size(shape) != size()) {
     throw std::invalid_argument("Tensor::reshaped: size mismatch");
   }
-  Tensor out;
-  out.shape_ = std::move(shape);
-  out.data_ = data_;
+  Tensor out(shape, 0.0, data_.get_allocator().resource());
+  std::copy(data_.begin(), data_.end(), out.data_.begin());
   return out;
 }
 
@@ -35,58 +51,40 @@ void Tensor::fill(double value) {
   for (double& v : data_) v = value;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+Tensor matmul(const Tensor& a, const Tensor& b, const kernels::Context* ctx) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
     throw std::invalid_argument("matmul: shape mismatch");
   }
+  const kernels::Context& kc = kernels::ctx_or_default(ctx);
   const std::size_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(1);
-  Tensor c = Tensor::matrix(rows, cols);
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t k = 0; k < inner; ++k) {
-      const double v = a.at(r, k);
-      if (v == 0.0) continue;
-      const double* brow = b.data() + k * cols;
-      double* crow = c.data() + r * cols;
-      for (std::size_t col = 0; col < cols; ++col) crow[col] += v * brow[col];
-    }
-  }
+  Tensor c = Tensor::matrix(rows, cols, 0.0, kc.resource());
+  kc.k().matmul_nn(a.data(), b.data(), c.data(), rows, inner, cols, kc.pool);
   return c;
 }
 
-Tensor matmul_transposed(const Tensor& a, const Tensor& b) {
+Tensor matmul_transposed(const Tensor& a, const Tensor& b,
+                         const kernels::Context* ctx) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
     throw std::invalid_argument("matmul_transposed: shape mismatch");
   }
+  const kernels::Context& kc = kernels::ctx_or_default(ctx);
   const std::size_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(0);
-  Tensor c = Tensor::matrix(rows, cols);
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t col = 0; col < cols; ++col) {
-      double total = 0.0;
-      const double* arow = a.data() + r * inner;
-      const double* brow = b.data() + col * inner;
-      for (std::size_t k = 0; k < inner; ++k) total += arow[k] * brow[k];
-      c.at(r, col) = total;
-    }
-  }
+  Tensor c = Tensor::matrix(rows, cols, 0.0, kc.resource());
+  kc.k().linear(a.data(), b.data(), nullptr, c.data(), rows, inner, cols,
+                kernels::Activation::kNone, kc.pool, kc.resource());
   return c;
 }
 
-Tensor transposed_matmul(const Tensor& a, const Tensor& b) {
+Tensor transposed_matmul(const Tensor& a, const Tensor& b,
+                         const kernels::Context* ctx) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
     throw std::invalid_argument("transposed_matmul: shape mismatch");
   }
+  const kernels::Context& kc = kernels::ctx_or_default(ctx);
   const std::size_t rows = a.dim(1), inner = a.dim(0), cols = b.dim(1);
-  Tensor c = Tensor::matrix(rows, cols);
-  for (std::size_t k = 0; k < inner; ++k) {
-    const double* arow = a.data() + k * rows;
-    const double* brow = b.data() + k * cols;
-    for (std::size_t r = 0; r < rows; ++r) {
-      const double v = arow[r];
-      if (v == 0.0) continue;
-      double* crow = c.data() + r * cols;
-      for (std::size_t col = 0; col < cols; ++col) crow[col] += v * brow[col];
-    }
-  }
+  Tensor c = Tensor::matrix(rows, cols, 0.0, kc.resource());
+  kc.k().matmul_tn_acc(a.data(), b.data(), c.data(), rows, inner, cols,
+                       kc.pool);
   return c;
 }
 

@@ -15,6 +15,7 @@
 
 #include "comm/backend.h"
 #include "core/gns.h"
+#include "dnn/kernels/kernels.h"
 #include "dnn/optimizer.h"
 #include "obs/scope.h"
 #include "sim/network.h"
@@ -64,6 +65,18 @@ struct CommonTrainerOptions {
   /// forward/backward/update spans, the comm engines trace every
   /// collective, and phase timings flow into the metrics registry.
   obs::Scope obs;
+  /// Compute-kernel backend for forward/backward/update. kOptimized is
+  /// bitwise identical to kNaive on the single-thread deterministic
+  /// path (see DESIGN.md "Compute kernels"); kNaive remains available
+  /// as the reference for parity checks and debugging.
+  kernels::KernelKind kernel_kind = kernels::KernelKind::kOptimized;
+  /// Intra-rank threads for batch-parallel kernels; 1 = serial
+  /// (deterministic tier). Values > 1 keep a static partition that is
+  /// bitwise stable across thread counts for the built-in kernels.
+  int kernel_threads = 1;
+  /// Route per-step tensor workspaces through a per-rank bump arena so
+  /// steady-state training does zero heap allocations per step.
+  bool kernel_use_arena = true;
 };
 
 }  // namespace cannikin::dnn

@@ -66,8 +66,8 @@ ZooEntry make_imagenet_standin(std::size_t dataset_size, std::uint64_t seed) {
     model.add(std::make_unique<ReLU>());
     model.add(std::make_unique<MaxPool2x2>());
     model.add(std::make_unique<Flatten>());
-    model.add(std::make_unique<Linear>(12 * 2 * 2, 16));
-    model.add(std::make_unique<ReLU>());
+    model.add(std::make_unique<Linear>(12 * 2 * 2, 16,
+                                       kernels::Activation::kReLU));
     model.add(std::make_unique<Linear>(16, 16));
     return model;
   };
@@ -127,8 +127,8 @@ ZooEntry make_neumf_standin(std::size_t dataset_size, std::size_t num_users,
   entry.factory = [vocab, latent] {
     Model model;
     model.add(std::make_unique<Embedding>(vocab, latent));
-    model.add(std::make_unique<Linear>(2 * latent, 16));
-    model.add(std::make_unique<ReLU>());
+    model.add(
+        std::make_unique<Linear>(2 * latent, 16, kernels::Activation::kReLU));
     model.add(std::make_unique<Linear>(16, 1));
     return model;
   };

@@ -223,6 +223,54 @@ TEST(BackendParity, ParallelTrainerEpochsMatchBitwise) {
   }
 }
 
+TEST(BackendParity, KernelBackendsBitwiseIdenticalTraining) {
+  // Deterministic-tier contract, end to end: two epochs of the full
+  // trainer with the naive and the optimized kernel backend (single
+  // intra-rank thread, arena on and off) must leave bitwise identical
+  // parameters -- on both comm backends. Flipping the compute kernels
+  // or the allocator must never change a training trajectory.
+  const auto dataset = dnn::make_gaussian_mixture(240, 10, 3, 3.5, 42);
+  auto factory = [] { return dnn::make_mlp(10, 16, 1, 3); };
+  for (const BackendKind comm_kind :
+       {BackendKind::kThread, BackendKind::kEvent}) {
+    std::vector<std::vector<double>> params;
+    struct KernelConfig {
+      dnn::kernels::KernelKind kind;
+      bool arena;
+    };
+    const KernelConfig configs[] = {
+        {dnn::kernels::KernelKind::kNaive, false},
+        {dnn::kernels::KernelKind::kNaive, true},
+        {dnn::kernels::KernelKind::kOptimized, false},
+        {dnn::kernels::KernelKind::kOptimized, true},
+    };
+    for (const KernelConfig& config : configs) {
+      dnn::TrainerOptions options;
+      options.num_nodes = 3;
+      options.base_lr = 0.05;
+      options.lr_scaling = dnn::LrScaling::kNone;
+      options.initial_total_batch = 60;
+      options.seed = 7;
+      options.comm_backend = comm_kind;
+      options.kernel_kind = config.kind;
+      options.kernel_threads = 1;
+      options.kernel_use_arena = config.arena;
+      dnn::ParallelTrainer trainer(&dataset, factory, options);
+      trainer.run_epoch({30, 20, 10});
+      trainer.run_epoch({20, 20, 20});
+      params.push_back(trainer.params());
+    }
+    for (std::size_t which = 1; which < params.size(); ++which) {
+      ASSERT_EQ(params[which].size(), params[0].size());
+      for (std::size_t i = 0; i < params[0].size(); ++i) {
+        ASSERT_EQ(params[which][i], params[0][i])
+            << "config " << which << " comm backend "
+            << static_cast<int>(comm_kind) << " param " << i;
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------ fault semantics
 
 TEST(EventBackend, AbortWakesBlockedRecvAndFailsPendingWork) {

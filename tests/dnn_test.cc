@@ -16,6 +16,11 @@
 namespace cannikin::dnn {
 namespace {
 
+// Tensor::shape() is a span view; materialize it for gtest comparisons.
+std::vector<std::size_t> shape_of(const Tensor& t) {
+  return {t.shape().begin(), t.shape().end()};
+}
+
 // ----------------------------------------------------------------- tensor
 
 TEST(Tensor, ShapeAndFill) {
@@ -25,6 +30,26 @@ TEST(Tensor, ShapeAndFill) {
   t.fill(0.0);
   EXPECT_DOUBLE_EQ(t[5], 0.0);
   EXPECT_THROW(Tensor(std::vector<std::size_t>{}), std::invalid_argument);
+}
+
+// Satellite: Tensor::at long claimed debug bounds checks; they are now
+// real assert()s. In release builds (NDEBUG) they compile out to keep
+// the hot path free, so the death test only runs in assert-enabled
+// builds. The in-range accesses below must work in every build type.
+TEST(Tensor, AtBoundsChecks) {
+  Tensor t({2, 3}, 0.0);
+  t.at(0, 0) = 1.0;
+  t.at(1, 2) = 2.0;
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 2.0);
+#ifdef NDEBUG
+  GTEST_SKIP() << "assert() bounds checks compile out under NDEBUG";
+#else
+  EXPECT_DEATH(t.at(2, 0), "");          // row out of range
+  EXPECT_DEATH(t.at(0, 3), "");          // column out of range
+  Tensor vec({4});
+  EXPECT_DEATH(vec.at(0, 0), "");        // rank-2 accessor on rank-1 tensor
+#endif
 }
 
 TEST(Tensor, ReshapePreservesData) {
@@ -194,12 +219,12 @@ TEST(Conv2d, OutputShapeWithPadding) {
   Conv2d same(1, 2, 3, 1);
   same.init(rng);
   const Tensor out = same.forward(random_tensor({1, 1, 8, 8}, rng));
-  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{1, 2, 8, 8}));
+  EXPECT_EQ(shape_of(out), (std::vector<std::size_t>{1, 2, 8, 8}));
 
   Conv2d valid(1, 2, 3, 0);
   valid.init(rng);
   const Tensor out2 = valid.forward(random_tensor({1, 1, 8, 8}, rng));
-  EXPECT_EQ(out2.shape(), (std::vector<std::size_t>{1, 2, 6, 6}));
+  EXPECT_EQ(shape_of(out2), (std::vector<std::size_t>{1, 2, 6, 6}));
 }
 
 TEST(AvgPool2x2, ForwardAveragesAndBackwardCheck) {
@@ -221,9 +246,9 @@ TEST(Flatten, RoundTrip) {
   Flatten flatten;
   const Tensor input = random_tensor({2, 3, 4, 4}, rng);
   const Tensor out = flatten.forward(input);
-  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{2, 48}));
+  EXPECT_EQ(shape_of(out), (std::vector<std::size_t>{2, 48}));
   const Tensor back = flatten.backward(out);
-  EXPECT_EQ(back.shape(), input.shape());
+  EXPECT_EQ(shape_of(back), shape_of(input));
 }
 
 // ----------------------------------------------------------------- losses
@@ -326,7 +351,7 @@ TEST(Model, CnnForwardShape) {
   Model model = make_cnn(3, 8, 8, 4, 10);
   model.init(rng);
   const Tensor out = model.forward(random_tensor({2, 3, 8, 8}, rng));
-  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{2, 10}));
+  EXPECT_EQ(shape_of(out), (std::vector<std::size_t>{2, 10}));
   EXPECT_THROW(make_cnn(3, 9, 8, 4, 10), std::invalid_argument);
 }
 

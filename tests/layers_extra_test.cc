@@ -72,7 +72,9 @@ TEST(Embedding, LooksUpRowsAndConcatenates) {
   ids.at(1, 0) = 0;
   ids.at(1, 1) = 0;
   const Tensor out = embedding.forward(ids);
-  ASSERT_EQ(out.shape(), (std::vector<std::size_t>{2, 6}));
+  const std::vector<std::size_t> out_shape(out.shape().begin(),
+                                           out.shape().end());
+  ASSERT_EQ(out_shape, (std::vector<std::size_t>{2, 6}));
   EXPECT_DOUBLE_EQ(out.at(0, 0), 3.0);   // row 1 starts at 3
   EXPECT_DOUBLE_EQ(out.at(0, 3), 12.0);  // row 4 starts at 12
   EXPECT_DOUBLE_EQ(out.at(1, 5), 2.0);   // row 0 third element
@@ -277,7 +279,9 @@ TEST(Zoo, NeumfEmbeddingModelShapes) {
   const Tensor inputs =
       entry.dataset->gather(std::span<const std::size_t>(idx, 3));
   const Tensor out = model.forward(inputs);
-  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{3, 1}));
+  const std::vector<std::size_t> out_shape(out.shape().begin(),
+                                           out.shape().end());
+  EXPECT_EQ(out_shape, (std::vector<std::size_t>{3, 1}));
 }
 
 }  // namespace
