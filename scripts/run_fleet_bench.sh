@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Fleet-scheduling gate: builds and runs the disc_fleet bench binary,
+# which replays a 120-job Poisson trace over heterogeneous cluster B
+# through all three scheduling policies, writes BENCH_fleet.json, and
+# exits non-zero if the goodput-greedy policy fails to improve mean JCT
+# over the FIFO baseline (the hard floor that catches a regressed
+# packer or a broken preemption path). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)" --target disc_fleet
+
+./build/bench/disc_fleet
+
+echo "fleet bench gate passed (see BENCH_fleet.json)"

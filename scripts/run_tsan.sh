@@ -34,3 +34,8 @@ ctest --test-dir build-tsan -L chaos --output-on-failure -j "$(nproc)"
 # condition variable, caller-executes-chunk-0) plus the threaded
 # parity sweep across pool sizes is the newest shared-state surface.
 ctest --test-dir build-tsan -L dnn --output-on-failure -j "$(nproc)"
+
+# Fleet scheduler: the determinism test (same trace + policy + seed
+# must give bit-identical virtual-time metrics) doubles as a race
+# detector for the event loop and supervisor preempt/resume paths.
+ctest --test-dir build-tsan -L fleet --output-on-failure -j "$(nproc)"

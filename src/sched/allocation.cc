@@ -1,0 +1,149 @@
+#include "sched/allocation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cannikin::sched {
+
+Allocation::Allocation(int num_nodes) {
+  if (num_nodes < 1) {
+    throw std::invalid_argument("Allocation: num_nodes must be >= 1");
+  }
+  owner_.assign(static_cast<std::size_t>(num_nodes), kNoJob);
+}
+
+JobId Allocation::job_of(int node) const {
+  if (node < 0 || node >= num_nodes()) {
+    throw std::invalid_argument("Allocation::job_of: bad node id " +
+                                std::to_string(node));
+  }
+  return owner_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int> Allocation::nodes_of(JobId job) const {
+  std::vector<int> nodes;
+  for (int node = 0; node < num_nodes(); ++node) {
+    if (owner_[static_cast<std::size_t>(node)] == job) nodes.push_back(node);
+  }
+  return nodes;
+}
+
+std::vector<int> Allocation::free_nodes() const { return nodes_of(kNoJob); }
+
+std::vector<JobId> Allocation::jobs() const {
+  std::vector<JobId> jobs;
+  for (JobId job : owner_) {
+    if (job != kNoJob) jobs.push_back(job);
+  }
+  std::sort(jobs.begin(), jobs.end());
+  jobs.erase(std::unique(jobs.begin(), jobs.end()), jobs.end());
+  return jobs;
+}
+
+int Allocation::size_of(JobId job) const {
+  return static_cast<int>(
+      std::count(owner_.begin(), owner_.end(), job));
+}
+
+bool Allocation::empty() const {
+  return std::all_of(owner_.begin(), owner_.end(),
+                     [](JobId job) { return job == kNoJob; });
+}
+
+void Allocation::assign(JobId job, const std::vector<int>& nodes) {
+  if (job < 0) {
+    throw std::invalid_argument("Allocation::assign: job id must be >= 0");
+  }
+  // Validate the whole batch before mutating anything, so a failed
+  // assign leaves the allocation untouched.
+  for (int node : nodes) {
+    if (node < 0 || node >= num_nodes()) {
+      throw std::invalid_argument("Allocation::assign: bad node id " +
+                                  std::to_string(node));
+    }
+    const JobId current = owner_[static_cast<std::size_t>(node)];
+    if (current != kNoJob && current != job) {
+      throw std::logic_error("Allocation::assign: node " +
+                             std::to_string(node) + " already owned by job " +
+                             std::to_string(current));
+    }
+  }
+  for (int node : nodes) owner_[static_cast<std::size_t>(node)] = job;
+}
+
+void Allocation::release(JobId job) {
+  if (job == kNoJob) return;
+  for (JobId& owner : owner_) {
+    if (owner == job) owner = kNoJob;
+  }
+}
+
+void Allocation::clear() {
+  std::fill(owner_.begin(), owner_.end(), kNoJob);
+}
+
+AllocationDelta Allocation::diff(const Allocation& target) const {
+  if (target.num_nodes() != num_nodes()) {
+    throw std::invalid_argument(
+        "Allocation::diff: allocations cover different clusters (" +
+        std::to_string(num_nodes()) + " vs " +
+        std::to_string(target.num_nodes()) + " nodes)");
+  }
+  std::vector<JobId> touched;
+  for (int node = 0; node < num_nodes(); ++node) {
+    const JobId before = owner_[static_cast<std::size_t>(node)];
+    const JobId after = target.owner_[static_cast<std::size_t>(node)];
+    if (before == after) continue;
+    if (before != kNoJob) touched.push_back(before);
+    if (after != kNoJob) touched.push_back(after);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  AllocationDelta delta;
+  for (JobId job : touched) {
+    AllocationDelta::JobChange change;
+    change.job = job;
+    change.before = nodes_of(job);
+    change.after = target.nodes_of(job);
+    delta.changes.push_back(std::move(change));
+  }
+  return delta;
+}
+
+void Allocation::apply(const AllocationDelta& delta) {
+  for (const auto& change : delta.changes) {
+    if (nodes_of(change.job) != change.before) {
+      throw std::logic_error(
+          "Allocation::apply: stale delta for job " +
+          std::to_string(change.job) +
+          " (current node set differs from the delta's `before`)");
+    }
+  }
+  // Two phases so that nodes moving between jobs in the same delta do
+  // not trip the one-owner check in assign().
+  for (const auto& change : delta.changes) release(change.job);
+  for (const auto& change : delta.changes) assign(change.job, change.after);
+}
+
+std::string Allocation::to_string() const {
+  std::string out = "[";
+  for (int node = 0; node < num_nodes(); ++node) {
+    if (node > 0) out += ' ';
+    const JobId job = owner_[static_cast<std::size_t>(node)];
+    out += std::to_string(node) + ':';
+    out += job == kNoJob ? "-" : "j" + std::to_string(job);
+  }
+  out += ']';
+  return out;
+}
+
+const AllocationDelta::JobChange* AllocationDelta::change_for(
+    JobId job) const {
+  for (const auto& change : changes) {
+    if (change.job == job) return &change;
+  }
+  return nullptr;
+}
+
+}  // namespace cannikin::sched

@@ -1,0 +1,97 @@
+// Typed cluster allocation: which job owns which node.
+//
+// The scheduler layers used to pass raw `std::vector<int>` job-per-node
+// maps around, with -1 sentinels for free nodes and no way to ask "which
+// nodes does job J hold" without a linear scan at every call site.
+// Allocation is the one value type every placement decision flows
+// through now: it enforces the core invariant (every node owned by at
+// most one job) by construction, exposes both directions of the mapping
+// (`job_of` / `nodes_of`), and supports the policy/mechanism split via
+// diff/apply -- a policy returns a *target* Allocation, the fleet
+// mechanism diffs it against the live one and executes only the per-job
+// changes (grow, shrink, migrate, preempt, place).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cannikin::sched {
+
+/// Fleet-assigned job identifier (stable for the lifetime of a job).
+using JobId = int;
+constexpr JobId kNoJob = -1;
+
+struct AllocationDelta;
+
+class Allocation {
+ public:
+  Allocation() = default;
+  /// All `num_nodes` nodes start free. Throws when num_nodes < 1.
+  explicit Allocation(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(owner_.size()); }
+
+  /// Owner of `node`, or kNoJob when free. Throws on a bad node id.
+  JobId job_of(int node) const;
+
+  /// Node ids held by `job`, ascending. Empty when the job holds none.
+  std::vector<int> nodes_of(JobId job) const;
+
+  /// Node ids not owned by any job, ascending.
+  std::vector<int> free_nodes() const;
+
+  /// Distinct owning jobs, ascending. Free nodes contribute nothing.
+  std::vector<JobId> jobs() const;
+
+  int size_of(JobId job) const;
+  bool empty() const;  ///< true when every node is free
+
+  /// Gives `nodes` to `job`. Every node must currently be free or
+  /// already owned by `job`; claiming a node owned by another job
+  /// throws std::logic_error (release it first -- this is what keeps
+  /// "one owner per node" a construction-time invariant rather than a
+  /// convention). Throws std::invalid_argument on bad ids or job < 0.
+  void assign(JobId job, const std::vector<int>& nodes);
+
+  /// Frees every node owned by `job` (no-op when it owns none).
+  void release(JobId job);
+
+  void clear();
+
+  /// Changes needed to turn *this into `target` (same num_nodes
+  /// required). apply()ing the result to *this yields `target` exactly.
+  AllocationDelta diff(const Allocation& target) const;
+
+  /// Applies a delta produced by diff(). Throws std::logic_error when
+  /// the delta's `before` sets do not match this allocation (stale
+  /// delta).
+  void apply(const AllocationDelta& delta);
+
+  bool operator==(const Allocation& other) const {
+    return owner_ == other.owner_;
+  }
+  bool operator!=(const Allocation& other) const { return !(*this == other); }
+
+  /// Debug rendering, e.g. "[0:j2 1:j2 2:- 3:j0]".
+  std::string to_string() const;
+
+ private:
+  std::vector<JobId> owner_;  ///< node -> owning job, kNoJob = free
+};
+
+/// Per-job node-set changes between two allocations. Jobs whose node
+/// set is identical in both do not appear.
+struct AllocationDelta {
+  struct JobChange {
+    JobId job = kNoJob;
+    std::vector<int> before;  ///< nodes held in the source allocation
+    std::vector<int> after;   ///< nodes held in the target allocation
+  };
+  std::vector<JobChange> changes;  ///< ascending job id
+
+  bool empty() const { return changes.empty(); }
+  /// The change record for `job`, or nullptr when unchanged.
+  const JobChange* change_for(JobId job) const;
+};
+
+}  // namespace cannikin::sched

@@ -165,7 +165,8 @@ double ElasticCannikinJob::run_epoch() {
   ++epochs_;
 
   const double config_overhead =
-      plan.planning_seconds +
+      (modeled_planning_seconds_ >= 0.0 ? modeled_planning_seconds_
+                                        : plan.planning_seconds) +
       20e-9 * static_cast<double>(workload_->dataset_size) +
       5e-3 * job_->size();
   const double recovery_overhead = pending_recovery_overhead_;
@@ -363,6 +364,30 @@ Checkpoint ElasticCannikinJob::make_checkpoint() const {
 
 void ElasticCannikinJob::restore_from_checkpoint(
     const Checkpoint& ckpt, const std::vector<int>& exclude_nodes) {
+  std::vector<int> allocation;
+  for (int id : ckpt.allocation) {
+    if (std::find(exclude_nodes.begin(), exclude_nodes.end(), id) ==
+        exclude_nodes.end()) {
+      allocation.push_back(id);
+    }
+  }
+  if (allocation.empty()) {
+    throw std::runtime_error(
+        "restore_from_checkpoint: every checkpointed node is dead");
+  }
+  restore_impl(ckpt, allocation);
+}
+
+void ElasticCannikinJob::restore_to_allocation(
+    const Checkpoint& ckpt, const std::vector<int>& node_ids) {
+  if (node_ids.empty()) {
+    throw std::invalid_argument("restore_to_allocation: empty allocation");
+  }
+  restore_impl(ckpt, node_ids);
+}
+
+void ElasticCannikinJob::restore_impl(const Checkpoint& ckpt,
+                                      const std::vector<int>& allocation) {
   if (system_) {
     throw std::logic_error(
         "restore_from_checkpoint: restore into a fresh job, not a live one");
@@ -373,20 +398,11 @@ void ElasticCannikinJob::restore_from_checkpoint(
         std::to_string(ckpt.node_contention.size()) + " nodes vs " +
         std::to_string(full_cluster_.nodes.size()) + ")");
   }
-  std::vector<int> allocation;
-  for (int id : ckpt.allocation) {
+  for (int id : allocation) {
     if (id < 0 || id >= static_cast<int>(full_cluster_.nodes.size())) {
       throw std::runtime_error("restore_from_checkpoint: bad node id " +
                                std::to_string(id));
     }
-    if (std::find(exclude_nodes.begin(), exclude_nodes.end(), id) ==
-        exclude_nodes.end()) {
-      allocation.push_back(id);
-    }
-  }
-  if (allocation.empty()) {
-    throw std::runtime_error(
-        "restore_from_checkpoint: every checkpointed node is dead");
   }
 
   progress_ = ckpt.progress;

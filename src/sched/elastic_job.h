@@ -31,6 +31,10 @@ struct RecoveryReport {
   sim::FaultEvent event;
   bool warm = false;  ///< crash only: survivors fully covered by the bank
   double overhead_seconds = 0.0;  ///< modeled restart/reconfig cost
+  /// Scheduler-initiated preemption, not a fault: recovery_metrics()
+  /// must not report it as a fault onset. `event` is meaningless when
+  /// set.
+  bool preemption = false;
 };
 
 class ElasticCannikinJob {
@@ -60,6 +64,16 @@ class ElasticCannikinJob {
   /// Number of reallocations whose nodes were fully covered by banked
   /// models (no bootstrap needed) -- observability for tests/benches.
   int warm_reallocations() const { return warm_reallocations_; }
+
+  /// By default each epoch's configuration overhead includes the
+  /// *measured* wall-clock planning time (the paper's Table 6
+  /// overhead), which makes virtual timings nondeterministic at the
+  /// microsecond scale. Discrete-event drivers that need bit-identical
+  /// replays (FleetSim) set a fixed modeled planning cost instead;
+  /// a negative value restores the measured default.
+  void set_modeled_planning_seconds(double seconds) {
+    modeled_planning_seconds_ = seconds;
+  }
 
   /// Failure-driven recovery: applies one fault event to the live job.
   ///  - node crash: banks the survivors' learned models, shrinks the
@@ -108,6 +122,15 @@ class ElasticCannikinJob {
   void restore_from_checkpoint(const Checkpoint& ckpt,
                                const std::vector<int>& exclude_nodes = {});
 
+  /// Migration restore: like restore_from_checkpoint, but places the
+  /// job on `node_ids` instead of the checkpointed node set (the fleet
+  /// scheduler preempted the job and is resuming it on different
+  /// hardware). Nodes whose hardware type the checkpointed bank has
+  /// seen warm-start with zero bootstrap epochs, exactly as in the
+  /// same-node path.
+  void restore_to_allocation(const Checkpoint& ckpt,
+                             const std::vector<int>& node_ids);
+
   int crash_recoveries() const { return crash_recoveries_; }
   /// Nodes re-admitted via kNodeRecover events.
   int node_rejoins() const { return node_rejoins_; }
@@ -124,6 +147,9 @@ class ElasticCannikinJob {
   int drift_resets() const;
 
  private:
+  /// Shared body of the two restore entry points.
+  void restore_impl(const Checkpoint& ckpt,
+                    const std::vector<int>& allocation);
   void bank_current_models();
   /// Copy of the bank with the live controller's models merged in --
   /// what bank_current_models() would produce, without mutating state.
@@ -146,6 +172,7 @@ class ElasticCannikinJob {
   std::unique_ptr<experiments::CannikinSystem> system_;
 
   ModelBank bank_;
+  double modeled_planning_seconds_ = -1.0;  ///< < 0: charge measured
   double progress_ = 0.0;
   int epochs_ = 0;
   int warm_reallocations_ = 0;

@@ -64,6 +64,9 @@ std::vector<RecoveryMetric> recovery_metrics(const FaultRecoveryTrace& trace,
   const int n = static_cast<int>(rows.size());
 
   for (const auto& report : trace.recoveries) {
+    // A scheduler-initiated preemption is deliberate resource motion,
+    // not a fault: it must not show up as a fault onset.
+    if (report.preemption) continue;
     const bool onset = report.event.kind == sim::FaultKind::kNodeCrash ||
                        report.event.severity < 1.0;
     if (!onset) continue;

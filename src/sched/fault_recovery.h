@@ -50,6 +50,12 @@ struct FaultRecoveryTrace {
   double restore_seconds = 0.0;           ///< measured wall clock
   double backoff_seconds = 0.0;           ///< charged retry waits
   bool gave_up = false;  ///< restore retry budget exhausted
+
+  // Scheduler-initiated preemptions (RecoveryReport::preemption set in
+  // `recoveries`); deliberately excluded from fault-onset analysis.
+  int preemptions = 0;
+  double preemption_restore_seconds = 0.0;  ///< measured wall clock
+  int epochs_lost_to_preemption = 0;
 };
 
 /// Per-fault recovery summary extracted from a trace.

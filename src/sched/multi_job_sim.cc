@@ -1,54 +1,13 @@
 #include "sched/multi_job_sim.h"
 
 #include <algorithm>
-#include <limits>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
-#include "common/logging.h"
+#include "sched/policy.h"
 
 namespace cannikin::sched {
-
-namespace {
-
-// Applies a full-cluster allocation vector (job index per node) to the
-// elastic jobs; only jobs whose node set changed are reconfigured.
-int apply_allocation(const std::vector<int>& allocation,
-                     std::vector<std::unique_ptr<ElasticCannikinJob>>& jobs) {
-  int reconfigured = 0;
-  for (std::size_t job = 0; job < jobs.size(); ++job) {
-    if (jobs[job] == nullptr || jobs[job]->done()) continue;
-    std::vector<int> nodes;
-    for (std::size_t node = 0; node < allocation.size(); ++node) {
-      if (allocation[node] == static_cast<int>(job)) {
-        nodes.push_back(static_cast<int>(node));
-      }
-    }
-    if (nodes.empty()) {
-      throw std::logic_error("apply_allocation: job starved of nodes");
-    }
-    if (jobs[job]->has_allocation() && jobs[job]->allocation() == nodes) {
-      continue;
-    }
-    jobs[job]->set_allocation(nodes);
-    ++reconfigured;
-  }
-  return reconfigured;
-}
-
-// Static contiguous partition proportional to nothing -- equal node
-// counts, in node order (the strawman a heterogeneity-blind scheduler
-// would produce).
-std::vector<int> static_partition(int num_nodes, int num_jobs) {
-  std::vector<int> allocation(static_cast<std::size_t>(num_nodes), -1);
-  for (int node = 0; node < num_nodes; ++node) {
-    allocation[static_cast<std::size_t>(node)] =
-        node * num_jobs / num_nodes;
-  }
-  return allocation;
-}
-
-}  // namespace
 
 MultiJobResult run_multi_job(
     const sim::ClusterSpec& cluster,
@@ -61,99 +20,38 @@ MultiJobResult run_multi_job(
     throw std::invalid_argument("run_multi_job: more jobs than nodes");
   }
 
-  std::vector<std::unique_ptr<ElasticCannikinJob>> jobs;
-  std::vector<JobOutcome> outcomes;
-  for (std::size_t i = 0; i < workload_list.size(); ++i) {
-    jobs.push_back(std::make_unique<ElasticCannikinJob>(
-        workload_list[i], cluster, options.noise,
-        options.seed + 977 * i, options.use_model_bank));
-    outcomes.push_back({workload_list[i]->name, 0.0, 0, 0, 0});
+  std::unique_ptr<SchedulingPolicy> policy;
+  if (options.policy == AllocationPolicy::kGoodputScheduler) {
+    policy = std::make_unique<GoodputGreedyPolicy>(cluster);
+  } else {
+    policy = std::make_unique<StaticPartitionPolicy>(
+        cluster.size(), static_cast<int>(workload_list.size()));
   }
 
-  GoodputScheduler scheduler(cluster);
+  FleetOptions fleet_options;
+  fleet_options.use_model_bank = options.use_model_bank;
+  fleet_options.max_epochs_per_job = options.max_epochs_per_job;
+  fleet_options.seed = options.seed;
+  fleet_options.noise = options.noise;
+  // Legacy runs trained in-process with no durability: only the
+  // epoch-0 checkpoint the supervisor always writes.
+  fleet_options.checkpoint_every_epochs = 0;
 
-  auto reallocate = [&] {
-    std::vector<SchedulerJobInfo> infos;
-    std::vector<std::size_t> active;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (jobs[i]->done()) continue;
-      active.push_back(i);
-      infos.push_back({&jobs[i]->workload(), jobs[i]->current_gns(), 1});
-    }
-    if (active.empty()) return;
-
-    std::vector<int> allocation;
-    if (options.policy == AllocationPolicy::kGoodputScheduler) {
-      const auto compact = scheduler.allocate(infos);
-      allocation.assign(compact.size(), -1);
-      for (std::size_t node = 0; node < compact.size(); ++node) {
-        if (compact[node] >= 0) {
-          allocation[node] =
-              static_cast<int>(active[static_cast<std::size_t>(compact[node])]);
-        }
-      }
-    } else {
-      const auto compact =
-          static_partition(cluster.size(), static_cast<int>(active.size()));
-      allocation.assign(compact.size(), -1);
-      for (std::size_t node = 0; node < compact.size(); ++node) {
-        allocation[node] =
-            static_cast<int>(active[static_cast<std::size_t>(compact[node])]);
-      }
-    }
-    const int reconfigured = apply_allocation(allocation, jobs);
-    for (std::size_t i : active) {
-      if (reconfigured > 0) ++outcomes[i].reallocations;
-    }
-  };
-
-  reallocate();
-
-  // Event-driven loop: per-job clocks advance one epoch at a time; the
-  // job with the earliest clock runs next, so concurrent jobs interleave
-  // correctly on the shared timeline.
-  std::vector<double> clocks(jobs.size(), 0.0);
-  int active_jobs = static_cast<int>(jobs.size());
-  int guard = 0;
-  const int guard_limit =
-      options.max_epochs_per_job * static_cast<int>(jobs.size());
-  while (active_jobs > 0 && guard++ < guard_limit) {
-    // Pick the unfinished job with the smallest clock.
-    std::size_t next = jobs.size();
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (jobs[i]->done()) continue;
-      if (clocks[i] < best) {
-        best = clocks[i];
-        next = i;
-      }
-    }
-    if (next == jobs.size()) break;
-
-    clocks[next] += jobs[next]->run_epoch();
-    if (jobs[next]->done()) {
-      outcomes[next].completion_seconds = clocks[next];
-      outcomes[next].epochs = jobs[next]->epochs_run();
-      outcomes[next].warm_reallocations = jobs[next]->warm_reallocations();
-      --active_jobs;
-      if (active_jobs > 0 &&
-          options.policy == AllocationPolicy::kGoodputScheduler) {
-        // Freed nodes go back to the pool: elastic scale-up. The
-        // remaining jobs keep their clocks; reconfiguration cost is
-        // charged through the next epoch's planning overhead.
-        reallocate();
-      }
-    }
+  FleetSim fleet(cluster, std::move(policy), fleet_options);
+  for (const workloads::Workload* workload : workload_list) {
+    JobSpec spec;
+    spec.name = workload->name;
+    spec.workload = workload;
+    fleet.submit(std::move(spec), 0.0);
   }
-  if (guard >= guard_limit) {
-    LOG_WARN << "run_multi_job: epoch guard tripped";
-  }
+  const FleetResult fleet_result = fleet.run();
 
   MultiJobResult result;
-  result.jobs = std::move(outcomes);
-  for (const auto& outcome : result.jobs) {
-    result.makespan = std::max(result.makespan, outcome.completion_seconds);
-    result.mean_completion += outcome.completion_seconds;
+  for (const auto& job : fleet_result.jobs) {
+    result.jobs.push_back({job.workload, job.completion_seconds, job.epochs,
+                           job.reallocations, job.warm_reallocations});
+    result.makespan = std::max(result.makespan, job.completion_seconds);
+    result.mean_completion += job.completion_seconds;
   }
   result.mean_completion /= static_cast<double>(result.jobs.size());
   return result;

@@ -1,27 +1,32 @@
-// Event-driven multi-job simulation: several elastic Cannikin jobs
-// sharing one heterogeneous cluster under a scheduling policy.
+// Legacy multi-job entry point, now a thin wrapper over FleetSim.
 //
-// Jobs run on disjoint node sets. The driver advances the job whose
-// current epoch finishes first; when a job completes, its nodes are
-// returned and the remaining jobs are re-allocated (elastic scaling).
-// This is the experiment backing the Section 6 discussion: a scheduler
-// that may hand *mixed* GPU types to a single job, because Cannikin
-// absorbs the heterogeneity inside the job.
+// DEPRECATED: new code should construct a FleetSim with an explicit
+// SchedulingPolicy (fleet.h / policy.h) -- that API exposes arrivals
+// over time, priorities, preemption and the full FleetResult metrics.
+// run_multi_job() is kept for source compatibility: it submits every
+// workload at t=0 with default intent and maps the FleetResult back to
+// the historical MultiJobResult shape, preserving the original
+// semantics (single pack over all jobs up front, goodput repack on
+// each completion, static partitions never reallocated).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "sched/elastic_job.h"
+#include "sched/fleet.h"
 #include "sched/scheduler.h"
 
 namespace cannikin::sched {
 
+/// DEPRECATED: select a SchedulingPolicy object instead (policy.h).
 enum class AllocationPolicy {
   kGoodputScheduler,  ///< greedy marginal-goodput (heterogeneous mixes)
   kStaticPartition,   ///< fixed contiguous partition, never re-allocated
 };
 
+/// DEPRECATED: use FleetOptions + a policy object. Retained fields map
+/// 1:1 onto FleetOptions.
 struct MultiJobOptions {
   AllocationPolicy policy = AllocationPolicy::kGoodputScheduler;
   bool use_model_bank = true;
@@ -45,6 +50,7 @@ struct MultiJobResult {
 };
 
 /// Runs the given workloads to target on `cluster` under `options`.
+/// DEPRECATED thin wrapper over FleetSim; see the file comment.
 MultiJobResult run_multi_job(
     const sim::ClusterSpec& cluster,
     const std::vector<const workloads::Workload*>& jobs,

@@ -60,22 +60,58 @@ double GoodputScheduler::estimated_goodput(
   return best;
 }
 
-std::vector<int> GoodputScheduler::allocate(
+Allocation GoodputScheduler::allocate(
     const std::vector<SchedulerJobInfo>& jobs) const {
-  const int n = cluster_.size();
-  std::vector<int> allocation(static_cast<std::size_t>(n), -1);
+  std::vector<int> all(static_cast<std::size_t>(cluster_.size()));
+  std::iota(all.begin(), all.end(), 0);
+  return allocate_subset(jobs, all);
+}
+
+Allocation GoodputScheduler::allocate_subset(
+    const std::vector<SchedulerJobInfo>& jobs,
+    const std::vector<int>& node_ids) const {
+  Allocation allocation(cluster_.size());
   if (jobs.empty()) return allocation;
+
+  int demand = 0;
+  for (const auto& job : jobs) {
+    if (job.workload == nullptr) {
+      throw std::invalid_argument("allocate: null workload");
+    }
+    if (job.min_nodes < 1) {
+      throw std::invalid_argument("allocate: min_nodes must be >= 1, got " +
+                                  std::to_string(job.min_nodes));
+    }
+    demand += job.min_nodes;
+  }
+
+  std::vector<int> pool = node_ids;
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  for (int id : pool) {
+    if (id < 0 || id >= cluster_.size()) {
+      throw std::invalid_argument("allocate: bad node id " +
+                                  std::to_string(id));
+    }
+  }
+  if (demand > static_cast<int>(pool.size())) {
+    throw std::invalid_argument(
+        "allocate: min_nodes demand (" + std::to_string(demand) +
+        ") exceeds available nodes (" + std::to_string(pool.size()) +
+        "); the policy must cap its runnable set first");
+  }
 
   // Nodes ordered fastest-first so the seeding round hands each job a
   // strong anchor node.
-  std::vector<int> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<int> order = pool;
   std::sort(order.begin(), order.end(), [&](int lhs, int rhs) {
     const auto speed = [&](int id) {
       const auto& node = cluster_.nodes[static_cast<std::size_t>(id)];
       return sim::gpu_spec(node.gpu).relative_speed * node.contention;
     };
-    return speed(lhs) > speed(rhs);
+    const double ls = speed(lhs), rs = speed(rhs);
+    if (ls != rs) return ls > rs;
+    return lhs < rhs;  // deterministic tie-break
   });
 
   std::vector<std::vector<int>> assigned(jobs.size());
@@ -83,12 +119,9 @@ std::vector<int> GoodputScheduler::allocate(
 
   // Seeding: round-robin until every job has its min_nodes.
   for (std::size_t job = 0; job < jobs.size(); ++job) {
-    const int want = std::max(jobs[job].min_nodes, 1);
-    while (static_cast<int>(assigned[job].size()) < want &&
+    while (static_cast<int>(assigned[job].size()) < jobs[job].min_nodes &&
            cursor < order.size()) {
-      const int node = order[cursor++];
-      assigned[job].push_back(node);
-      allocation[static_cast<std::size_t>(node)] = static_cast<int>(job);
+      assigned[job].push_back(order[cursor++]);
     }
   }
 
@@ -119,7 +152,10 @@ std::vector<int> GoodputScheduler::allocate(
     }
     assigned[best_job].push_back(node);
     current[best_job] = best_goodput;
-    allocation[static_cast<std::size_t>(node)] = static_cast<int>(best_job);
+  }
+
+  for (std::size_t job = 0; job < jobs.size(); ++job) {
+    allocation.assign(static_cast<JobId>(job), assigned[job]);
   }
   return allocation;
 }

@@ -10,10 +10,16 @@
 // and host types, not job-measured coefficients) gains the most,
 // relative to its single-node goodput. This mirrors Pollux's
 // sum-of-speedups objective on heterogeneous hardware.
+//
+// GoodputScheduler is pure mechanism: a packing primitive the
+// SchedulingPolicy layer (policy.h) composes into fleet-level
+// decisions. It returns a typed Allocation whose job ids are indices
+// into the `jobs` argument; callers remap to fleet JobIds.
 #pragma once
 
 #include <vector>
 
+#include "sched/allocation.h"
 #include "sim/cluster.h"
 #include "workloads/registry.h"
 
@@ -22,11 +28,12 @@ namespace cannikin::sched {
 struct SchedulerJobInfo {
   const workloads::Workload* workload = nullptr;
   double gns = 0.0;   ///< current gradient noise scale (drives B choice)
-  int min_nodes = 1;  ///< smallest useful allocation
+  int min_nodes = 1;  ///< smallest useful allocation; must be >= 1
 };
 
 class GoodputScheduler {
  public:
+  /// Throws std::invalid_argument on an empty cluster.
   explicit GoodputScheduler(sim::ClusterSpec cluster);
 
   /// Estimated goodput (effective samples/s) of `job` on the node-index
@@ -34,10 +41,19 @@ class GoodputScheduler {
   double estimated_goodput(const SchedulerJobInfo& job,
                            const std::vector<int>& node_ids) const;
 
-  /// Assigns every node to a job; allocation[i] is the job index for
-  /// cluster node i, or -1 when `jobs` is empty. Each job receives at
-  /// least min_nodes nodes when the cluster is large enough.
-  std::vector<int> allocate(const std::vector<SchedulerJobInfo>& jobs) const;
+  /// Packs every cluster node onto a job; job ids in the returned
+  /// Allocation are indices into `jobs`. Each job receives at least its
+  /// min_nodes. Throws std::invalid_argument when any min_nodes < 1, a
+  /// workload is null, or the min_nodes demands exceed the cluster; an
+  /// empty job list yields an all-free Allocation.
+  Allocation allocate(const std::vector<SchedulerJobInfo>& jobs) const;
+
+  /// allocate() restricted to the given node ids (ascending-deduped
+  /// internally); other nodes stay free in the result. This is the
+  /// packing primitive policies use to fill the non-pinned remainder of
+  /// the cluster.
+  Allocation allocate_subset(const std::vector<SchedulerJobInfo>& jobs,
+                             const std::vector<int>& node_ids) const;
 
   const sim::ClusterSpec& cluster() const { return cluster_; }
 

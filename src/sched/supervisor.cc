@@ -45,6 +45,7 @@ void TrainingSupervisor::start(const std::vector<int>& allocation) {
   }
   job_ = std::make_unique<ElasticCannikinJob>(workload_, full_cluster_, noise_,
                                               seed_, use_model_bank_);
+  job_->set_modeled_planning_seconds(options_.modeled_planning_seconds);
   job_->set_allocation(allocation);
   if (obs_.tracing()) obs_.thread_name("supervisor");
   // Epoch-0 checkpoint: a crash in the very first epoch still has
@@ -83,6 +84,88 @@ double TrainingSupervisor::checkpoint_now() {
     obs_.observe("sched.checkpoint_write_us", elapsed * 1e6);
   }
   epochs_since_checkpoint_ = 0;
+  last_checkpoint_epochs_ = job().epochs_run();
+  return elapsed;
+}
+
+double TrainingSupervisor::note_epoch_committed() {
+  ++epochs_since_checkpoint_;
+  if (options_.checkpoint_every_epochs > 0 &&
+      epochs_since_checkpoint_ >= options_.checkpoint_every_epochs) {
+    return checkpoint_now();
+  }
+  return 0.0;
+}
+
+void TrainingSupervisor::preempt() {
+  if (job_ == nullptr) {
+    throw std::logic_error("TrainingSupervisor: preempt without a live job");
+  }
+  // Deliberately NO checkpoint here: a preemption can strike mid-epoch,
+  // when in-memory state is ahead of what the scheduler has committed.
+  // The job restarts from the last durable checkpoint; work since then
+  // is rolled back and accounted below.
+  const int lost = std::max(0, job_->epochs_run() - last_checkpoint_epochs_);
+  stats_.epochs_lost_to_preemption += lost;
+  ++stats_.preemptions;
+
+  RecoveryReport report;
+  report.epoch = job_->epochs_run();
+  report.preemption = true;
+  preemption_reports_.push_back(report);
+
+  if (obs_.tracing()) {
+    obs_.instant("sched", "preempt",
+                 obs::ArgList()
+                     .add("epochs", job_->epochs_run())
+                     .add("epochs_rolled_back", lost));
+  }
+  if (obs_.metrics() != nullptr) {
+    obs_.counter_add("sched.preemptions", 1.0);
+    obs_.counter_add("sched.epochs_lost_to_preemption",
+                     static_cast<double>(lost));
+  }
+  job_.reset();
+  preempted_ = true;
+}
+
+double TrainingSupervisor::resume(const std::vector<int>& allocation) {
+  if (!preempted_ || job_ != nullptr) {
+    throw std::logic_error("TrainingSupervisor: resume without a preemption");
+  }
+  obs::SpanGuard span;
+  if (obs_.tracing()) {
+    span = obs_.span("sched", "preemption_resume",
+                     obs::ArgList().add("nodes",
+                                        static_cast<int>(allocation.size())));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<Checkpoint> ckpt = store_.load_latest();
+  if (!ckpt.has_value()) {
+    throw std::runtime_error("TrainingSupervisor: no usable checkpoint in " +
+                             store_.dir());
+  }
+  auto job = std::make_unique<ElasticCannikinJob>(workload_, full_cluster_,
+                                                  noise_, seed_,
+                                                  use_model_bank_);
+  job->set_modeled_planning_seconds(options_.modeled_planning_seconds);
+  job->restore_to_allocation(*ckpt, allocation);
+  const double elapsed = seconds_since(t0);
+  span.close();
+
+  stats_.preemption_restore_seconds += elapsed;
+  if (!preemption_reports_.empty()) {
+    RecoveryReport& report = preemption_reports_.back();
+    report.warm = job->warm_reallocations() > ckpt->warm_reallocations;
+    report.overhead_seconds += elapsed;
+  }
+  if (obs_.metrics() != nullptr) {
+    obs_.observe("sched.preemption_restore_us", elapsed * 1e6);
+  }
+  job_ = std::move(job);
+  epochs_since_checkpoint_ = 0;
+  last_checkpoint_epochs_ = ckpt->epochs;
+  preempted_ = false;
   return elapsed;
 }
 
@@ -122,6 +205,7 @@ bool TrainingSupervisor::handle_crash(const sim::FaultEvent& event, int epoch,
       }
       auto job = std::make_unique<ElasticCannikinJob>(
           workload_, full_cluster_, noise_, seed_, use_model_bank_);
+      job->set_modeled_planning_seconds(options_.modeled_planning_seconds);
       job->restore_from_checkpoint(*ckpt, dead_nodes_);
       const double restore_seconds = seconds_since(t0);
 
@@ -138,6 +222,7 @@ bool TrainingSupervisor::handle_crash(const sim::FaultEvent& event, int epoch,
       }
       job_ = std::move(job);
       epochs_since_checkpoint_ = 0;
+      last_checkpoint_epochs_ = ckpt->epochs;
       *charged_seconds += restore_seconds;
 
       RecoveryReport report;
@@ -352,6 +437,15 @@ FaultRecoveryTrace run_with_faults(TrainingSupervisor& supervisor,
   trace.checkpoint_write_seconds = stats.checkpoint_write_seconds;
   trace.restore_seconds = stats.restore_seconds;
   trace.backoff_seconds = stats.backoff_seconds;
+  // Scheduler-initiated preemptions (fleet runs interleaved with fault
+  // runs) stay visible in the trace but are flagged so
+  // recovery_metrics() does not count them as fault onsets.
+  for (const auto& report : supervisor.preemption_reports_) {
+    trace.recoveries.push_back(report);
+  }
+  trace.preemptions = stats.preemptions;
+  trace.preemption_restore_seconds = stats.preemption_restore_seconds;
+  trace.epochs_lost_to_preemption = stats.epochs_lost_to_preemption;
   trace.gave_up = gave_up;
   return trace;
 }

@@ -59,6 +59,10 @@ struct SupervisorOptions {
   int max_restore_attempts = 3;
   double backoff_initial_seconds = 0.5;
   double backoff_multiplier = 2.0;
+  /// Forwarded to ElasticCannikinJob::set_modeled_planning_seconds on
+  /// every job the supervisor constructs (start, crash restore,
+  /// preemption resume). Negative keeps the measured default.
+  double modeled_planning_seconds = -1.0;
   /// Observability scope. The supervisor rebinds it to its own timeline
   /// row (obs::kSupervisorTid) and emits fault / checkpoint_write /
   /// restore / rejoin instants plus sched.* metrics.
@@ -83,6 +87,14 @@ struct SupervisorStats {
   double restore_seconds = 0.0;           ///< measured wall clock
   double backoff_seconds = 0.0;  ///< policy waits charged to the trace
   std::string give_up_reason;
+
+  // -- scheduler-initiated preemption (not faults) -------------------
+  int preemptions = 0;
+  /// Measured wall-clock cost of preemption resumes (restore path).
+  double preemption_restore_seconds = 0.0;
+  /// Committed epochs rolled back because a preemption struck after
+  /// the last durable checkpoint.
+  int epochs_lost_to_preemption = 0;
 };
 
 class TrainingSupervisor {
@@ -106,6 +118,45 @@ class TrainingSupervisor {
   /// Supervised fault-injection run; see run_with_faults(supervisor).
   FaultRecoveryTrace run(const sim::FaultInjector& injector, int max_epochs);
 
+  // -- fleet-facing driving API --------------------------------------
+  // The FleetSim event loop advances jobs one epoch at a time instead
+  // of using run_with_faults, and preempts/migrates them between
+  // epochs.
+
+  /// Writes a checkpoint now; returns measured wall-clock seconds.
+  double checkpoint_now();
+
+  /// Bumps the epoch-since-checkpoint counter and writes a cadence
+  /// checkpoint when due; returns the measured write seconds (0.0 when
+  /// no checkpoint was due). Call once per committed epoch when driving
+  /// the job directly.
+  double note_epoch_committed();
+
+  /// Scheduler-initiated preemption: tears the live job down WITHOUT
+  /// checkpointing -- a preemption can strike mid-epoch, when the
+  /// in-memory state is ahead of what durably happened, so the job must
+  /// resume from its last sched::Checkpoint and any epochs committed
+  /// since are rolled back (counted in epochs_lost_to_preemption).
+  /// Counted as a preemption, not a fault/crash.
+  void preempt();
+
+  /// Resumes a preempted job on `allocation` (possibly different nodes
+  /// = migration) from the latest durable checkpoint. The controller
+  /// warm-starts from the checkpointed bank/learned state, so no
+  /// bootstrap epochs are re-paid. Returns measured restore wall-clock
+  /// seconds. Throws std::logic_error when not preempted and
+  /// std::runtime_error when no usable checkpoint exists.
+  double resume(const std::vector<int>& allocation);
+
+  bool preempted() const { return preempted_; }
+  int epochs_since_checkpoint() const { return epochs_since_checkpoint_; }
+  /// One report per preempt() call, `preemption` flag set; appended to
+  /// run_with_faults traces so preemptions stay visible without being
+  /// mistaken for fault onsets by recovery_metrics().
+  const std::vector<RecoveryReport>& preemption_reports() const {
+    return preemption_reports_;
+  }
+
   /// Test hook, called once per restore attempt (before any file I/O);
   /// throwing simulates the replacement process failing to come up and
   /// consumes one retry.
@@ -118,8 +169,6 @@ class TrainingSupervisor {
                                             const sim::FaultInjector& injector,
                                             int max_epochs);
 
-  /// Writes a checkpoint now; returns measured wall-clock seconds.
-  double checkpoint_now();
   /// Kills and restores the job after a crash at harness epoch `epoch`;
   /// returns false when the retry budget is exhausted (supervisor gives
   /// up). Measured restore and backoff seconds are added to
@@ -140,7 +189,10 @@ class TrainingSupervisor {
   std::unique_ptr<ElasticCannikinJob> job_;
   std::vector<int> dead_nodes_;
   int epochs_since_checkpoint_ = 0;
+  int last_checkpoint_epochs_ = 0;  ///< epochs_run() at the last write
+  bool preempted_ = false;
   SupervisorStats stats_;
+  std::vector<RecoveryReport> preemption_reports_;
   std::function<void(int)> restore_fault_hook_;
 };
 

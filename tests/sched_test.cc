@@ -121,23 +121,22 @@ TEST(GoodputScheduler, EveryNodeAssignedAndMinNodesRespected) {
       {&workloads::by_name("cifar10"), 500.0, 2},
       {&workloads::by_name("imagenet"), 1000.0, 2},
   };
-  const auto allocation = scheduler.allocate(jobs);
-  ASSERT_EQ(allocation.size(), 16u);
-  int count0 = 0, count1 = 0;
-  for (int job : allocation) {
-    ASSERT_TRUE(job == 0 || job == 1);
-    count0 += job == 0;
-    count1 += job == 1;
+  const Allocation allocation = scheduler.allocate(jobs);
+  ASSERT_EQ(allocation.num_nodes(), 16);
+  for (int node = 0; node < allocation.num_nodes(); ++node) {
+    ASSERT_NE(allocation.job_of(node), kNoJob) << "node " << node;
   }
-  EXPECT_GE(count0, 2);
-  EXPECT_GE(count1, 2);
-  EXPECT_EQ(count0 + count1, 16);
+  EXPECT_GE(allocation.size_of(0), 2);
+  EXPECT_GE(allocation.size_of(1), 2);
+  EXPECT_EQ(allocation.size_of(0) + allocation.size_of(1), 16);
 }
 
 TEST(GoodputScheduler, EmptyJobListLeavesNodesIdle) {
   GoodputScheduler scheduler(sim::cluster_a());
-  const auto allocation = scheduler.allocate({});
-  for (int job : allocation) EXPECT_EQ(job, -1);
+  const Allocation allocation = scheduler.allocate({});
+  EXPECT_TRUE(allocation.empty());
+  EXPECT_EQ(allocation.free_nodes().size(),
+            static_cast<std::size_t>(allocation.num_nodes()));
 }
 
 TEST(GoodputScheduler, GoodputGrowsWithNodes) {
@@ -161,10 +160,10 @@ TEST(GoodputScheduler, ComputeHungryJobGetsTheFastGpus) {
       {&workloads::by_name("movielens"), 5000.0, 1},
       {&workloads::by_name("imagenet"), 5000.0, 1},
   };
-  const auto allocation = scheduler.allocate(jobs);
+  const Allocation allocation = scheduler.allocate(jobs);
   int a100_to_imagenet = 0;
   for (int node = 0; node < 4; ++node) {
-    if (allocation[static_cast<std::size_t>(node)] == 1) ++a100_to_imagenet;
+    if (allocation.job_of(node) == 1) ++a100_to_imagenet;
   }
   EXPECT_GE(a100_to_imagenet, 3);
 }
